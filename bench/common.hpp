@@ -1,0 +1,62 @@
+#pragma once
+/// \file common.hpp
+/// Shared configuration for the paper-reproduction benches.
+///
+/// The simulator reproduces the paper's testbed at ~1/64 scale: workload
+/// footprints, the LLC, TLB reach and the IBS sampling period all shrink by
+/// the same factor, so every capacity *ratio* that drives the paper's
+/// results is preserved. See DESIGN.md §2 for the substitution table.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitors/ibs.hpp"
+#include "sim/config.hpp"
+#include "util/cli.hpp"
+#include "workloads/registry.hpp"
+
+namespace tmprof::bench {
+
+/// The scaled Ryzen-3600X-like testbed.
+inline sim::SimConfig testbed_config(std::uint64_t footprint_bytes) {
+  sim::SimConfig cfg;
+  cfg.cores = 6;
+  // 32 MiB LLC / 64 scale = 512 KiB; keep 1 MiB for headroom.
+  cfg.llc_bytes = 1ULL << 20;
+  cfg.llc_ways = 16;
+  cfg.l2_bytes = 256ULL << 10;
+  // Scale the STLB so TLB reach / footprint matches the real machine:
+  // L2 holds 256 4K entries (1 MiB reach) and 16 2M entries per core.
+  cfg.l2_tlb = mem::TlbLevelConfig{64, 4, 4, 4};
+  cfg.instruction_fetch = true;
+  // Single profiling tier by default: big enough for the whole footprint.
+  cfg.tier1_frames = (footprint_bytes >> mem::kPageShift) * 5 / 4 + 2048;
+  cfg.tier2_frames = 2048;
+  return cfg;
+}
+
+/// The paper's IBS sampling periods, scaled to the simulator. The paper's
+/// default (1 tag / 262,144 uops) over a 1-second epoch on a ~4 GHz core
+/// yields tens of thousands of samples per epoch — the same order as the
+/// per-epoch A-bit page counts (the premise of Fig. 2). Our epochs retire
+/// ~4M uops, so the period shrinks to keep that sample-to-page balance:
+/// 512 uops default, /4 and /8 for the 4x and 8x rates.
+inline constexpr std::uint64_t kScaledDefaultPeriod = 512;
+
+inline monitors::IbsConfig scaled_ibs(std::uint64_t rate_multiplier) {
+  return monitors::IbsConfig::with_period(kScaledDefaultPeriod /
+                                          rate_multiplier);
+}
+
+/// Workload selection: --workload=<name> restricts to one, default all.
+inline std::vector<workloads::WorkloadSpec> selected_specs(
+    const util::ArgParser& args) {
+  const double scale = args.get_double("scale", 1.0);
+  if (args.has("workload")) {
+    return {workloads::find_spec(args.get("workload", ""), scale)};
+  }
+  return workloads::table3_specs(scale);
+}
+
+}  // namespace tmprof::bench

@@ -1,0 +1,135 @@
+/// Consolidation — the paper's motivating datacenter scenario (Section I:
+/// "VMs consolidated on individual cloud servers"): several *different*
+/// workloads share one tiered machine, competing for the fast tier. This is
+/// where the daemon's PID filter and the profiler's vendor-agnostic ranking
+/// earn their keep: pages from every process rank in one list, and the
+/// mover arbitrates the fast tier across tenants.
+///
+/// Reports per-tenant fast-tier hitrates under first-touch vs TMP-driven
+/// placement, plus what the PID filter tracked.
+///
+/// Usage: consolidation [--epochs=N] [--ops-per-epoch=N] [--scale=F]
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/daemon.hpp"
+#include "tiering/mover.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace tmprof;
+
+struct TenantResult {
+  std::string name;
+  double hitrate = 0.0;
+  std::uint64_t rss_mb = 0;
+};
+
+enum class Mode { FirstTouch, TmpRaw, TmpDensity };
+
+std::vector<TenantResult> run(Mode mode, double scale, std::uint32_t epochs,
+                              std::uint64_t ops_per_epoch,
+                              std::uint64_t seed) {
+  // One instance each of a cache service, an HPC solver, and a random-
+  // access kernel — deliberately mixing 4K and THP-backed tenants.
+  const std::vector<std::string> tenants{"data_caching", "lulesh", "gups"};
+  std::uint64_t total_bytes = 0;
+  std::vector<workloads::WorkloadSpec> specs;
+  for (const auto& name : tenants) {
+    specs.push_back(workloads::find_spec(name, scale));
+    total_bytes += specs.back().total_bytes;
+  }
+  sim::SimConfig cfg = bench::testbed_config(total_bytes);
+  cfg.tier1_frames = (64ULL << 20) >> mem::kPageShift;
+  cfg.tier2_frames = (total_bytes >> mem::kPageShift) * 5 / 4 + (1 << 14);
+
+  sim::System system(cfg);
+  std::vector<std::pair<std::string, mem::Pid>> pids;
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    // One process per tenant keeps the attribution story crisp.
+    const mem::Pid pid = system.add_process(
+        workloads::make_workload(specs[t], 0, seed + t));
+    pids.emplace_back(tenants[t], pid);
+  }
+
+  core::DaemonConfig dcfg;
+  dcfg.driver.ibs = bench::scaled_ibs(4);
+  core::TmpDaemon daemon(system, dcfg);
+  tiering::MoverConfig mcfg;
+  mcfg.per_page_cost_ns = 2500;
+  mcfg.min_rank = 3;
+  tiering::PageMover mover(system, mcfg);
+
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    system.step(ops_per_epoch);
+    core::ProfileSnapshot snap = daemon.tick();
+    if (mode == Mode::FirstTouch) continue;
+    if (mode == Mode::TmpDensity) {
+      // Raw counts over-value huge pages (one 2 MiB THP entry aggregates
+      // 512 frames of samples but delivers little value per frame when its
+      // traffic is uniform). Capacity allocation is a knapsack: order by
+      // rank *density* — hotness per 4 KiB frame.
+      for (core::PageRank& pr : snap.ranking) {
+        sim::Process& proc = system.process(pr.key.pid);
+        const mem::PteRef ref = proc.page_table().resolve(pr.key.page_va);
+        if (ref) pr.rank /= mem::pages_in(ref.size);
+      }
+      std::sort(snap.ranking.begin(), snap.ranking.end(),
+                [](const core::PageRank& a, const core::PageRank& b) {
+                  if (a.rank != b.rank) return a.rank > b.rank;
+                  return a.key < b.key;
+                });
+    }
+    mover.apply(snap.ranking, cfg.tier1_frames - 128);
+  }
+
+  std::vector<TenantResult> results;
+  for (const auto& [name, pid] : pids) {
+    sim::Process& proc = system.process(pid);
+    results.push_back(TenantResult{
+        name, proc.tier0_hitrate(),
+        (proc.rss_pages() * mem::kPageSize) >> 20});
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const std::uint32_t epochs =
+      static_cast<std::uint32_t>(args.get_u64("epochs", 10));
+  const std::uint64_t ops_per_epoch = args.get_u64("ops-per-epoch", 600'000);
+  const double scale = args.get_double("scale", 0.5);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+
+  std::cout << "Consolidation: data_caching + lulesh + gups sharing one "
+               "64 MiB fast tier\n\n";
+  const auto baseline =
+      run(Mode::FirstTouch, scale, epochs, ops_per_epoch, seed);
+  const auto raw = run(Mode::TmpRaw, scale, epochs, ops_per_epoch, seed);
+  const auto density =
+      run(Mode::TmpDensity, scale, epochs, ops_per_epoch, seed);
+
+  util::TextTable table({"tenant", "rss_mb", "first-touch", "tmp (raw rank)",
+                         "tmp (density rank)"});
+  for (std::size_t t = 0; t < baseline.size(); ++t) {
+    table.add_row(
+        {baseline[t].name, util::TextTable::num(baseline[t].rss_mb),
+         util::TextTable::percent(baseline[t].hitrate),
+         util::TextTable::percent(raw[t].hitrate),
+         util::TextTable::percent(density[t].hitrate)});
+  }
+  table.print(std::cout);
+  std::cout << "\nFinding: with mixed 4 KiB and THP tenants, the paper's "
+               "raw-count rank over-values huge pages (a 2 MiB entry "
+               "aggregates 512 frames of samples), steering fast memory to "
+               "the uniform-random tenant. Ranking by hotness *density* "
+               "(per 4 KiB frame) restores cross-tenant arbitration — a "
+               "capacity-allocation subtlety the paper's 4 KiB-centric "
+               "evaluation never hits.\n";
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper artifact in one go.
+# Outputs land in test_output.txt / bench_output.txt at the repo root and
+# the per-figure CSVs in the working directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "==================== ${b#build/bench/} ===================="
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Done. See test_output.txt, bench_output.txt, fig*_*.csv."

@@ -1,0 +1,93 @@
+#include "core/daemon.hpp"
+
+#include <sstream>
+
+#include "pmu/events.hpp"
+#include "util/assert.hpp"
+
+namespace tmprof::core {
+
+TmpDaemon::TmpDaemon(sim::System& system, const DaemonConfig& config)
+    : system_(system),
+      config_(config),
+      driver_(system, config.driver),
+      abit_gate_(config.gate_threshold),
+      trace_gate_(config.gate_threshold),
+      pid_filter_(config.pid_filter) {
+  // Program the cheap always-on counters the daemon polls. These fit in the
+  // PMU's registers, so no multiplexing distortion affects the gates.
+  system_.pmu().program_all(
+      {pmu::Event::LlcMiss, pmu::Event::DtlbWalk, pmu::Event::RetiredUops});
+}
+
+ProfileSnapshot TmpDaemon::tick() {
+  // 1. Read the HWPC miss counters accumulated over the elapsed period.
+  const std::uint64_t llc_miss = system_.pmu().read_total(pmu::Event::LlcMiss);
+  const std::uint64_t tlb_walk = system_.pmu().read_total(pmu::Event::DtlbWalk);
+  const std::uint64_t llc_delta = llc_miss - last_llc_miss_;
+  const std::uint64_t tlb_delta = tlb_walk - last_tlb_walk_;
+  last_llc_miss_ = llc_miss;
+  last_tlb_walk_ = tlb_walk;
+
+  // 2. Gate each expensive mechanism on its cheap proxy counter.
+  bool run_abit = true;
+  bool run_trace = true;
+  if (config_.gating_enabled) {
+    run_abit = abit_gate_.update(tlb_delta);
+    run_trace = trace_gate_.update(llc_delta);
+  }
+  driver_.set_trace_enabled(run_trace);
+
+  // 3. Re-evaluate the PID filter (at its own cadence — the paper
+  //    re-evaluates once per second) and scan the survivors' page tables.
+  monitors::AbitScanResult scan{};
+  if (config_.pid_filter_enabled) {
+    const bool due = !filter_ever_ran_ ||
+                     system_.now() - last_filter_eval_ >=
+                         config_.pid_filter_period_ns;
+    if (due) {
+      tracked_pids_ = pid_filter_.select(system_.processes());
+      filter_ever_ran_ = true;
+      last_filter_eval_ = system_.now();
+    }
+  } else {
+    tracked_pids_.clear();
+    for (const sim::Process* p : system_.processes()) {
+      tracked_pids_.push_back(p->pid());
+    }
+  }
+  if (run_abit) {
+    scan = driver_.scan_processes(tracked_pids_);
+  }
+  if (config_.charge_overhead) {
+    system_.advance_time(scan.cost_ns);
+  }
+
+  // 4. Close the epoch and publish the fused ranking.
+  ProfileSnapshot snapshot;
+  snapshot.observation = driver_.end_epoch();
+  snapshot.epoch = snapshot.observation.epoch;
+  snapshot.ranking =
+      build_ranking(snapshot.observation, config_.fusion, config_.trace_weight);
+  snapshot.abit_ran = run_abit;
+  snapshot.trace_ran = run_trace;
+  return snapshot;
+}
+
+std::string TmpDaemon::dump(const ProfileSnapshot& snapshot,
+                            std::size_t top_n) {
+  std::ostringstream os;
+  os << "epoch=" << snapshot.epoch << " pages=" << snapshot.ranking.size()
+     << " abit_ran=" << (snapshot.abit_ran ? 1 : 0)
+     << " trace_ran=" << (snapshot.trace_ran ? 1 : 0) << '\n';
+  std::size_t shown = 0;
+  for (const PageRank& pr : snapshot.ranking) {
+    if (shown++ >= top_n) break;
+    os << std::hex << "0x" << pr.key.page_va << std::dec
+       << " pid=" << pr.key.pid << " rank=" << pr.rank
+       << " abit=" << pr.abit << " trace=" << pr.trace << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tmprof::core

@@ -1,0 +1,90 @@
+#pragma once
+/// \file daemon.hpp
+/// The user-space TMP daemon (Section III-B3): supplies PIDs to profile,
+/// reads the cheap HWPC miss counters to gate the expensive mechanisms,
+/// triggers A-bit scans, and publishes per-epoch profile snapshots through
+/// a numa_maps-style text interface.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/gating.hpp"
+#include "core/pid_filter.hpp"
+#include "core/ranking.hpp"
+#include "sim/system.hpp"
+
+namespace tmprof::core {
+
+struct DaemonConfig {
+  DriverConfig driver;
+  /// Epoch/scan period. The paper uses 1 s epochs on real hardware; the
+  /// simulator default is shorter since simulated time is denser.
+  util::SimNs period_ns = 100 * util::kMillisecond;
+  bool gating_enabled = true;
+  double gate_threshold = 0.2;
+  bool pid_filter_enabled = true;
+  PidFilterConfig pid_filter;
+  /// How often the PID filter re-evaluates (paper: once per second). 0
+  /// re-evaluates every tick. Between evaluations the previous tracked
+  /// set is reused, bounding filter overhead independent of tick rate.
+  util::SimNs pid_filter_period_ns = 0;
+  FusionMode fusion = FusionMode::Sum;
+  double trace_weight = 1.0;
+  /// Charge modeled profiling overhead to the system clock (on for
+  /// end-to-end experiments, off for pure visibility studies).
+  bool charge_overhead = false;
+};
+
+/// One published profile (Step 1 output: pages ranked by hotness).
+struct ProfileSnapshot {
+  std::uint32_t epoch = 0;
+  std::vector<PageRank> ranking;       ///< descending hotness
+  EpochObservation observation;        ///< raw per-source counts
+  bool abit_ran = false;               ///< scan executed (not gated off)
+  bool trace_ran = false;              ///< trace collection was live
+};
+
+class TmpDaemon {
+ public:
+  TmpDaemon(sim::System& system, const DaemonConfig& config);
+
+  /// Close the current period: read counters, update gates, run the A-bit
+  /// scan over filtered PIDs, and emit the epoch's snapshot. The caller
+  /// drives the system between calls (one call per elapsed period).
+  ProfileSnapshot tick();
+
+  [[nodiscard]] TmpDriver& driver() noexcept { return driver_; }
+  [[nodiscard]] const DaemonConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ActivityGate& abit_gate() const noexcept {
+    return abit_gate_;
+  }
+  [[nodiscard]] const ActivityGate& trace_gate() const noexcept {
+    return trace_gate_;
+  }
+  /// PIDs selected by the most recent tick's filter evaluation.
+  [[nodiscard]] const std::vector<mem::Pid>& tracked_pids() const noexcept {
+    return tracked_pids_;
+  }
+
+  /// numa_maps-style dump of a snapshot's top pages.
+  [[nodiscard]] static std::string dump(const ProfileSnapshot& snapshot,
+                                        std::size_t top_n = 20);
+
+ private:
+  sim::System& system_;
+  DaemonConfig config_;
+  TmpDriver driver_;
+  ActivityGate abit_gate_;
+  ActivityGate trace_gate_;
+  PidFilter pid_filter_;
+  std::vector<mem::Pid> tracked_pids_;
+  std::uint64_t last_llc_miss_ = 0;
+  std::uint64_t last_tlb_walk_ = 0;
+  bool filter_ever_ran_ = false;
+  util::SimNs last_filter_eval_ = 0;
+};
+
+}  // namespace tmprof::core

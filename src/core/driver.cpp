@@ -1,0 +1,122 @@
+#include "core/driver.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::core {
+
+TmpDriver::TmpDriver(sim::System& system, const DriverConfig& config)
+    : system_(system),
+      config_(config),
+      scanner_(config.abit),
+      store_(system.phys().total_frames()) {
+  if (config_.backend == TraceBackend::Ibs) {
+    ibs_ = std::make_unique<monitors::IbsMonitor>(config_.ibs,
+                                                  system.config().cores);
+    ibs_->set_drain([this](std::span<const monitors::TraceSample> samples) {
+      on_trace(samples);
+    });
+  } else {
+    pebs_ = std::make_unique<monitors::PebsMonitor>(config_.pebs,
+                                                    system.config().cores);
+    pebs_->set_drain([this](std::span<const monitors::TraceSample> samples) {
+      on_trace(samples);
+    });
+  }
+  if (config_.use_pml) {
+    pml_ = std::make_unique<monitors::PmlMonitor>(config_.pml);
+    pml_->set_drain([this](std::span<const mem::PhysAddr> addresses) {
+      on_pml(addresses);
+    });
+    system_.add_observer(pml_.get());
+  }
+  scanner_.set_shootdown(
+      [this](mem::Pid pid, mem::VirtAddr page_va, mem::PageSize size) {
+        return system_.shootdown(pid, page_va, size);
+      });
+  current_.epoch = 0;
+  set_trace_enabled(true);
+}
+
+TmpDriver::~TmpDriver() {
+  set_trace_enabled(false);
+  if (pml_) system_.remove_observer(pml_.get());
+}
+
+void TmpDriver::set_trace_enabled(bool enabled) {
+  if (enabled == trace_enabled_) return;
+  monitors::AccessObserver* obs =
+      ibs_ ? static_cast<monitors::AccessObserver*>(ibs_.get())
+           : static_cast<monitors::AccessObserver*>(pebs_.get());
+  if (enabled) system_.add_observer(obs);
+  else system_.remove_observer(obs);
+  trace_enabled_ = enabled;
+}
+
+void TmpDriver::on_trace(std::span<const monitors::TraceSample> samples) {
+  for (const monitors::TraceSample& s : samples) {
+    if (config_.trace_loads_only && s.is_store) continue;
+    if (config_.trace_memory_only && !mem::is_memory(s.source)) continue;
+    const mem::Pfn pfn = mem::pfn_of(s.paddr);
+    const mem::FrameInfo& frame = system_.phys().frame(pfn);
+    if (!frame.allocated) continue;  // raced with a free; drop
+    // phys_to_page(): aggregate into the mapping's descriptor.
+    const PageKey key{frame.pid, frame.page_va};
+    current_.trace[key] += 1;
+    store_.record_trace(pfn, epoch_);
+    cumulative_trace_4k_[pfn] += 1;
+    ++trace_samples_kept_;
+  }
+}
+
+monitors::AbitScanResult TmpDriver::scan_processes(
+    const std::vector<mem::Pid>& pids) {
+  monitors::AbitScanResult total;
+  for (const mem::Pid pid : pids) {
+    sim::Process& proc = system_.process(pid);
+    const monitors::AbitScanResult r = scanner_.scan(
+        pid, proc.page_table(), [&](const monitors::AbitSample& sample) {
+          const PageKey key{pid, sample.page_va};
+          current_.abit[key] += 1;
+          store_.record_abit(sample.pfn, epoch_);
+          cumulative_abit_[key] += 1;
+        });
+    total.ptes_visited += r.ptes_visited;
+    total.pages_accessed += r.pages_accessed;
+    total.shootdowns += r.shootdowns;
+    total.cost_ns += r.cost_ns;
+  }
+  return total;
+}
+
+void TmpDriver::on_pml(std::span<const mem::PhysAddr> addresses) {
+  for (const mem::PhysAddr paddr : addresses) {
+    const mem::Pfn pfn = mem::pfn_of(paddr);
+    const mem::FrameInfo& frame = system_.phys().frame(pfn);
+    if (!frame.allocated) continue;
+    current_.writes[PageKey{frame.pid, frame.page_va}] += 1;
+  }
+}
+
+EpochObservation TmpDriver::end_epoch() {
+  // Pull any buffered samples into this epoch before closing it.
+  if (ibs_) ibs_->drain();
+  if (pebs_) pebs_->drain();
+  if (pml_) pml_->drain();
+  EpochObservation closed = std::move(current_);
+  closed.epoch = epoch_;
+  current_ = EpochObservation{};
+  current_.epoch = ++epoch_;
+  return closed;
+}
+
+util::SimNs TmpDriver::trace_overhead_ns() const noexcept {
+  if (ibs_) return ibs_->overhead_ns();
+  if (pebs_) return pebs_->overhead_ns();
+  return 0;
+}
+
+util::SimNs TmpDriver::overhead_ns() const noexcept {
+  return trace_overhead_ns() + scanner_.overhead_ns();
+}
+
+}  // namespace tmprof::core

@@ -1,0 +1,109 @@
+#pragma once
+/// \file driver.hpp
+/// The TMP kernel driver analog (Section III-B). Owns the trace-based
+/// monitor (IBS or PEBS) and the A-bit scanner, drains their raw data, and
+/// accumulates per-page statistics into the page-descriptor store and the
+/// current epoch's observation maps.
+///
+/// Filtering follows the paper: trace samples count only if they are demand
+/// loads whose data source is beyond the LLC (TMP uses IBS/PEBS "to inspect
+/// memory accessed from regular last-level caches"), because a page that is
+/// frequently accessed but hits in cache gains nothing from migration.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/page_stats.hpp"
+#include "core/ranking.hpp"
+#include "monitors/abit.hpp"
+#include "monitors/ibs.hpp"
+#include "monitors/pebs.hpp"
+#include "monitors/pml.hpp"
+#include "sim/system.hpp"
+
+namespace tmprof::core {
+
+enum class TraceBackend : std::uint8_t { Ibs, Pebs };
+
+struct DriverConfig {
+  TraceBackend backend = TraceBackend::Ibs;
+  monitors::IbsConfig ibs;
+  monitors::PebsConfig pebs;
+  monitors::AbitConfig abit;
+  /// Count only demand loads (not stores) from the trace stream.
+  bool trace_loads_only = true;
+  /// Count only samples whose data source is beyond the LLC.
+  bool trace_memory_only = true;
+  /// Also collect Page-Modification Logging (dirty-page) evidence for
+  /// write-aware policies. Off by default: TMP's focus is demand loads.
+  bool use_pml = false;
+  monitors::PmlConfig pml;
+};
+
+/// Collects raw profiling data from the hardware monitor models.
+class TmpDriver {
+ public:
+  TmpDriver(sim::System& system, const DriverConfig& config);
+  TmpDriver(const TmpDriver&) = delete;
+  TmpDriver& operator=(const TmpDriver&) = delete;
+  ~TmpDriver();
+
+  /// Pause/resume trace-based collection (activity gating actuator).
+  void set_trace_enabled(bool enabled);
+  [[nodiscard]] bool trace_enabled() const noexcept { return trace_enabled_; }
+
+  /// Run one A-bit scan pass over the given processes; returns the summed
+  /// scan statistics. Honors the paper's no-shootdown optimization via
+  /// DriverConfig::abit.
+  monitors::AbitScanResult scan_processes(const std::vector<mem::Pid>& pids);
+
+  /// Close the current epoch: drain pending trace buffers and hand out the
+  /// epoch's observations, then start a new epoch.
+  EpochObservation end_epoch();
+
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const PageStatsStore& store() const noexcept { return store_; }
+
+  /// Cumulative per-4KiB-frame trace sample counts (Fig. 5 CDF input).
+  [[nodiscard]] const std::unordered_map<mem::Pfn, std::uint32_t>&
+  trace_counts_4k() const noexcept {
+    return cumulative_trace_4k_;
+  }
+  /// Cumulative per-page A-bit observation counts (Fig. 5 CDF input).
+  [[nodiscard]] const std::unordered_map<PageKey, std::uint32_t, PageKeyHash>&
+  abit_counts() const noexcept {
+    return cumulative_abit_;
+  }
+
+  /// Modeled software overhead of collection so far (trace + scans).
+  [[nodiscard]] util::SimNs overhead_ns() const noexcept;
+  [[nodiscard]] util::SimNs trace_overhead_ns() const noexcept;
+  [[nodiscard]] util::SimNs abit_overhead_ns() const noexcept {
+    return scanner_.overhead_ns();
+  }
+  [[nodiscard]] std::uint64_t trace_samples_kept() const noexcept {
+    return trace_samples_kept_;
+  }
+
+ private:
+  void on_trace(std::span<const monitors::TraceSample> samples);
+  void on_pml(std::span<const mem::PhysAddr> addresses);
+
+  sim::System& system_;
+  DriverConfig config_;
+  std::unique_ptr<monitors::IbsMonitor> ibs_;
+  std::unique_ptr<monitors::PebsMonitor> pebs_;
+  std::unique_ptr<monitors::PmlMonitor> pml_;
+  monitors::AbitScanner scanner_;
+  PageStatsStore store_;
+  EpochObservation current_;
+  std::uint32_t epoch_ = 0;
+  bool trace_enabled_ = false;
+  std::uint64_t trace_samples_kept_ = 0;
+  std::unordered_map<mem::Pfn, std::uint32_t> cumulative_trace_4k_;
+  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> cumulative_abit_;
+};
+
+}  // namespace tmprof::core

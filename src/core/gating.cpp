@@ -1,0 +1,26 @@
+#include "core/gating.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::core {
+
+ActivityGate::ActivityGate(double threshold) : threshold_(threshold) {
+  TMPROF_EXPECTS(threshold > 0.0 && threshold <= 1.0);
+}
+
+bool ActivityGate::update(std::uint64_t period_count) {
+  if (period_count > max_seen_) max_seen_ = period_count;
+  // "If the current number of events is more than 20% of the maximum, we
+  // consider the corresponding profiling method active."
+  active_ = max_seen_ == 0 ||
+            static_cast<double>(period_count) >
+                threshold_ * static_cast<double>(max_seen_);
+  return active_;
+}
+
+void ActivityGate::reset() {
+  max_seen_ = 0;
+  active_ = true;
+}
+
+}  // namespace tmprof::core

@@ -1,0 +1,73 @@
+#include "core/numa_maps.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tmprof::core {
+
+namespace {
+
+struct Vma {
+  mem::VirtAddr start = 0;
+  mem::VirtAddr end = 0;  // exclusive
+  mem::PageSize size = mem::PageSize::k4K;
+  std::uint64_t pages = 0;
+  std::uint64_t tier0_pages = 0;
+  std::uint64_t tier1_pages = 0;
+  std::uint64_t abit = 0;
+  std::uint64_t trace = 0;
+};
+
+void emit(std::ostringstream& os, const Vma& vma) {
+  os << std::hex << "0x" << vma.start << std::dec << " size="
+     << (vma.end - vma.start) / 1024 << "K pages=" << vma.pages
+     << " tier0=" << vma.tier0_pages << " tier1=" << vma.tier1_pages
+     << " abit=" << vma.abit << " trace=" << vma.trace
+     << (vma.size == mem::PageSize::k2M ? " huge" : "") << '\n';
+}
+
+}  // namespace
+
+std::string numa_maps(sim::System& system, mem::Pid pid,
+                      const PageStatsStore& store) {
+  sim::Process& proc = system.process(pid);
+  std::ostringstream os;
+  Vma current;
+  bool open = false;
+  proc.page_table().walk([&](mem::VirtAddr page_va, mem::PageSize size,
+                             mem::Pte& pte) {
+    const std::uint64_t bytes = mem::page_bytes(size);
+    if (!open || page_va != current.end || size != current.size) {
+      if (open) emit(os, current);
+      current = Vma{};
+      current.start = page_va;
+      current.size = size;
+      open = true;
+    }
+    current.end = page_va + bytes;
+    ++current.pages;
+    const mem::Pfn pfn = pte.pfn();
+    if (system.phys().tier_of(pfn) == 0) ++current.tier0_pages;
+    else ++current.tier1_pages;
+    // Trace samples land anywhere inside a huge page's span; A-bit
+    // observations are recorded on the head frame only.
+    current.abit += store.desc(pfn).abit_total;
+    for (std::uint64_t i = 0; i < mem::pages_in(size); ++i) {
+      current.trace += store.desc(pfn + i).trace_total;
+    }
+  });
+  if (open) emit(os, current);
+  return os.str();
+}
+
+std::string numa_maps_all(sim::System& system, const PageStatsStore& store) {
+  std::ostringstream os;
+  for (sim::Process* proc : system.processes()) {
+    os << "==== pid " << proc->pid() << " ====\n"
+       << numa_maps(system, proc->pid(), store);
+  }
+  return os.str();
+}
+
+}  // namespace tmprof::core

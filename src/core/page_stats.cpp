@@ -1,0 +1,50 @@
+#include "core/page_stats.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tmprof::core {
+
+PageStatsStore::PageStatsStore(std::uint64_t total_frames)
+    : descs_(total_frames) {}
+
+void PageStatsStore::record_abit(mem::Pfn head, std::uint32_t epoch) {
+  TMPROF_EXPECTS(head < descs_.size());
+  PageDesc& d = descs_[head];
+  if (d.abit_total == 0) ++frames_with_abit_;
+  ++d.abit_total;
+  const bool first_this_epoch = d.last_abit_epoch != epoch;
+  d.last_abit_epoch = epoch;
+  if (first_this_epoch && d.last_trace_epoch == epoch) {
+    if (d.both_epochs == 0) ++frames_with_both_;
+    ++d.both_epochs;
+  }
+}
+
+void PageStatsStore::record_trace(mem::Pfn pfn, std::uint32_t epoch) {
+  TMPROF_EXPECTS(pfn < descs_.size());
+  PageDesc& d = descs_[pfn];
+  if (d.trace_total == 0) ++frames_with_trace_;
+  ++d.trace_total;
+  const bool first_this_epoch = d.last_trace_epoch != epoch;
+  d.last_trace_epoch = epoch;
+  if (first_this_epoch && d.last_abit_epoch == epoch) {
+    if (d.both_epochs == 0) ++frames_with_both_;
+    ++d.both_epochs;
+  }
+}
+
+const PageDesc& PageStatsStore::desc(mem::Pfn pfn) const {
+  TMPROF_EXPECTS(pfn < descs_.size());
+  return descs_[pfn];
+}
+
+void PageStatsStore::reset() {
+  std::fill(descs_.begin(), descs_.end(), PageDesc{});
+  frames_with_abit_ = 0;
+  frames_with_trace_ = 0;
+  frames_with_both_ = 0;
+}
+
+}  // namespace tmprof::core

@@ -1,0 +1,70 @@
+#include "core/pid_filter.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tmprof::core {
+
+PidFilter::PidFilter(const PidFilterConfig& config) : config_(config) {
+  TMPROF_EXPECTS(config.cpu_threshold >= 0.0 && config.cpu_threshold <= 1.0);
+  TMPROF_EXPECTS(config.mem_threshold >= 0.0 && config.mem_threshold <= 1.0);
+}
+
+std::vector<mem::Pid> PidFilter::select(
+    const std::vector<sim::Process*>& processes) {
+  // Deltas of issued ops since last evaluation approximate CPU time.
+  std::uint64_t total_delta = 0;
+  std::uint64_t total_rss = 0;
+  std::vector<std::uint64_t> deltas(processes.size(), 0);
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    const sim::Process* p = processes[i];
+    std::uint64_t last = 0;
+    for (const auto& [pid, ops] : last_ops_) {
+      if (pid == p->pid()) last = ops;
+    }
+    deltas[i] = p->ops_issued() - last;
+    total_delta += deltas[i];
+    total_rss += p->rss_pages();
+  }
+
+  struct Candidate {
+    mem::Pid pid;
+    double combined;
+  };
+  std::vector<Candidate> kept;
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    const sim::Process* p = processes[i];
+    const double cpu = total_delta == 0
+                           ? 0.0
+                           : static_cast<double>(deltas[i]) /
+                                 static_cast<double>(total_delta);
+    const double mem = total_rss == 0
+                           ? 0.0
+                           : static_cast<double>(p->rss_pages()) /
+                                 static_cast<double>(total_rss);
+    if (cpu >= config_.cpu_threshold || mem >= config_.mem_threshold) {
+      kept.push_back(Candidate{p->pid(), cpu + mem});
+    }
+  }
+  if (config_.restrict_top_n > 0 && kept.size() > config_.restrict_top_n) {
+    std::sort(kept.begin(), kept.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.combined > b.combined;
+              });
+    kept.resize(config_.restrict_top_n);
+  }
+
+  last_ops_.clear();
+  for (const sim::Process* p : processes) {
+    last_ops_.emplace_back(p->pid(), p->ops_issued());
+  }
+
+  std::vector<mem::Pid> pids;
+  pids.reserve(kept.size());
+  for (const Candidate& c : kept) pids.push_back(c.pid);
+  std::sort(pids.begin(), pids.end());
+  return pids;
+}
+
+}  // namespace tmprof::core

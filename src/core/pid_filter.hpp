@@ -1,0 +1,42 @@
+#pragma once
+/// \file pid_filter.hpp
+/// Process filtering — TMP's second overhead optimization (Section III-B4).
+/// A-bit collection cost scales with the number of page tables walked, so
+/// the daemon only tracks processes using at least 5% CPU or 10% of memory,
+/// re-evaluated once per second.
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr.hpp"
+#include "sim/process.hpp"
+
+namespace tmprof::core {
+
+struct PidFilterConfig {
+  double cpu_threshold = 0.05;  ///< min share of recent CPU (issued ops)
+  double mem_threshold = 0.10;  ///< min share of resident memory
+  /// Restrictive mode keeps only the top-N processes by combined share,
+  /// bounding overhead regardless of how many qualify (0 = unlimited).
+  std::uint32_t restrict_top_n = 0;
+};
+
+class PidFilter {
+ public:
+  explicit PidFilter(const PidFilterConfig& config = {});
+
+  /// Select which processes to profile. CPU share is computed from each
+  /// process's ops issued since the previous call; memory share from RSS.
+  [[nodiscard]] std::vector<mem::Pid> select(
+      const std::vector<sim::Process*>& processes);
+
+  [[nodiscard]] const PidFilterConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  PidFilterConfig config_;
+  std::vector<std::pair<mem::Pid, std::uint64_t>> last_ops_;
+};
+
+}  // namespace tmprof::core

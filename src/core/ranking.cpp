@@ -1,0 +1,62 @@
+#include "core/ranking.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tmprof::core {
+
+std::vector<PageRank> build_ranking(const EpochObservation& obs,
+                                    FusionMode mode, double trace_weight) {
+  std::unordered_map<PageKey, PageRank, PageKeyHash> merged;
+  merged.reserve(obs.abit.size() + obs.trace.size());
+  if (mode != FusionMode::TraceOnly) {
+    for (const auto& [key, count] : obs.abit) {
+      PageRank& pr = merged[key];
+      pr.key = key;
+      pr.abit = count;
+    }
+  }
+  if (mode != FusionMode::AbitOnly) {
+    for (const auto& [key, count] : obs.trace) {
+      PageRank& pr = merged[key];
+      pr.key = key;
+      pr.trace = count;
+    }
+  }
+  // Write evidence rides along without contributing to the fused rank;
+  // write-aware policies read it from the PageRank entries.
+  for (const auto& [key, count] : obs.writes) {
+    const auto it = merged.find(key);
+    if (it != merged.end()) it->second.writes = count;
+  }
+  std::vector<PageRank> ranked;
+  ranked.reserve(merged.size());
+  for (auto& [key, pr] : merged) {
+    switch (mode) {
+      case FusionMode::Sum:
+      case FusionMode::AbitOnly:
+      case FusionMode::TraceOnly:
+        pr.rank = static_cast<std::uint64_t>(pr.abit) + pr.trace;
+        break;
+      case FusionMode::Max:
+        pr.rank = std::max<std::uint64_t>(pr.abit, pr.trace);
+        break;
+      case FusionMode::Weighted:
+        TMPROF_EXPECTS(trace_weight >= 0.0);
+        pr.rank = pr.abit + static_cast<std::uint64_t>(
+                                static_cast<double>(pr.trace) * trace_weight);
+        break;
+    }
+    ranked.push_back(pr);
+  }
+  // Descending rank; ties broken by key for determinism.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const PageRank& a, const PageRank& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              return a.key < b.key;
+            });
+  return ranked;
+}
+
+}  // namespace tmprof::core

@@ -1,0 +1,73 @@
+#pragma once
+/// \file ranking.hpp
+/// Hotness ranking — Step 1 of the TMP-powered placement mechanism. An
+/// epoch's per-page observations from each profiling source are fused into
+/// a single rank; the paper uses a plain sum because Fig. 2 shows the two
+/// event populations have comparable magnitude. Alternative fusion modes
+/// are provided for the ablation benches.
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/page_key.hpp"
+#include "mem/addr.hpp"
+
+namespace tmprof::core {
+
+/// Per-page observations of one epoch, as collected by the TMP driver.
+struct EpochObservation {
+  std::uint32_t epoch = 0;
+  /// A-bit observations per page (head-keyed; 1 per scan that saw A set).
+  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> abit;
+  /// Trace samples per page (head-keyed; huge pages aggregate their 4 KiB
+  /// sample addresses).
+  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> trace;
+  /// Dirty-page log entries per page (PML; only populated when the driver
+  /// enables Page-Modification Logging). Counts D-bit 0→1 transitions, a
+  /// write-history signal for NVM-write-averse policies.
+  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> writes;
+
+  void clear() {
+    abit.clear();
+    trace.clear();
+    writes.clear();
+  }
+};
+
+/// How to fuse the two sources into one rank.
+enum class FusionMode : std::uint8_t {
+  Sum,        ///< abit + trace (the paper's choice)
+  AbitOnly,   ///< "piecemeal" baseline 1
+  TraceOnly,  ///< "piecemeal" baseline 2
+  Max,        ///< max(abit, trace)
+  Weighted,   ///< abit + weight * trace
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FusionMode mode) noexcept {
+  switch (mode) {
+    case FusionMode::Sum: return "sum";
+    case FusionMode::AbitOnly: return "abit-only";
+    case FusionMode::TraceOnly: return "trace-only";
+    case FusionMode::Max: return "max";
+    case FusionMode::Weighted: return "weighted";
+  }
+  return "?";
+}
+
+/// One ranked page.
+struct PageRank {
+  PageKey key;
+  std::uint64_t rank = 0;
+  std::uint32_t abit = 0;
+  std::uint32_t trace = 0;
+  std::uint32_t writes = 0;  ///< PML evidence (0 unless PML enabled)
+};
+
+/// Fuse an epoch's observations into a descending-rank list.
+/// \param trace_weight  only used by FusionMode::Weighted.
+[[nodiscard]] std::vector<PageRank> build_ranking(
+    const EpochObservation& obs, FusionMode mode, double trace_weight = 1.0);
+
+}  // namespace tmprof::core

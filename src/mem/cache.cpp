@@ -1,0 +1,143 @@
+#include "mem/cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::mem {
+
+namespace {
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+CacheLevel::CacheLevel(std::uint64_t size_bytes, std::uint32_t ways)
+    : ways_(ways) {
+  TMPROF_EXPECTS(ways >= 1);
+  TMPROF_EXPECTS(size_bytes >= kLineSize * ways);
+  const std::uint64_t lines = size_bytes / kLineSize;
+  TMPROF_EXPECTS(lines % ways == 0);
+  const std::uint64_t sets = lines / ways;
+  TMPROF_EXPECTS(is_pow2(sets));
+  sets_ = static_cast<std::uint32_t>(sets);
+  ways_storage_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+bool CacheLevel::access(PhysAddr paddr, bool is_store) {
+  const std::uint64_t line = line_of(paddr);
+  Way* base = &ways_storage_[set_of(line) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      way.lru = ++tick_;
+      way.dirty = way.dirty || is_store;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CacheLevel::fill(PhysAddr paddr, std::uint32_t owner) {
+  const std::uint64_t line = line_of(paddr);
+  Way* base = &ways_storage_[set_of(line) * ways_];
+  Way* victim = &base[0];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) return false;  // already resident
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  const bool evicted = victim->valid;
+  if (evicted && victim->dirty) ++dirty_evictions_;
+  victim->tag = line;
+  victim->valid = true;
+  victim->dirty = false;
+  victim->owner = owner;
+  victim->lru = ++tick_;
+  return evicted;
+}
+
+std::uint64_t CacheLevel::occupancy_lines(std::uint32_t owner) const {
+  std::uint64_t lines = 0;
+  for (const Way& way : ways_storage_) {
+    if (way.valid && way.owner == owner) ++lines;
+  }
+  return lines;
+}
+
+bool CacheLevel::contains(PhysAddr paddr) const {
+  const std::uint64_t line = line_of(paddr);
+  const Way* base = &ways_storage_[set_of(line) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == line) return true;
+  }
+  return false;
+}
+
+void CacheLevel::flush() {
+  for (Way& way : ways_storage_) way.valid = false;
+}
+
+CacheHierarchy::CacheHierarchy(std::uint64_t l1_bytes, std::uint32_t l1_ways,
+                               std::uint64_t l2_bytes, std::uint32_t l2_ways,
+                               CacheLevel* llc, bool enable_prefetch)
+    : l1_(l1_bytes, l1_ways),
+      l2_(l2_bytes, l2_ways),
+      llc_(llc),
+      prefetch_(enable_prefetch) {
+  TMPROF_EXPECTS(llc != nullptr);
+}
+
+CacheHierarchy CacheHierarchy::make_default(CacheLevel* llc,
+                                            bool enable_prefetch) {
+  return CacheHierarchy(32ULL << 10, 8, 512ULL << 10, 8, llc, enable_prefetch);
+}
+
+CacheAccess CacheHierarchy::access(PhysAddr paddr, bool is_store,
+                                   std::uint32_t owner) {
+  CacheAccess result;
+  if (l1_.access(paddr, is_store)) {
+    result.source = DataSource::L1;
+    return result;
+  }
+  if (l2_.access(paddr, is_store)) {
+    l1_.fill(paddr);
+    result.source = DataSource::L2;
+    return result;
+  }
+  if (llc_->access(paddr, is_store)) {
+    l2_.fill(paddr);
+    l1_.fill(paddr);
+    result.source = DataSource::LLC;
+    return result;
+  }
+  // Demand miss all the way to memory: fill every level.
+  result.llc_miss = true;
+  result.source = DataSource::MemTier1;  // caller refines the tier
+  llc_->fill(paddr, owner);
+  l2_.fill(paddr);
+  l1_.fill(paddr);
+  if (prefetch_) {
+    // Sequential next-line prefetch into the LLC. Only trigger on a
+    // different demand line than last time to avoid self-feeding on
+    // repeated misses to one line.
+    const std::uint64_t line = line_of(paddr);
+    if (line != last_demand_line_) {
+      last_demand_line_ = line;
+      const PhysAddr next = paddr + kLineSize;
+      if (!llc_->contains(next)) {
+        llc_->fill(next, owner);  // prefetches bill the triggering RMID
+        ++prefetch_fills_;
+        result.prefetch_issued = true;
+      }
+    }
+  }
+  return result;
+}
+
+void CacheHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+}
+
+}  // namespace tmprof::mem

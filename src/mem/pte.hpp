@@ -1,0 +1,79 @@
+#pragma once
+/// \file pte.hpp
+/// Page-table entry layout. Mirrors x86-64 semantics for the bits the paper
+/// relies on: present (P), writable (W), accessed (A), dirty (D), page-size
+/// (PS, identifies a 2 MiB leaf), and the software-reserved bit 51 that
+/// BadgerTrap uses to *poison* translations.
+
+#include <cstdint>
+
+#include "mem/addr.hpp"
+
+namespace tmprof::mem {
+
+/// A single 64-bit page-table entry. Value type; the PageTable owns storage.
+class Pte {
+ public:
+  constexpr Pte() noexcept = default;
+
+  [[nodiscard]] constexpr bool present() const noexcept { return get(kPresent); }
+  [[nodiscard]] constexpr bool writable() const noexcept { return get(kWrite); }
+  [[nodiscard]] constexpr bool accessed() const noexcept { return get(kAccessed); }
+  [[nodiscard]] constexpr bool dirty() const noexcept { return get(kDirty); }
+  [[nodiscard]] constexpr bool huge() const noexcept { return get(kHuge); }
+  [[nodiscard]] constexpr bool poisoned() const noexcept { return get(kPoison); }
+
+  constexpr void set_present(bool v) noexcept { set(kPresent, v); }
+  constexpr void set_writable(bool v) noexcept { set(kWrite, v); }
+  constexpr void set_accessed(bool v) noexcept { set(kAccessed, v); }
+  constexpr void set_dirty(bool v) noexcept { set(kDirty, v); }
+  constexpr void set_huge(bool v) noexcept { set(kHuge, v); }
+  constexpr void set_poisoned(bool v) noexcept { set(kPoison, v); }
+
+  /// Atomically-in-spirit test-and-clear of the accessed bit
+  /// (TestClearPageReferenced in the paper's A-bit driver).
+  constexpr bool test_clear_accessed() noexcept {
+    const bool was = accessed();
+    set_accessed(false);
+    return was;
+  }
+
+  [[nodiscard]] constexpr Pfn pfn() const noexcept {
+    return (bits_ >> kPfnShift) & kPfnMask;
+  }
+  constexpr void set_pfn(Pfn pfn) noexcept {
+    bits_ = (bits_ & ~(kPfnMask << kPfnShift)) |
+            ((pfn & kPfnMask) << kPfnShift);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return bits_; }
+
+  [[nodiscard]] constexpr PageSize page_size() const noexcept {
+    return huge() ? PageSize::k2M : PageSize::k4K;
+  }
+
+ private:
+  // Bit positions follow the x86-64 PTE format.
+  static constexpr unsigned kPresent = 0;
+  static constexpr unsigned kWrite = 1;
+  static constexpr unsigned kAccessed = 5;
+  static constexpr unsigned kDirty = 6;
+  static constexpr unsigned kHuge = 7;   // PS bit at PD level
+  static constexpr unsigned kPoison = 51;
+  static constexpr unsigned kPfnShift = 12;
+  static constexpr std::uint64_t kPfnMask = (1ULL << 38) - 1;  // bits 12..49
+
+  [[nodiscard]] constexpr bool get(unsigned bit) const noexcept {
+    return (bits_ >> bit) & 1U;
+  }
+  constexpr void set(unsigned bit, bool v) noexcept {
+    if (v) bits_ |= (1ULL << bit);
+    else bits_ &= ~(1ULL << bit);
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+static_assert(sizeof(Pte) == 8, "PTE must stay a single machine word");
+
+}  // namespace tmprof::mem

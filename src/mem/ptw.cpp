@@ -1,0 +1,36 @@
+#include "mem/ptw.hpp"
+
+namespace tmprof::mem {
+
+WalkResult PageTableWalker::walk(PageTable& table, VirtAddr vaddr,
+                                 bool is_store, bool honor_poison) {
+  WalkResult result;
+  PteRef ref = table.resolve(vaddr);
+  if (!ref) {
+    result.status = WalkResult::Status::NotPresent;
+    // A full miss walks all four levels before discovering the hole.
+    result.levels = 4;
+    return result;
+  }
+  result.pte = ref.pte;
+  result.size = ref.size;
+  result.page_va = ref.page_va;
+  result.levels = ref.size == PageSize::k4K ? 4U : 3U;
+  if (honor_poison && ref.pte->poisoned()) {
+    result.status = WalkResult::Status::Poisoned;
+    return result;
+  }
+  result.status = WalkResult::Status::Ok;
+  result.pfn = ref.pte->pfn();
+  if (!ref.pte->accessed()) {
+    ref.pte->set_accessed(true);
+    result.set_accessed = true;
+  }
+  if (is_store && !ref.pte->dirty()) {
+    ref.pte->set_dirty(true);
+    result.set_dirty = true;
+  }
+  return result;
+}
+
+}  // namespace tmprof::mem

@@ -1,0 +1,46 @@
+#pragma once
+/// \file ptw.hpp
+/// Hardware page-table walker model. The PTW is the *only* agent that sets
+/// the A bit, which is what gives A-bit profiling its TLB-miss-only
+/// visibility (Section II-B). D bits are set on stores even on TLB hits —
+/// that path is handled by the access engine, not here.
+
+#include <cstdint>
+
+#include "mem/addr.hpp"
+#include "mem/page_table.hpp"
+
+namespace tmprof::mem {
+
+/// Outcome of one hardware walk.
+struct WalkResult {
+  enum class Status : std::uint8_t {
+    Ok,          ///< translation found
+    NotPresent,  ///< page fault: no mapping
+    Poisoned,    ///< protection fault: BadgerTrap reserved-bit set
+  };
+
+  Status status = Status::NotPresent;
+  Pte* pte = nullptr;
+  PageSize size = PageSize::k4K;
+  VirtAddr page_va = 0;
+  Pfn pfn = 0;            ///< head frame of the page (4 KiB granularity)
+  bool set_accessed = false;  ///< this walk flipped A from 0 to 1
+  bool set_dirty = false;     ///< this walk flipped D from 0 to 1
+  std::uint32_t levels = 0;   ///< radix levels touched (walk cost)
+};
+
+/// Stateless walker; per-walk statistics are kept by the caller's PMU.
+class PageTableWalker {
+ public:
+  /// Walk `table` for `vaddr`. On success sets A (and D for stores) in the
+  /// leaf PTE. If the PTE is poisoned the walk reports a protection fault
+  /// and does NOT touch A/D (the fault fires before retirement).
+  ///
+  /// \param honor_poison  BadgerTrap's handler re-walks with this false to
+  ///                      install the translation it just unpoisoned.
+  static WalkResult walk(PageTable& table, VirtAddr vaddr, bool is_store,
+                         bool honor_poison = true);
+};
+
+}  // namespace tmprof::mem

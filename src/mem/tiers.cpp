@@ -1,0 +1,131 @@
+#include "mem/tiers.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::mem {
+
+PhysMemory::PhysMemory(std::vector<TierSpec> tiers) {
+  TMPROF_EXPECTS(!tiers.empty());
+  Pfn base = 0;
+  for (auto& spec : tiers) {
+    TMPROF_EXPECTS(spec.frames > 0);
+    TierState state;
+    state.spec = std::move(spec);
+    state.base = base;
+    state.low_bump = base;
+    // Huge pages are carved downward from the tier top; the floor starts at
+    // the (possibly unaligned) top and each carve aligns itself.
+    const Pfn top = base + state.spec.frames;
+    state.high_bump = top;
+    base = top;
+    tiers_.push_back(std::move(state));
+  }
+  total_frames_ = base;
+  frames_.resize(total_frames_);
+}
+
+const TierSpec& PhysMemory::tier(TierId id) const {
+  TMPROF_EXPECTS(id < tiers_.size());
+  return tiers_[id].spec;
+}
+
+TierId PhysMemory::tier_of(Pfn pfn) const {
+  TMPROF_EXPECTS(pfn < total_frames_);
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (pfn < tiers_[i].base + tiers_[i].spec.frames) {
+      return static_cast<TierId>(i);
+    }
+  }
+  TMPROF_ASSERT(false);
+  return 0;
+}
+
+std::optional<Pfn> PhysMemory::take(TierState& tier, PageSize size) {
+  if (size == PageSize::k4K) {
+    if (!tier.free_4k.empty()) {
+      const Pfn pfn = tier.free_4k.back();
+      tier.free_4k.pop_back();
+      return pfn;
+    }
+    // The low bump may not cross into the huge-page region carved above.
+    if (tier.low_bump < tier.high_bump) return tier.low_bump++;
+    return std::nullopt;
+  }
+  if (!tier.free_2m.empty()) {
+    const Pfn pfn = tier.free_2m.back();
+    tier.free_2m.pop_back();
+    return pfn;
+  }
+  // Carve a 512-aligned chunk just below the current huge-page floor.
+  if (tier.high_bump >= kPagesPerHuge) {
+    const Pfn candidate = (tier.high_bump - kPagesPerHuge) &
+                          ~(kPagesPerHuge - 1);
+    if (candidate >= tier.low_bump && candidate >= tier.base) {
+      tier.high_bump = candidate;
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Pfn> PhysMemory::alloc(TierId preferred, Pid pid,
+                                     VirtAddr page_va, PageSize size) {
+  for (std::size_t i = preferred; i < tiers_.size(); ++i) {
+    if (auto pfn = alloc_exact(static_cast<TierId>(i), pid, page_va, size)) {
+      return pfn;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Pfn> PhysMemory::alloc_exact(TierId tier_id, Pid pid,
+                                           VirtAddr page_va, PageSize size) {
+  TMPROF_EXPECTS(tier_id < tiers_.size());
+  TierState& tier = tiers_[tier_id];
+  const auto head = take(tier, size);
+  if (!head) return std::nullopt;
+  const std::uint64_t span = pages_in(size);
+  for (std::uint64_t i = 0; i < span; ++i) {
+    FrameInfo& info = frames_[*head + i];
+    TMPROF_ASSERT(!info.allocated);
+    info.pid = pid;
+    info.page_va = page_va;
+    info.size = size;
+    info.allocated = true;
+    info.head = i == 0;
+  }
+  tier.used += span;
+  return head;
+}
+
+void PhysMemory::free(Pfn head) {
+  TMPROF_EXPECTS(head < total_frames_);
+  FrameInfo& info = frames_[head];
+  TMPROF_EXPECTS(info.allocated && info.head);
+  const PageSize size = info.size;
+  const std::uint64_t span = pages_in(size);
+  for (std::uint64_t i = 0; i < span; ++i) {
+    frames_[head + i] = FrameInfo{};
+  }
+  TierState& tier = tiers_[tier_of(head)];
+  tier.used -= span;
+  if (size == PageSize::k4K) tier.free_4k.push_back(head);
+  else tier.free_2m.push_back(head);
+}
+
+const FrameInfo& PhysMemory::frame(Pfn pfn) const {
+  TMPROF_EXPECTS(pfn < total_frames_);
+  return frames_[pfn];
+}
+
+std::uint64_t PhysMemory::free_frames(TierId tier) const {
+  TMPROF_EXPECTS(tier < tiers_.size());
+  return tiers_[tier].spec.frames - tiers_[tier].used;
+}
+
+std::uint64_t PhysMemory::used_frames(TierId tier) const {
+  TMPROF_EXPECTS(tier < tiers_.size());
+  return tiers_[tier].used;
+}
+
+}  // namespace tmprof::mem

@@ -1,0 +1,95 @@
+#pragma once
+/// \file tiers.hpp
+/// Tiered physical memory: a contiguous physical frame space partitioned
+/// into tiers (tier 1 = fast DRAM, tier 2 = slow NVM). Owns the frame
+/// allocator and the frame → (pid, vaddr) reverse map that the TMP driver's
+/// phys_to_page() analog and the page mover rely on.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/addr.hpp"
+#include "util/time.hpp"
+
+namespace tmprof::mem {
+
+/// Index of a memory tier; 0 is the fastest.
+using TierId = std::uint8_t;
+
+/// Static description of one tier.
+struct TierSpec {
+  std::string name;
+  std::uint64_t frames = 0;          ///< capacity in 4 KiB frames
+  util::SimNs read_latency_ns = 0;   ///< loaded access latency
+  util::SimNs write_latency_ns = 0;
+};
+
+/// Per-frame ownership record (the simulator's struct page).
+struct FrameInfo {
+  Pid pid = 0;
+  VirtAddr page_va = 0;      ///< base VA of the mapping using this frame
+  PageSize size = PageSize::k4K;
+  bool allocated = false;
+  bool head = false;         ///< head frame of a (possibly huge) allocation
+};
+
+/// Physical memory across all tiers.
+///
+/// 4 KiB frames are handed out from the bottom of each tier and 2 MiB
+/// chunks from the top; the two regions never interleave, which keeps huge
+/// allocations contiguous without a buddy allocator.
+class PhysMemory {
+ public:
+  explicit PhysMemory(std::vector<TierSpec> tiers);
+
+  [[nodiscard]] std::size_t tier_count() const noexcept {
+    return tiers_.size();
+  }
+  [[nodiscard]] const TierSpec& tier(TierId id) const;
+  [[nodiscard]] std::uint64_t total_frames() const noexcept {
+    return total_frames_;
+  }
+
+  /// Which tier a frame belongs to.
+  [[nodiscard]] TierId tier_of(Pfn pfn) const;
+
+  /// Allocate a page of `size` from `preferred` tier, falling back to the
+  /// next slower tiers if full (first-touch behavior). Returns the head PFN,
+  /// or nullopt if all tiers are exhausted.
+  std::optional<Pfn> alloc(TierId preferred, Pid pid, VirtAddr page_va,
+                           PageSize size);
+
+  /// Allocate strictly from `tier` (no fallback); used by the page mover.
+  std::optional<Pfn> alloc_exact(TierId tier, Pid pid, VirtAddr page_va,
+                                 PageSize size);
+
+  /// Release a previously allocated page (head PFN).
+  void free(Pfn head);
+
+  /// Frame ownership lookup (phys_to_page analog).
+  [[nodiscard]] const FrameInfo& frame(Pfn pfn) const;
+
+  [[nodiscard]] std::uint64_t free_frames(TierId tier) const;
+  [[nodiscard]] std::uint64_t used_frames(TierId tier) const;
+
+ private:
+  struct TierState {
+    TierSpec spec;
+    Pfn base = 0;                ///< first frame of the tier
+    Pfn low_bump = 0;            ///< next never-used 4 KiB frame
+    Pfn high_bump = 0;           ///< top boundary for 2 MiB carving
+    std::vector<Pfn> free_4k;    ///< recycled 4 KiB frames
+    std::vector<Pfn> free_2m;    ///< recycled 2 MiB head frames
+    std::uint64_t used = 0;      ///< allocated 4 KiB-frame count
+  };
+
+  std::optional<Pfn> take(TierState& tier, PageSize size);
+
+  std::vector<TierState> tiers_;
+  std::vector<FrameInfo> frames_;
+  std::uint64_t total_frames_ = 0;
+};
+
+}  // namespace tmprof::mem

@@ -1,0 +1,84 @@
+#include "monitors/badgertrap.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::monitors {
+
+BadgerTrap::BadgerTrap(const BadgerTrapConfig& config) : config_(config) {}
+
+void BadgerTrap::poison(mem::Pid pid, mem::PageTable& table, mem::Tlb& tlb,
+                        mem::VirtAddr page_va, bool hot) {
+  mem::PteRef ref = table.resolve(page_va);
+  TMPROF_EXPECTS(ref && ref.page_va == page_va);
+  ref.pte->set_poisoned(true);
+  // Flush so the next access takes a hardware walk and faults.
+  tlb.invalidate_page(pid, page_va, ref.size);
+  PageState& state = pages_[PageKey{pid, page_va}];
+  state.hot = hot;
+  state.armed = true;
+}
+
+void BadgerTrap::unpoison(mem::Pid pid, mem::PageTable& table,
+                          mem::VirtAddr page_va) {
+  mem::PteRef ref = table.resolve(page_va);
+  TMPROF_EXPECTS(ref && ref.page_va == page_va);
+  ref.pte->set_poisoned(false);
+  pages_.erase(PageKey{pid, page_va});
+}
+
+util::SimNs BadgerTrap::handle_fault(mem::Pid pid, mem::PageTable& table,
+                                     mem::Tlb& tlb, mem::VirtAddr vaddr,
+                                     bool is_store) {
+  // Re-walk ignoring the poison to get the real translation; this also sets
+  // A/D exactly as the original access would have (the handler "unpoisons,
+  // installs a valid translation, then repoisons" — net PTE effect is only
+  // on A/D bits).
+  mem::WalkResult walk =
+      mem::PageTableWalker::walk(table, vaddr, is_store, /*honor_poison=*/false);
+  TMPROF_ASSERT(walk.status == mem::WalkResult::Status::Ok);
+  auto it = pages_.find(PageKey{pid, walk.page_va});
+  TMPROF_ASSERT(it != pages_.end());
+  it->second.faults += 1;
+  ++total_faults_;
+  if (config_.unpoison_on_fault) {
+    // AutoNUMA semantics: the hint fault restores normal access; only the
+    // next protect pass re-arms the page.
+    walk.pte->set_poisoned(false);
+    it->second.armed = false;
+  }
+  // Install the translation so execution proceeds without repeated faults
+  // until the TLB entry is evicted (or refresh() flushes it again).
+  tlb.fill(pid, walk.page_va, walk.size, walk.pte, walk.pte->dirty());
+  util::SimNs latency = config_.handler_cost_ns + config_.fault_latency_ns;
+  if (it->second.hot) latency += config_.hot_extra_latency_ns;
+  injected_latency_ns_ += latency;
+  return latency;
+}
+
+void BadgerTrap::refresh(
+    std::unordered_map<mem::Pid, mem::PageTable*>& tables, mem::Tlb& tlb) {
+  for (auto& [key, state] : pages_) {
+    const auto table_it = tables.find(key.pid);
+    if (table_it == tables.end()) continue;
+    mem::PteRef ref = table_it->second->resolve(key.page_va);
+    if (!ref) continue;
+    // Re-arm pages whose fault already cleared the poison.
+    ref.pte->set_poisoned(true);
+    state.armed = true;
+    tlb.invalidate_page(key.pid, key.page_va, ref.size);
+  }
+}
+
+bool BadgerTrap::is_poisoned(mem::Pid pid,
+                             mem::VirtAddr page_va) const noexcept {
+  const auto it = pages_.find(PageKey{pid, page_va});
+  return it != pages_.end() && it->second.armed;
+}
+
+std::uint64_t BadgerTrap::fault_count(mem::Pid pid,
+                                      mem::VirtAddr page_va) const {
+  const auto it = pages_.find(PageKey{pid, page_va});
+  return it == pages_.end() ? 0 : it->second.faults;
+}
+
+}  // namespace tmprof::monitors

@@ -1,0 +1,67 @@
+#pragma once
+/// \file event.hpp
+/// Microarchitectural event types that hardware monitors observe, and the
+/// observer interface the access engine publishes them through. These model
+/// the signals silicon exposes (retirement stream, load/store completion,
+/// D-bit transitions) — a monitor sees nothing else.
+
+#include <cstdint>
+
+#include "mem/addr.hpp"
+#include "mem/cache.hpp"
+#include "mem/tlb.hpp"
+#include "util/time.hpp"
+
+namespace tmprof::monitors {
+
+/// One completed memory micro-op as visible to tagging hardware.
+struct MemOpEvent {
+  util::SimNs time = 0;
+  std::uint32_t core = 0;
+  mem::Pid pid = 0;
+  std::uint64_t ip = 0;        ///< synthetic instruction pointer
+  mem::VirtAddr vaddr = 0;
+  mem::PhysAddr paddr = 0;
+  bool is_store = false;
+  mem::DataSource source = mem::DataSource::L1;
+  mem::TlbHit tlb = mem::TlbHit::L1;
+  mem::PageSize page_size = mem::PageSize::k4K;
+};
+
+/// Hardware-event observer. The engine invokes these inline with execution;
+/// a monitor must therefore be cheap on the common path (that constraint is
+/// the whole subject of the paper).
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  /// `uops` micro-ops retired on `core` (includes the memory op's uop).
+  virtual void on_retire(std::uint32_t core, std::uint64_t uops,
+                         util::SimNs now) {
+    (void)core; (void)uops; (void)now;
+  }
+
+  /// A memory micro-op completed.
+  virtual void on_mem_op(const MemOpEvent& event) { (void)event; }
+
+  /// A D bit transitioned 0 → 1 for the page holding `event.paddr`
+  /// (the hook Page-Modification Logging attaches to).
+  virtual void on_dirty_set(const MemOpEvent& event) { (void)event; }
+};
+
+/// A decoded trace sample, common to the IBS and PEBS models. Field set
+/// follows Section III-B1: timestamp, CPU, PID, IP, virtual and physical
+/// data address, access type, and cache-miss status.
+struct TraceSample {
+  util::SimNs time = 0;
+  std::uint32_t core = 0;
+  mem::Pid pid = 0;
+  std::uint64_t ip = 0;
+  mem::VirtAddr vaddr = 0;
+  mem::PhysAddr paddr = 0;
+  bool is_store = false;
+  mem::DataSource source = mem::DataSource::L1;
+  bool tlb_miss = false;
+};
+
+}  // namespace tmprof::monitors

@@ -1,0 +1,83 @@
+#include "monitors/ibs.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::monitors {
+
+IbsMonitor::IbsMonitor(const IbsConfig& config, std::uint32_t cores,
+                       std::uint64_t seed)
+    : config_(config), rng_(seed), countdown_(cores), tag_armed_(cores, false) {
+  TMPROF_EXPECTS(config.sample_period >= 16);
+  TMPROF_EXPECTS(config.buffer_capacity >= 1);
+  TMPROF_EXPECTS(cores >= 1);
+  buffer_.reserve(config.buffer_capacity);
+  for (std::uint32_t c = 0; c < cores; ++c) reload(c);
+}
+
+void IbsMonitor::reload(std::uint32_t core) {
+  std::int64_t period = static_cast<std::int64_t>(config_.sample_period);
+  if (config_.randomize) {
+    // Randomize the low 1/16 of the period, like IbsOpCurCnt randomization.
+    const std::uint64_t jitter_span = config_.sample_period / 16 + 1;
+    period += static_cast<std::int64_t>(rng_.below(jitter_span)) -
+              static_cast<std::int64_t>(jitter_span / 2);
+    if (period < 1) period = 1;
+  }
+  countdown_[core] = period;
+}
+
+void IbsMonitor::on_retire(std::uint32_t core, std::uint64_t uops,
+                           util::SimNs now) {
+  (void)now;
+  TMPROF_ASSERT(core < countdown_.size());
+  countdown_[core] -= static_cast<std::int64_t>(uops);
+  if (countdown_[core] > 0) return;
+  reload(core);
+  if (tag_armed_[core]) {
+    // Previous tag never matched a memory op before the next fired: lost.
+    ++tags_lost_;
+  }
+  // The tagged uop is one of the `uops` just retired. Only one of them is
+  // the memory micro-op the upcoming on_mem_op() call describes, so arm the
+  // tag with probability 1/uops; otherwise the tag hit a non-memory uop.
+  if (uops <= 1 || rng_.below(uops) == 0) {
+    tag_armed_[core] = true;
+  } else {
+    ++tags_lost_;
+  }
+}
+
+void IbsMonitor::on_mem_op(const MemOpEvent& event) {
+  TMPROF_ASSERT(event.core < tag_armed_.size());
+  if (!tag_armed_[event.core]) return;
+  tag_armed_[event.core] = false;
+  TraceSample sample;
+  sample.time = event.time;
+  sample.core = event.core;
+  sample.pid = event.pid;
+  sample.ip = event.ip;
+  sample.vaddr = event.vaddr;
+  sample.paddr = event.paddr;
+  sample.is_store = event.is_store;
+  sample.source = event.source;
+  sample.tlb_miss = event.tlb == mem::TlbHit::Miss;
+  buffer_.push_back(sample);
+  ++samples_taken_;
+  if (buffer_.size() >= config_.buffer_capacity) {
+    ++interrupts_;
+    drain();
+  }
+}
+
+void IbsMonitor::drain() {
+  if (buffer_.empty()) return;
+  if (drain_) drain_(std::span<const TraceSample>(buffer_));
+  buffer_.clear();
+}
+
+util::SimNs IbsMonitor::overhead_ns() const noexcept {
+  return samples_taken_ * config_.cost_per_record_ns +
+         interrupts_ * config_.cost_per_interrupt_ns;
+}
+
+}  // namespace tmprof::monitors

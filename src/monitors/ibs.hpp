@@ -1,0 +1,89 @@
+#pragma once
+/// \file ibs.hpp
+/// AMD Instruction Based Sampling model (op sampling). Hardware tags every
+/// Nth retired micro-op; if the tagged uop is a memory op, a record with the
+/// load/store addresses and data source is produced. Tags landing on
+/// non-memory uops are lost samples, exactly as on real IBS.
+///
+/// Sampling-rate naming matches the paper: the *default* rate is one tag
+/// per 262,144 uops; "4x" and "8x" divide that period by 4 and 8.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "monitors/event.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace tmprof::monitors {
+
+/// Tuning knobs of the IBS driver (Section III-B1).
+struct IbsConfig {
+  /// Tag one micro-op out of this many. Paper default: 262144.
+  std::uint64_t sample_period = 262144;
+  /// Randomize the low bits of each countdown reload (hardware does this to
+  /// avoid lock-step with loops).
+  bool randomize = true;
+  /// Ring-buffer capacity in records; a full buffer raises an interrupt.
+  std::uint32_t buffer_capacity = 4096;
+  /// Cost model: handler work per drained record and per interrupt. Defaults
+  /// chosen so the paper's <5% overhead at 4x reproduces.
+  util::SimNs cost_per_record_ns = 400;
+  util::SimNs cost_per_interrupt_ns = 4000;
+
+  [[nodiscard]] static IbsConfig with_period(std::uint64_t period) {
+    IbsConfig cfg;
+    cfg.sample_period = period;
+    return cfg;
+  }
+  [[nodiscard]] static IbsConfig paper_default() { return with_period(262144); }
+  [[nodiscard]] static IbsConfig paper_4x() { return with_period(262144 / 4); }
+  [[nodiscard]] static IbsConfig paper_8x() { return with_period(262144 / 8); }
+};
+
+/// Per-system IBS monitor (one tagging counter per core).
+class IbsMonitor final : public AccessObserver {
+ public:
+  using DrainFn = std::function<void(std::span<const TraceSample>)>;
+
+  IbsMonitor(const IbsConfig& config, std::uint32_t cores,
+             std::uint64_t seed = 0x1b5);
+
+  /// Install the buffer-full interrupt handler (the TMP driver's drain).
+  void set_drain(DrainFn drain) { drain_ = std::move(drain); }
+
+  void on_retire(std::uint32_t core, std::uint64_t uops,
+                 util::SimNs now) override;
+  void on_mem_op(const MemOpEvent& event) override;
+
+  /// Explicitly drain buffered records (periodic poll path).
+  void drain();
+
+  [[nodiscard]] const IbsConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept {
+    return samples_taken_;
+  }
+  [[nodiscard]] std::uint64_t tags_lost() const noexcept { return tags_lost_; }
+  [[nodiscard]] std::uint64_t interrupts() const noexcept {
+    return interrupts_;
+  }
+  /// Modeled software overhead of collection so far.
+  [[nodiscard]] util::SimNs overhead_ns() const noexcept;
+
+ private:
+  void reload(std::uint32_t core);
+
+  IbsConfig config_;
+  DrainFn drain_;
+  util::Rng rng_;
+  std::vector<std::int64_t> countdown_;   ///< per core
+  std::vector<bool> tag_armed_;           ///< tag waiting for this core's op
+  std::vector<TraceSample> buffer_;
+  std::uint64_t samples_taken_ = 0;
+  std::uint64_t tags_lost_ = 0;
+  std::uint64_t interrupts_ = 0;
+};
+
+}  // namespace tmprof::monitors

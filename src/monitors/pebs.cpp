@@ -1,0 +1,65 @@
+#include "monitors/pebs.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::monitors {
+
+PebsMonitor::PebsMonitor(const PebsConfig& config, std::uint32_t cores)
+    : config_(config), counter_(cores, 0) {
+  TMPROF_EXPECTS(config.sample_after >= 1);
+  TMPROF_EXPECTS(config.buffer_capacity >= 1);
+  TMPROF_EXPECTS(cores >= 1);
+  buffer_.reserve(config.buffer_capacity);
+}
+
+bool PebsMonitor::qualifies(const MemOpEvent& event) const noexcept {
+  switch (config_.event) {
+    case PebsEvent::LlcMiss:
+      return mem::is_memory(event.source);
+    case PebsEvent::LlcAccess:
+      return event.source == mem::DataSource::LLC ||
+             mem::is_memory(event.source);
+    case PebsEvent::TlbWalk:
+      return event.tlb == mem::TlbHit::Miss;
+    case PebsEvent::AllLoads:
+      return !event.is_store;
+  }
+  return false;
+}
+
+void PebsMonitor::on_mem_op(const MemOpEvent& event) {
+  if (!qualifies(event)) return;
+  ++events_seen_;
+  TMPROF_ASSERT(event.core < counter_.size());
+  if (++counter_[event.core] < config_.sample_after) return;
+  counter_[event.core] = 0;
+  TraceSample sample;
+  sample.time = event.time;
+  sample.core = event.core;
+  sample.pid = event.pid;
+  sample.ip = event.ip;
+  sample.vaddr = event.vaddr;
+  sample.paddr = event.paddr;
+  sample.is_store = event.is_store;
+  sample.source = event.source;
+  sample.tlb_miss = event.tlb == mem::TlbHit::Miss;
+  buffer_.push_back(sample);
+  ++samples_taken_;
+  if (buffer_.size() >= config_.buffer_capacity) {
+    ++interrupts_;
+    drain();
+  }
+}
+
+void PebsMonitor::drain() {
+  if (buffer_.empty()) return;
+  if (drain_) drain_(std::span<const TraceSample>(buffer_));
+  buffer_.clear();
+}
+
+util::SimNs PebsMonitor::overhead_ns() const noexcept {
+  return samples_taken_ * config_.cost_per_record_ns +
+         interrupts_ * config_.cost_per_interrupt_ns;
+}
+
+}  // namespace tmprof::monitors

@@ -1,0 +1,75 @@
+#pragma once
+/// \file pebs.hpp
+/// Intel Precise Event Based Sampling model. Unlike IBS (which tags the
+/// retirement stream), PEBS arms on a chosen *event* — TMP uses LLC misses —
+/// and the microcode assist writes a record for every Nth occurrence into a
+/// designated memory buffer; crossing the buffer threshold raises a PMI.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "monitors/event.hpp"
+#include "util/time.hpp"
+
+namespace tmprof::monitors {
+
+/// Which event arms the PEBS counter.
+enum class PebsEvent : std::uint8_t {
+  LlcMiss,    ///< demand access left the LLC (TMP's choice)
+  LlcAccess,  ///< any LLC access
+  TlbWalk,    ///< hardware page walk performed
+  AllLoads,   ///< every retired load
+};
+
+struct PebsConfig {
+  PebsEvent event = PebsEvent::LlcMiss;
+  /// Record one out of this many qualifying events ("sample-after value").
+  std::uint64_t sample_after = 1024;
+  std::uint32_t buffer_capacity = 4096;
+  /// PEBS assist is cheaper per record than an interrupt-per-sample design;
+  /// the PMI on buffer threshold is the expensive part.
+  util::SimNs cost_per_record_ns = 200;
+  util::SimNs cost_per_interrupt_ns = 4000;
+};
+
+/// System-wide PEBS monitor (per-core counters, shared buffer model).
+class PebsMonitor final : public AccessObserver {
+ public:
+  using DrainFn = std::function<void(std::span<const TraceSample>)>;
+
+  PebsMonitor(const PebsConfig& config, std::uint32_t cores);
+
+  void set_drain(DrainFn drain) { drain_ = std::move(drain); }
+
+  void on_mem_op(const MemOpEvent& event) override;
+
+  void drain();
+
+  [[nodiscard]] const PebsConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept {
+    return samples_taken_;
+  }
+  [[nodiscard]] std::uint64_t events_seen() const noexcept {
+    return events_seen_;
+  }
+  [[nodiscard]] std::uint64_t interrupts() const noexcept {
+    return interrupts_;
+  }
+  [[nodiscard]] util::SimNs overhead_ns() const noexcept;
+
+ private:
+  [[nodiscard]] bool qualifies(const MemOpEvent& event) const noexcept;
+
+  PebsConfig config_;
+  DrainFn drain_;
+  std::vector<std::uint64_t> counter_;  ///< per-core qualifying-event count
+  std::vector<TraceSample> buffer_;
+  std::uint64_t samples_taken_ = 0;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t interrupts_ = 0;
+};
+
+}  // namespace tmprof::monitors

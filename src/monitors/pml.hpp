@@ -1,0 +1,50 @@
+#pragma once
+/// \file pml.hpp
+/// Intel Page-Modification Logging model (Section II-B). Every write that
+/// transitions a D bit 0 → 1 also appends the 4 KiB-aligned physical address
+/// of the write to an in-memory log; a full log notifies system software.
+/// TMP focuses on A-bit (load-oriented) profiling, but PML is provided for
+/// write-history policies (e.g., CLOCK-DWF-style placement).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "monitors/event.hpp"
+
+namespace tmprof::monitors {
+
+struct PmlConfig {
+  /// Real PML uses a 512-entry (one page) log.
+  std::uint32_t log_capacity = 512;
+};
+
+class PmlMonitor final : public AccessObserver {
+ public:
+  using DrainFn = std::function<void(std::span<const mem::PhysAddr>)>;
+
+  explicit PmlMonitor(const PmlConfig& config = {});
+
+  void set_drain(DrainFn drain) { drain_ = std::move(drain); }
+
+  void on_dirty_set(const MemOpEvent& event) override;
+
+  void drain();
+
+  [[nodiscard]] std::uint64_t entries_logged() const noexcept {
+    return entries_logged_;
+  }
+  [[nodiscard]] std::uint64_t notifications() const noexcept {
+    return notifications_;
+  }
+
+ private:
+  PmlConfig config_;
+  DrainFn drain_;
+  std::vector<mem::PhysAddr> log_;
+  std::uint64_t entries_logged_ = 0;
+  std::uint64_t notifications_ = 0;
+};
+
+}  // namespace tmprof::monitors

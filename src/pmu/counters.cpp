@@ -1,0 +1,125 @@
+#include "pmu/counters.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::pmu {
+
+PmuCore::PmuCore(std::uint32_t programmable_registers)
+    : registers_(programmable_registers) {
+  TMPROF_EXPECTS(programmable_registers >= 1);
+}
+
+void PmuCore::program(std::vector<Event> events) {
+  programmed_.clear();
+  programmed_.reserve(events.size());
+  for (Event e : events) {
+    TMPROF_EXPECTS(find(e) == nullptr);  // no duplicate programming
+    Observation obs;
+    obs.event = e;
+    programmed_.push_back(obs);
+  }
+  rotation_head_ = 0;
+  slice_start_ = last_now_;
+  observe_start_ = last_now_;
+  const std::size_t live_n =
+      programmed_.size() < registers_ ? programmed_.size() : registers_;
+  for (std::size_t i = 0; i < live_n; ++i) programmed_[i].live = true;
+}
+
+PmuCore::Observation* PmuCore::find(Event e) {
+  for (auto& obs : programmed_) {
+    if (obs.event == e) return &obs;
+  }
+  return nullptr;
+}
+
+const PmuCore::Observation* PmuCore::find(Event e) const {
+  for (const auto& obs : programmed_) {
+    if (obs.event == e) return &obs;
+  }
+  return nullptr;
+}
+
+void PmuCore::record(Event e, util::SimNs now, std::uint64_t n) {
+  tick(now);
+  at(true_, e) += n;
+  if (Observation* obs = find(e); obs != nullptr && obs->live) {
+    obs->raw += n;
+  }
+}
+
+void PmuCore::tick(util::SimNs now) {
+  if (now < last_now_) return;  // out-of-order hook; ignore
+  last_now_ = now;
+  if (!multiplexing()) return;
+  while (now - slice_start_ >= kSliceNs) {
+    rotate(slice_start_ + kSliceNs);
+  }
+}
+
+void PmuCore::rotate(util::SimNs slice_end) {
+  // Close the current slice: credit live time, advance the head.
+  const util::SimNs lived = slice_end - slice_start_;
+  std::size_t live_count = 0;
+  for (auto& obs : programmed_) {
+    if (obs.live) {
+      obs.live_ns += lived;
+      obs.live = false;
+      ++live_count;
+    }
+  }
+  TMPROF_ASSERT(live_count <= registers_);
+  rotation_head_ = (rotation_head_ + registers_) % programmed_.size();
+  for (std::size_t i = 0; i < registers_ && i < programmed_.size(); ++i) {
+    programmed_[(rotation_head_ + i) % programmed_.size()].live = true;
+  }
+  slice_start_ = slice_end;
+}
+
+std::uint64_t PmuCore::read(Event e) const {
+  const Observation* obs = find(e);
+  if (obs == nullptr) return 0;
+  if (!multiplexing()) return obs->raw;
+  // Scale by the fraction of wall time the event was actually counting.
+  util::SimNs live = obs->live_ns;
+  if (obs->live) live += last_now_ - slice_start_;
+  const util::SimNs total = last_now_ - observe_start_;
+  if (live == 0 || total == 0) return obs->raw;
+  const double scale = static_cast<double>(total) / static_cast<double>(live);
+  return static_cast<std::uint64_t>(static_cast<double>(obs->raw) * scale);
+}
+
+Pmu::Pmu(std::uint32_t cores, std::uint32_t registers_per_core) {
+  TMPROF_EXPECTS(cores >= 1);
+  cores_.reserve(cores);
+  for (std::uint32_t i = 0; i < cores; ++i) {
+    cores_.emplace_back(registers_per_core);
+  }
+}
+
+PmuCore& Pmu::core(std::uint32_t idx) {
+  TMPROF_EXPECTS(idx < cores_.size());
+  return cores_[idx];
+}
+
+void Pmu::program_all(const std::vector<Event>& events) {
+  for (auto& core : cores_) core.program(events);
+}
+
+void Pmu::tick_all(util::SimNs now) {
+  for (auto& core : cores_) core.tick(now);
+}
+
+std::uint64_t Pmu::read_total(Event e) const {
+  std::uint64_t sum = 0;
+  for (const auto& core : cores_) sum += core.read(e);
+  return sum;
+}
+
+std::uint64_t Pmu::truth_total(Event e) const {
+  std::uint64_t sum = 0;
+  for (const auto& core : cores_) sum += core.truth(e);
+  return sum;
+}
+
+}  // namespace tmprof::pmu

@@ -1,0 +1,77 @@
+#pragma once
+/// \file events.hpp
+/// Hardware event taxonomy counted by the PMU model. TMP's daemon reads
+/// LlcMiss and DtlbWalk rates to gate the expensive profiling mechanisms
+/// (Section III-B4, optimization 1) and Fig. 2 compares PtwAbitSet with
+/// LlcMiss populations.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tmprof::pmu {
+
+enum class Event : std::uint8_t {
+  RetiredUops,       ///< all retired micro-ops
+  RetiredLoads,
+  RetiredStores,
+  L1DMiss,
+  L2Miss,
+  LlcAccess,
+  LlcMiss,           ///< demand accesses that left the LLC
+  DtlbL1Miss,        ///< missed the L1 dTLB (hit or miss in STLB)
+  DtlbWalk,          ///< missed all TLB levels; hardware walk performed
+  ItlbWalk,          ///< instruction fetch missed the TLBs; walk performed
+  PtwAbitSet,        ///< walks that flipped an A bit 0→1 (Fig. 2 numerator)
+  PtwDbitSet,        ///< walks/stores that flipped a D bit 0→1
+  PageFault,         ///< not-present faults (first touch)
+  ProtectionFault,   ///< poisoned-PTE faults (BadgerTrap)
+  TlbShootdownIpi,   ///< inter-processor invalidations issued
+  PrefetchFill,      ///< lines installed by the prefetcher
+  MemReadTier1,      ///< demand fills served by tier 1
+  MemReadTier2,      ///< demand fills served by tier 2
+  PageMigration,     ///< pages moved between tiers
+  kCount_,
+};
+
+inline constexpr std::size_t kEventCount =
+    static_cast<std::size_t>(Event::kCount_);
+
+[[nodiscard]] constexpr std::string_view event_name(Event e) noexcept {
+  switch (e) {
+    case Event::RetiredUops: return "retired_uops";
+    case Event::RetiredLoads: return "retired_loads";
+    case Event::RetiredStores: return "retired_stores";
+    case Event::L1DMiss: return "l1d_miss";
+    case Event::L2Miss: return "l2_miss";
+    case Event::LlcAccess: return "llc_access";
+    case Event::LlcMiss: return "llc_miss";
+    case Event::DtlbL1Miss: return "dtlb_l1_miss";
+    case Event::DtlbWalk: return "dtlb_walk";
+    case Event::ItlbWalk: return "itlb_walk";
+    case Event::PtwAbitSet: return "ptw_abit_set";
+    case Event::PtwDbitSet: return "ptw_dbit_set";
+    case Event::PageFault: return "page_fault";
+    case Event::ProtectionFault: return "protection_fault";
+    case Event::TlbShootdownIpi: return "tlb_shootdown_ipi";
+    case Event::PrefetchFill: return "prefetch_fill";
+    case Event::MemReadTier1: return "mem_read_tier1";
+    case Event::MemReadTier2: return "mem_read_tier2";
+    case Event::PageMigration: return "page_migration";
+    case Event::kCount_: break;
+  }
+  return "?";
+}
+
+/// Dense per-event counter block.
+using EventCounts = std::array<std::uint64_t, kEventCount>;
+
+constexpr std::uint64_t& at(EventCounts& counts, Event e) noexcept {
+  return counts[static_cast<std::size_t>(e)];
+}
+constexpr std::uint64_t at(const EventCounts& counts, Event e) noexcept {
+  return counts[static_cast<std::size_t>(e)];
+}
+
+}  // namespace tmprof::pmu

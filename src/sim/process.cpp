@@ -1,0 +1,13 @@
+#include "sim/process.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::sim {
+
+Process::Process(mem::Pid pid, workloads::WorkloadPtr workload, double weight)
+    : pid_(pid), workload_(std::move(workload)), weight_(weight) {
+  TMPROF_EXPECTS(workload_ != nullptr);
+  TMPROF_EXPECTS(weight > 0.0);
+}
+
+}  // namespace tmprof::sim

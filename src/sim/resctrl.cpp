@@ -1,0 +1,35 @@
+#include "sim/resctrl.hpp"
+
+namespace tmprof::sim {
+
+ResctrlMonitor::ResctrlMonitor(System& system) : system_(system) {}
+
+std::uint64_t ResctrlMonitor::llc_occupancy_bytes(mem::Pid pid) const {
+  return system_.llc().occupancy_lines(pid) * mem::kLineSize;
+}
+
+MbmReading ResctrlMonitor::read_bandwidth(mem::Pid pid) {
+  Process& proc = system_.process(pid);
+  const std::uint64_t fills = proc.mem_fills();
+  const util::SimNs now = system_.now();
+  auto& [last_fills, last_time] = last_reads_[pid];
+  MbmReading reading;
+  reading.bytes = (fills - last_fills) * mem::kLineSize;
+  reading.interval_ns = now - last_time;
+  last_fills = fills;
+  last_time = now;
+  return reading;
+}
+
+double ResctrlMonitor::llc_utilization() const {
+  const mem::CacheLevel& llc = system_.llc();
+  std::uint64_t used = 0;
+  // Owner 0 marks untracked lines; every process PID is >= 1000.
+  for (mem::Pid pid = 1000; pid < 1000 + 64; ++pid) {
+    used += llc.occupancy_lines(pid);
+  }
+  return static_cast<double>(used * mem::kLineSize) /
+         static_cast<double>(llc.size_bytes());
+}
+
+}  // namespace tmprof::sim

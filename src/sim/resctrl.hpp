@@ -1,0 +1,54 @@
+#pragma once
+/// \file resctrl.hpp
+/// Resource Control monitoring model (the paper's footnote 3: "additional
+/// monitoring metrics, such as cache occupancy and memory bandwidth, have
+/// been made available via the Resource Control hardware feature").
+/// Models Intel CMT/MBM-style per-RMID monitoring, with one RMID per
+/// process: LLC occupancy from line tags and memory bandwidth from demand
+/// fill counts.
+///
+/// Like the paper's HWPCs, these are near-zero-overhead, very coarse
+/// signals: they can pick *which process* deserves profiling and whether
+/// the memory subsystem is busy, never which pages are hot.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/addr.hpp"
+#include "sim/system.hpp"
+#include "util/time.hpp"
+
+namespace tmprof::sim {
+
+/// One bandwidth reading.
+struct MbmReading {
+  std::uint64_t bytes = 0;       ///< bytes transferred since last read
+  util::SimNs interval_ns = 0;   ///< elapsed simulated time
+  [[nodiscard]] double gib_per_s() const noexcept {
+    if (interval_ns == 0) return 0.0;
+    return static_cast<double>(bytes) /
+           (static_cast<double>(interval_ns) * 1.073741824);
+  }
+};
+
+class ResctrlMonitor {
+ public:
+  explicit ResctrlMonitor(System& system);
+
+  /// LLC bytes currently occupied by a process (CMT read).
+  [[nodiscard]] std::uint64_t llc_occupancy_bytes(mem::Pid pid) const;
+
+  /// Memory bandwidth consumed by a process since the previous read of
+  /// the same PID (MBM read; first read covers process lifetime).
+  MbmReading read_bandwidth(mem::Pid pid);
+
+  /// Aggregate occupancy fraction of the LLC that is tracked (non-free).
+  [[nodiscard]] double llc_utilization() const;
+
+ private:
+  System& system_;
+  std::unordered_map<mem::Pid, std::pair<std::uint64_t, util::SimNs>>
+      last_reads_;  ///< pid -> (fills, time) at previous read
+};
+
+}  // namespace tmprof::sim

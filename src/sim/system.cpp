@@ -1,0 +1,367 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mem/ptw.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace tmprof::sim {
+
+using pmu::Event;
+
+namespace {
+std::vector<mem::TierSpec> tier_specs(const SimConfig& config) {
+  std::vector<mem::TierSpec> specs{
+      mem::TierSpec{"tier1-dram", config.tier1_frames, config.tier1_read_ns,
+                    config.tier1_write_ns},
+      mem::TierSpec{"tier2-nvm", config.tier2_frames, config.tier2_read_ns,
+                    config.tier2_write_ns}};
+  if (config.tier3_frames > 0) {
+    specs.push_back(mem::TierSpec{"tier3-cold", config.tier3_frames,
+                                  config.tier3_read_ns,
+                                  config.tier3_write_ns});
+  }
+  return specs;
+}
+}  // namespace
+
+System::System(const SimConfig& config)
+    : config_(config),
+      phys_(tier_specs(config)),
+      pmu_(config.cores, config.pmu_registers),
+      llc_(config.llc_bytes, config.llc_ways) {
+  TMPROF_EXPECTS(config.cores >= 1);
+  cores_.reserve(config.cores);
+  for (std::uint32_t c = 0; c < config.cores; ++c) {
+    cores_.push_back(Core{
+        mem::Tlb(config.l1_tlb, config.l2_tlb),
+        mem::CacheHierarchy(config.l1_bytes, config.l1_ways, config.l2_bytes,
+                            config.l2_ways, &llc_, config.prefetch)});
+  }
+}
+
+mem::Tlb& System::tlb(std::uint32_t core) {
+  TMPROF_EXPECTS(core < cores_.size());
+  return cores_[core].tlb;
+}
+
+void System::advance_time(util::SimNs delta) noexcept { now_ += delta; }
+
+mem::Pid System::add_process(workloads::WorkloadPtr workload, double weight) {
+  const mem::Pid pid = next_pid_++;
+  processes_.push_back(std::make_unique<Process>(pid, std::move(workload),
+                                                 weight));
+  rebuild_schedule();
+  return pid;
+}
+
+std::vector<Process*> System::processes() {
+  std::vector<Process*> procs;
+  procs.reserve(processes_.size());
+  for (auto& p : processes_) procs.push_back(p.get());
+  return procs;
+}
+
+Process& System::process(mem::Pid pid) {
+  for (auto& p : processes_) {
+    if (p->pid() == pid) return *p;
+  }
+  TMPROF_ASSERT(false);
+  return *processes_.front();
+}
+
+void System::add_observer(monitors::AccessObserver* observer) {
+  TMPROF_EXPECTS(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void System::remove_observer(monitors::AccessObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+void System::rebuild_schedule() {
+  // Each process appears round(weight * 8) times (>= 1) in the rotation.
+  schedule_.clear();
+  double min_weight = 1e9;
+  for (const auto& p : processes_) min_weight = std::min(min_weight, p->weight());
+  for (std::uint32_t i = 0; i < processes_.size(); ++i) {
+    const double w = processes_[i]->weight() / min_weight;
+    const auto slots = static_cast<std::uint32_t>(std::lround(w * 1.0));
+    for (std::uint32_t s = 0; s < std::max(1U, slots); ++s) {
+      schedule_.push_back(i);
+    }
+  }
+  // Interleave: sort by (slot index within process, process index) so the
+  // rotation spreads each process's slots out rather than clustering them.
+  std::vector<std::uint32_t> interleaved;
+  interleaved.reserve(schedule_.size());
+  std::vector<std::uint32_t> remaining(processes_.size(), 0);
+  for (std::uint32_t idx : schedule_) remaining[idx] += 1;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::uint32_t i = 0; i < remaining.size(); ++i) {
+      if (remaining[i] > 0) {
+        interleaved.push_back(i);
+        --remaining[i];
+        any = true;
+      }
+    }
+  }
+  schedule_ = std::move(interleaved);
+  schedule_cursor_ = 0;
+}
+
+util::SimNs System::step(std::uint64_t ops) {
+  TMPROF_EXPECTS(!processes_.empty());
+  const util::SimNs start = now_;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::uint32_t proc_idx = schedule_[schedule_cursor_];
+    schedule_cursor_ = (schedule_cursor_ + 1) % schedule_.size();
+    Process& proc = *processes_[proc_idx];
+    const workloads::MemRef ref = proc.workload().next();
+    access(proc, proc.vaddr_of(ref.offset), ref.is_store, ref.ip);
+  }
+  return now_ - start;
+}
+
+util::SimNs System::instruction_fetch(Process& proc, Core& core,
+                                      pmu::PmuCore& pmu_core,
+                                      std::uint32_t ip) {
+  // Map the workload's synthetic code location (its phase id) to a spot in
+  // the process's code region; distinct phases land on distinct pages.
+  std::uint64_t mix = ip;
+  const mem::VirtAddr code_va =
+      kCodeBase + (util::splitmix64(mix) % config_.code_bytes_per_process);
+  if (core.tlb.lookup(proc.pid(), code_va).level != mem::TlbHit::Miss) {
+    return 0;  // fetch translation cached: free
+  }
+  pmu_core.record(Event::ItlbWalk, now_);
+  util::SimNs latency = 0;
+  mem::WalkResult walk =
+      mem::PageTableWalker::walk(proc.page_table(), code_va, false);
+  if (walk.status == mem::WalkResult::Status::NotPresent) {
+    // Demand-map the code page (text is always 4 KiB-mapped).
+    const mem::VirtAddr page_va = mem::page_base(code_va, mem::PageSize::k4K);
+    const auto pfn = phys_.alloc(first_touch_tier_, proc.pid(), page_va,
+                                 mem::PageSize::k4K);
+    TMPROF_ASSERT(pfn.has_value());
+    proc.page_table().map(page_va, *pfn, mem::PageSize::k4K);
+    proc.note_mapped_page(mem::PageSize::k4K);
+    pmu_core.record(Event::PageFault, now_);
+    latency += config_.page_fault_ns;
+    walk = mem::PageTableWalker::walk(proc.page_table(), code_va, false);
+  } else if (walk.status == mem::WalkResult::Status::Poisoned) {
+    // Code pages can be poisoned too (AutoNUMA-style protection covers
+    // every VMA); the fetch takes the same protection fault as a load.
+    pmu_core.record(Event::ProtectionFault, now_);
+    if (fault_hook_) {
+      latency += fault_hook_(proc, code_va, false);
+    } else {
+      TMPROF_ASSERT(badgertrap_ != nullptr);
+      latency += badgertrap_->handle_fault(proc.pid(), proc.page_table(),
+                                           core.tlb, code_va, false);
+    }
+    walk = mem::PageTableWalker::walk(proc.page_table(), code_va, false,
+                                      /*honor_poison=*/false);
+  }
+  TMPROF_ASSERT(walk.status == mem::WalkResult::Status::Ok);
+  if (walk.set_accessed) pmu_core.record(Event::PtwAbitSet, now_);
+  core.tlb.fill(proc.pid(), walk.page_va, walk.size, walk.pte,
+                walk.pte->dirty());
+  latency += walk.levels * config_.walk_level_ns;
+  return latency;
+}
+
+Process& System::handle_page_fault(Process& proc, mem::VirtAddr vaddr) {
+  const mem::PageSize size = proc.workload().page_size();
+  const mem::VirtAddr page_va = mem::page_base(vaddr, size);
+  const auto pfn = phys_.alloc(first_touch_tier_, proc.pid(), page_va, size);
+  TMPROF_ASSERT(pfn.has_value());  // experiments size tiers to fit
+  proc.page_table().map(page_va, *pfn, size);
+  proc.note_mapped_page(size);
+  return proc;
+}
+
+AccessResult System::access(Process& proc, mem::VirtAddr vaddr, bool is_store,
+                            std::uint32_t ip) {
+  const std::uint32_t core_idx =
+      static_cast<std::uint32_t>(proc.pid()) % config_.cores;
+  Core& core = cores_[core_idx];
+  pmu::PmuCore& pmu_core = pmu_.core(core_idx);
+  AccessResult result;
+  util::SimNs latency = config_.base_op_ns;
+
+  proc.charge_ops(1);
+  ++total_ops_;
+  pmu_core.record(Event::RetiredUops, now_, config_.uops_per_op);
+  pmu_core.record(is_store ? Event::RetiredStores : Event::RetiredLoads, now_);
+
+  if (config_.instruction_fetch) {
+    latency += instruction_fetch(proc, core, pmu_core, ip);
+  }
+
+  // ---- address translation -------------------------------------------------
+  mem::Pte* pte = nullptr;
+  mem::PageSize page_size = mem::PageSize::k4K;
+  mem::VirtAddr page_va = 0;
+  bool dirty_transition = false;
+
+  mem::Tlb::LookupResult hit = core.tlb.lookup(proc.pid(), vaddr);
+  if (hit.level != mem::TlbHit::Miss) {
+    result.tlb = hit.level;
+    if (hit.level == mem::TlbHit::L2) {
+      pmu_core.record(Event::DtlbL1Miss, now_);
+    }
+    pte = hit.entry->pte;
+    page_size = hit.size;
+    page_va = mem::page_base(vaddr, page_size);
+    // D bits are correctness-critical: a store through a clean TLB entry
+    // still updates the PTE (PTW assist), TLB hit or not (Section II-B).
+    if (is_store && !hit.entry->dirty_cached) {
+      hit.entry->dirty_cached = true;
+      if (!pte->dirty()) {
+        pte->set_dirty(true);
+        dirty_transition = true;
+        pmu_core.record(Event::PtwDbitSet, now_);
+      }
+    }
+  } else {
+    result.tlb = mem::TlbHit::Miss;
+    pmu_core.record(Event::DtlbL1Miss, now_);
+    pmu_core.record(Event::DtlbWalk, now_);
+    mem::WalkResult walk =
+        mem::PageTableWalker::walk(proc.page_table(), vaddr, is_store);
+    if (walk.status == mem::WalkResult::Status::NotPresent) {
+      // First touch: allocate and map, then redo the walk.
+      result.page_fault = true;
+      pmu_core.record(Event::PageFault, now_);
+      latency += config_.page_fault_ns;
+      handle_page_fault(proc, vaddr);
+      walk = mem::PageTableWalker::walk(proc.page_table(), vaddr, is_store);
+      TMPROF_ASSERT(walk.status == mem::WalkResult::Status::Ok);
+    } else if (walk.status == mem::WalkResult::Status::Poisoned) {
+      result.protection_fault = true;
+      pmu_core.record(Event::ProtectionFault, now_);
+      if (fault_hook_) {
+        latency += fault_hook_(proc, vaddr, is_store);
+      } else {
+        TMPROF_ASSERT(badgertrap_ != nullptr);
+        latency += badgertrap_->handle_fault(proc.pid(), proc.page_table(),
+                                             core.tlb, vaddr, is_store);
+      }
+      // The handler installed or restored the translation; re-walk the
+      // unpoisoned view.
+      walk = mem::PageTableWalker::walk(proc.page_table(), vaddr, is_store,
+                                        /*honor_poison=*/false);
+      TMPROF_ASSERT(walk.status == mem::WalkResult::Status::Ok);
+    }
+    latency += walk.levels * config_.walk_level_ns;
+    if (walk.set_accessed) pmu_core.record(Event::PtwAbitSet, now_);
+    if (walk.set_dirty) {
+      dirty_transition = true;
+      pmu_core.record(Event::PtwDbitSet, now_);
+    }
+    pte = walk.pte;
+    page_size = walk.size;
+    page_va = walk.page_va;
+    if (!result.protection_fault) {
+      core.tlb.fill(proc.pid(), page_va, page_size, pte, pte->dirty());
+    }
+  }
+
+  // ---- physical access through the cache hierarchy ----------------------
+  const mem::PhysAddr paddr =
+      (pte->pfn() << mem::kPageShift) + (vaddr - page_va);
+  result.paddr = paddr;
+  mem::CacheAccess cache = core.caches.access(paddr, is_store, proc.pid());
+  result.source = cache.source;
+  switch (cache.source) {
+    case mem::DataSource::L1:
+      latency += config_.l1_hit_ns;
+      break;
+    case mem::DataSource::L2:
+      latency += config_.l2_hit_ns;
+      pmu_core.record(Event::L1DMiss, now_);
+      break;
+    case mem::DataSource::LLC:
+      latency += config_.llc_hit_ns;
+      pmu_core.record(Event::L1DMiss, now_);
+      pmu_core.record(Event::L2Miss, now_);
+      pmu_core.record(Event::LlcAccess, now_);
+      break;
+    default: {
+      pmu_core.record(Event::L1DMiss, now_);
+      pmu_core.record(Event::L2Miss, now_);
+      pmu_core.record(Event::LlcAccess, now_);
+      pmu_core.record(Event::LlcMiss, now_);
+      const mem::TierId tier = phys_.tier_of(mem::pfn_of(paddr));
+      const mem::TierSpec& spec = phys_.tier(tier);
+      latency += is_store ? spec.write_latency_ns : spec.read_latency_ns;
+      proc.note_mem_fill(tier);
+      if (tier == 0) {
+        result.source = mem::DataSource::MemTier1;
+        pmu_core.record(Event::MemReadTier1, now_);
+      } else {
+        result.source = mem::DataSource::MemTier2;
+        pmu_core.record(Event::MemReadTier2, now_);
+      }
+      if (cache.prefetch_issued) pmu_core.record(Event::PrefetchFill, now_);
+      break;
+    }
+  }
+
+  now_ += latency;
+  result.latency_ns = latency;
+
+  // ---- publish hardware events to monitors ------------------------------
+  monitors::MemOpEvent event;
+  event.time = now_;
+  event.core = core_idx;
+  event.pid = proc.pid();
+  event.ip = ip;
+  event.vaddr = vaddr;
+  event.paddr = paddr;
+  event.is_store = is_store;
+  event.source = result.source;
+  event.tlb = result.tlb;
+  event.page_size = page_size;
+  for (monitors::AccessObserver* obs : observers_) {
+    obs->on_retire(core_idx, config_.uops_per_op, now_);
+    obs->on_mem_op(event);
+    if (dirty_transition) obs->on_dirty_set(event);
+  }
+  return result;
+}
+
+std::uint64_t System::shootdown(mem::Pid pid, mem::VirtAddr page_va,
+                                mem::PageSize size) {
+  for (Core& core : cores_) {
+    core.tlb.invalidate_page(pid, page_va, size);
+  }
+  const std::uint64_t ipis = config_.cores - 1;
+  pmu_.core(0).record(Event::TlbShootdownIpi, now_, ipis);
+  return ipis;
+}
+
+bool System::migrate_page(mem::Pid pid, mem::VirtAddr page_va,
+                          mem::TierId target) {
+  Process& proc = process(pid);
+  mem::PteRef ref = proc.page_table().resolve(page_va);
+  TMPROF_EXPECTS(ref && ref.page_va == page_va);
+  const mem::Pfn old_pfn = ref.pte->pfn();
+  if (phys_.tier_of(old_pfn) == target) return true;  // already there
+  const auto new_pfn = phys_.alloc_exact(target, pid, page_va, ref.size);
+  if (!new_pfn) return false;
+  ref.pte->set_pfn(*new_pfn);
+  phys_.free(old_pfn);
+  shootdown(pid, page_va, ref.size);
+  pmu_.core(0).record(Event::PageMigration, now_);
+  return true;
+}
+
+}  // namespace tmprof::sim

@@ -1,0 +1,130 @@
+#pragma once
+/// \file system.hpp
+/// The simulated machine: cores (TLB + private caches), shared LLC, tiered
+/// physical memory, PMU, processes, and the access engine that drives
+/// workload references through the full translation + cache path while
+/// publishing hardware events to registered monitors.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/tiers.hpp"
+#include "mem/tlb.hpp"
+#include "monitors/badgertrap.hpp"
+#include "monitors/event.hpp"
+#include "pmu/counters.hpp"
+#include "sim/config.hpp"
+#include "sim/process.hpp"
+#include "util/time.hpp"
+
+namespace tmprof::sim {
+
+/// Outcome of one simulated access (returned for tests/instrumentation).
+struct AccessResult {
+  mem::DataSource source = mem::DataSource::L1;
+  mem::TlbHit tlb = mem::TlbHit::L1;
+  bool page_fault = false;
+  bool protection_fault = false;
+  util::SimNs latency_ns = 0;
+  mem::PhysAddr paddr = 0;
+};
+
+class System {
+ public:
+  explicit System(const SimConfig& config);
+
+  // --- topology -------------------------------------------------------------
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] mem::PhysMemory& phys() noexcept { return phys_; }
+  [[nodiscard]] pmu::Pmu& pmu() noexcept { return pmu_; }
+  [[nodiscard]] mem::Tlb& tlb(std::uint32_t core);
+  /// The shared last-level cache (resource-monitoring reads occupancy).
+  [[nodiscard]] const mem::CacheLevel& llc() const noexcept { return llc_; }
+  [[nodiscard]] util::SimNs now() const noexcept { return now_; }
+
+  /// Advance the clock without executing ops (daemon/driver work, stalls).
+  void advance_time(util::SimNs delta) noexcept;
+
+  // --- processes ------------------------------------------------------------
+  /// Register a process; returns its PID. PIDs start at 1000.
+  mem::Pid add_process(workloads::WorkloadPtr workload, double weight = 1.0);
+  [[nodiscard]] std::vector<Process*> processes();
+  [[nodiscard]] Process& process(mem::Pid pid);
+
+  // --- monitors ---------------------------------------------------------
+  void add_observer(monitors::AccessObserver* observer);
+  void remove_observer(monitors::AccessObserver* observer);
+  /// Attach the BadgerTrap whose poisoned pages this system must fault on.
+  void set_badgertrap(monitors::BadgerTrap* trap) { badgertrap_ = trap; }
+  /// Generic protection-fault handler, consulted before the BadgerTrap:
+  /// returns the latency to charge and must leave a usable translation
+  /// (swap-style managers unpoison + remap inside the hook). The access
+  /// is re-walked honoring poison after the hook runs.
+  using FaultHook =
+      std::function<util::SimNs(Process&, mem::VirtAddr, bool is_store)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  // --- execution --------------------------------------------------------
+  /// Execute `ops` memory operations, scheduling processes by weight with
+  /// fixed core affinity (pid → core round-robin). Returns sim time spent.
+  util::SimNs step(std::uint64_t ops);
+
+  /// Execute one access for a specific process (tests / custom drivers).
+  AccessResult access(Process& proc, mem::VirtAddr vaddr, bool is_store,
+                      std::uint32_t ip);
+
+  // --- kernel services --------------------------------------------------
+  /// System-wide TLB shootdown for one page; returns IPIs issued.
+  std::uint64_t shootdown(mem::Pid pid, mem::VirtAddr page_va,
+                          mem::PageSize size);
+
+  /// Migrate the page mapped at (pid, page_va) to `target` tier. Updates
+  /// the PTE, frees the old frame, and invalidates stale translations.
+  /// Returns false if the target tier has no room.
+  bool migrate_page(mem::Pid pid, mem::VirtAddr page_va, mem::TierId target);
+
+  /// Tier used for first-touch allocations (0 = fill fast memory first,
+  /// falling back to slower tiers — the paper's first-come baseline).
+  void set_first_touch_tier(mem::TierId tier) noexcept {
+    first_touch_tier_ = tier;
+  }
+
+  // --- statistics -------------------------------------------------------
+  [[nodiscard]] std::uint64_t total_ops() const noexcept { return total_ops_; }
+
+  /// Base VA of every process's code region (text segment analog).
+  static constexpr mem::VirtAddr kCodeBase = 0x400000;
+
+ private:
+  struct Core {
+    mem::Tlb tlb;
+    mem::CacheHierarchy caches;
+  };
+
+  void rebuild_schedule();
+  Process& handle_page_fault(Process& proc, mem::VirtAddr vaddr);
+  util::SimNs instruction_fetch(Process& proc, Core& core,
+                                pmu::PmuCore& pmu_core, std::uint32_t ip);
+
+  SimConfig config_;
+  mem::PhysMemory phys_;
+  pmu::Pmu pmu_;
+  mem::CacheLevel llc_;
+  std::vector<Core> cores_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<monitors::AccessObserver*> observers_;
+  monitors::BadgerTrap* badgertrap_ = nullptr;
+  FaultHook fault_hook_;
+  mem::TierId first_touch_tier_ = 0;
+
+  std::vector<std::uint32_t> schedule_;  ///< weighted process indices
+  std::size_t schedule_cursor_ = 0;
+  util::SimNs now_ = 0;
+  std::uint64_t total_ops_ = 0;
+  mem::Pid next_pid_ = 1000;
+};
+
+}  // namespace tmprof::sim

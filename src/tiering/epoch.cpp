@@ -1,0 +1,87 @@
+#include "tiering/epoch.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::tiering {
+
+TruthCollector::TruthCollector(sim::System& system) : system_(system) {}
+
+void TruthCollector::on_mem_op(const monitors::MemOpEvent& event) {
+  const mem::VirtAddr page_va = mem::page_base(event.vaddr, event.page_size);
+  const PageKey key{event.pid, page_va};
+  if (seen_.insert(key).second) {
+    new_pages_.push_back(key);
+    page_sizes_[key] = event.page_size;
+  }
+  if (mem::is_memory(event.source)) {
+    truth_[key] += 1;
+  }
+}
+
+void TruthCollector::end_epoch(
+    std::unordered_map<PageKey, std::uint64_t, PageKeyHash>& truth_out,
+    std::vector<PageKey>& new_pages_out) {
+  truth_out = std::move(truth_);
+  new_pages_out = std::move(new_pages_);
+  truth_.clear();
+  new_pages_.clear();
+}
+
+void add_spec_processes(sim::System& system,
+                        const workloads::WorkloadSpec& spec,
+                        std::uint64_t seed) {
+  for (std::uint32_t i = 0; i < spec.processes; ++i) {
+    system.add_process(workloads::make_workload(spec, i, seed));
+  }
+}
+
+WorkloadFactory spec_factory(const workloads::WorkloadSpec& spec) {
+  return [spec](std::uint64_t seed) {
+    std::vector<workloads::WorkloadPtr> generators;
+    generators.reserve(spec.processes);
+    for (std::uint32_t i = 0; i < spec.processes; ++i) {
+      generators.push_back(workloads::make_workload(spec, i, seed));
+    }
+    return generators;
+  };
+}
+
+EpochSeries collect_series(const workloads::WorkloadSpec& spec,
+                           const sim::SimConfig& sim_config,
+                           const CollectOptions& options) {
+  return collect_series(spec_factory(spec), sim_config, options);
+}
+
+EpochSeries collect_series(const WorkloadFactory& factory,
+                           const sim::SimConfig& sim_config,
+                           const CollectOptions& options) {
+  TMPROF_EXPECTS(options.n_epochs >= 1);
+  sim::System system(sim_config);
+  for (auto& generator : factory(options.seed)) {
+    system.add_process(std::move(generator));
+  }
+
+  TruthCollector truth(system);
+  system.add_observer(&truth);
+  core::TmpDaemon daemon(system, options.daemon);
+
+  EpochSeries series;
+  series.epochs.reserve(options.n_epochs);
+  for (std::uint32_t e = 0; e < options.n_epochs; ++e) {
+    system.step(options.ops_per_epoch);
+    core::ProfileSnapshot snapshot = daemon.tick();
+    EpochData data;
+    data.epoch = e;
+    truth.end_epoch(data.truth, data.new_pages);
+    for (const auto& [key, count] : data.truth) data.truth_total += count;
+    data.observed = std::move(snapshot.observation);
+    series.epochs.push_back(std::move(data));
+  }
+  series.page_sizes = truth.page_sizes();
+  for (const auto& [key, size] : series.page_sizes) {
+    series.footprint_frames += mem::pages_in(size);
+  }
+  return series;
+}
+
+}  // namespace tmprof::tiering

@@ -1,0 +1,96 @@
+#pragma once
+/// \file epoch.hpp
+/// Epoch-series collection: run a workload under the TMP daemon for N
+/// epochs, recording both the ground-truth per-page memory-access counts
+/// (what the Oracle policy and the hitrate metric need) and the profiler's
+/// per-source observations (what History consumes). Fig. 6 and the
+/// speedup study replay these series through the policies offline, exactly
+/// as the paper computes policy results "based on the profiling data".
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "monitors/event.hpp"
+#include "sim/system.hpp"
+#include "tiering/policy.hpp"
+#include "workloads/registry.hpp"
+
+namespace tmprof::tiering {
+
+/// Ground-truth observer: counts beyond-LLC accesses per page and records
+/// first-touch order (the order pages would be allocated).
+class TruthCollector final : public monitors::AccessObserver {
+ public:
+  explicit TruthCollector(sim::System& system);
+
+  void on_mem_op(const monitors::MemOpEvent& event) override;
+
+  /// Swap out this epoch's truth counts and newly-seen pages.
+  void end_epoch(
+      std::unordered_map<PageKey, std::uint64_t, PageKeyHash>& truth_out,
+      std::vector<PageKey>& new_pages_out);
+
+  [[nodiscard]] const PageSizeMap& page_sizes() const noexcept {
+    return page_sizes_;
+  }
+
+ private:
+  sim::System& system_;
+  std::unordered_map<PageKey, std::uint64_t, PageKeyHash> truth_;
+  std::unordered_set<PageKey, PageKeyHash> seen_;
+  std::vector<PageKey> new_pages_;
+  PageSizeMap page_sizes_;
+};
+
+/// One epoch's record.
+struct EpochData {
+  std::uint32_t epoch = 0;
+  /// Per-page beyond-LLC access counts (ground truth).
+  std::unordered_map<PageKey, std::uint64_t, PageKeyHash> truth;
+  std::uint64_t truth_total = 0;
+  /// The profiler's observations (A-bit / trace maps).
+  core::EpochObservation observed;
+  /// Pages first touched during this epoch, in order.
+  std::vector<PageKey> new_pages;
+};
+
+struct EpochSeries {
+  std::vector<EpochData> epochs;
+  PageSizeMap page_sizes;
+  std::uint64_t footprint_frames = 0;  ///< frames of all pages ever seen
+};
+
+struct CollectOptions {
+  std::uint32_t n_epochs = 12;
+  std::uint64_t ops_per_epoch = 1'000'000;
+  std::uint64_t seed = 42;
+  core::DaemonConfig daemon;
+};
+
+/// Produces the processes' workload generators for one run. Must be
+/// deterministic: the Oracle pre-pass and the measured run each invoke it
+/// and rely on getting identical streams.
+using WorkloadFactory =
+    std::function<std::vector<workloads::WorkloadPtr>(std::uint64_t seed)>;
+
+/// Factory for a Table III spec (make_workload per process).
+[[nodiscard]] WorkloadFactory spec_factory(const workloads::WorkloadSpec& spec);
+
+/// Run workloads under the TMP daemon and collect their epoch series.
+[[nodiscard]] EpochSeries collect_series(const WorkloadFactory& factory,
+                                         const sim::SimConfig& sim_config,
+                                         const CollectOptions& options);
+[[nodiscard]] EpochSeries collect_series(const workloads::WorkloadSpec& spec,
+                                         const sim::SimConfig& sim_config,
+                                         const CollectOptions& options);
+
+/// Build a System populated with the spec's processes (shared by benches).
+void add_spec_processes(sim::System& system,
+                        const workloads::WorkloadSpec& spec,
+                        std::uint64_t seed);
+
+}  // namespace tmprof::tiering

@@ -1,0 +1,60 @@
+#pragma once
+/// \file khugepaged.hpp
+/// THP collapse daemon (khugepaged analog). Scans process page tables for
+/// 2 MiB-aligned virtual ranges fully populated with 4 KiB mappings and
+/// collapses them into one huge mapping backed by a fresh contiguous
+/// 2 MiB frame.
+///
+/// Relevant to the paper because page size *is* profiler visibility:
+/// after a collapse the A-bit scanner sees one PMD entry where it saw up
+/// to 512 PTEs, while IBS keeps resolving 4 KiB frames — exactly the
+/// Table IV asymmetry. The collapse policy here is hotness-aware: only
+/// ranges whose pages were recently observed accessed are collapsed
+/// (collapsing cold ranges would waste contiguous fast-tier capacity).
+
+#include <cstdint>
+
+#include "sim/system.hpp"
+#include "util/time.hpp"
+
+namespace tmprof::tiering {
+
+struct KhugepagedConfig {
+  /// Minimum fraction of the 512 slots that must be mapped to collapse
+  /// (Linux: khugepaged_max_ptes_none complement).
+  double min_populated = 1.0;
+  /// Minimum fraction of mapped pages with the A bit set (hotness gate);
+  /// 0 collapses regardless of access evidence.
+  double min_accessed = 0.5;
+  /// Cost per collapsed range: copy 2 MiB + remap + shootdown.
+  util::SimNs collapse_cost_ns = 100 * util::kMicrosecond;
+};
+
+struct CollapseStats {
+  std::uint64_t ranges_scanned = 0;   ///< candidate-aligned ranges seen
+  std::uint64_t collapsed = 0;
+  std::uint64_t skipped_sparse = 0;   ///< not enough populated slots
+  std::uint64_t skipped_cold = 0;     ///< failed the hotness gate
+  std::uint64_t failed_alloc = 0;     ///< no contiguous 2 MiB frame free
+  util::SimNs cost_ns = 0;
+};
+
+class Khugepaged {
+ public:
+  explicit Khugepaged(sim::System& system,
+                      const KhugepagedConfig& config = {});
+
+  /// One scan pass over every process; collapses qualifying ranges.
+  /// The new huge frame is allocated in the tier holding the majority of
+  /// the range's small frames (collapse must not silently promote/demote).
+  CollapseStats scan_and_collapse();
+
+ private:
+  bool collapse_range(sim::Process& proc, mem::VirtAddr range_base,
+                      CollapseStats& stats);
+
+  sim::System& system_;
+  KhugepagedConfig config_;
+};
+
+}  // namespace tmprof::tiering

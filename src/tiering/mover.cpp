@@ -1,0 +1,231 @@
+#include "tiering/mover.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace tmprof::tiering {
+
+PageMover::PageMover(sim::System& system, const MoverConfig& config)
+    : system_(system), config_(config) {}
+
+std::vector<std::pair<PageKey, mem::PageSize>> PageMover::residents(
+    mem::TierId tier) {
+  std::vector<std::pair<PageKey, mem::PageSize>> pages;
+  for (sim::Process* proc : system_.processes()) {
+    const mem::Pid pid = proc->pid();
+    proc->page_table().walk(
+        [&](mem::VirtAddr page_va, mem::PageSize size, mem::Pte& pte) {
+          if (system_.phys().tier_of(pte.pfn()) == tier) {
+            pages.emplace_back(PageKey{pid, page_va}, size);
+          }
+        });
+  }
+  return pages;
+}
+
+MoveStats PageMover::apply(const std::vector<core::PageRank>& ranking,
+                           std::uint64_t capacity_frames) {
+  if (ranking.empty()) return MoveStats{};
+
+  // Desired resident set: hottest pages first until capacity is filled.
+  // Pages below the noise floor are not worth a migration; the residents
+  // they would have displaced simply stay put.
+  PlacementSet desired;
+  std::uint64_t used = 0;
+  for (const core::PageRank& pr : ranking) {
+    if (pr.rank < config_.min_rank) break;  // ranking is descending
+    sim::Process& proc = system_.process(pr.key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(pr.key.page_va);
+    if (!ref) continue;  // page vanished
+    const std::uint64_t frames = mem::pages_in(ref.size);
+    if (used + frames > capacity_frames) continue;
+    desired.insert(pr.key);
+    used += frames;
+    if (used >= capacity_frames) break;
+  }
+  return reconcile(desired, ranking);
+}
+
+MoveStats PageMover::apply_placement(
+    const PlacementSet& desired, const std::vector<core::PageRank>& ranking) {
+  return reconcile(desired, ranking);
+}
+
+MoveStats PageMover::reconcile(const PlacementSet& desired,
+                               const std::vector<core::PageRank>& ranking) {
+  MoveStats stats;
+
+  // Demote cold tier-1 residents so promotions have room — *coldest first*,
+  // so a hot resident that merely escaped this epoch's sparse sample is the
+  // last to go. Demotion is lazy: pages move out only when the desired set
+  // actually needs the space.
+  std::unordered_map<PageKey, std::uint64_t, PageKeyHash> rank_of;
+  rank_of.reserve(ranking.size());
+  for (const core::PageRank& pr : ranking) rank_of.emplace(pr.key, pr.rank);
+  auto t1_pages = residents(0);
+  std::stable_sort(t1_pages.begin(), t1_pages.end(),
+                   [&](const auto& a, const auto& b) {
+                     const auto ra = rank_of.find(a.first);
+                     const auto rb = rank_of.find(b.first);
+                     const std::uint64_t va =
+                         ra == rank_of.end() ? 0 : ra->second;
+                     const std::uint64_t vb =
+                         rb == rank_of.end() ? 0 : rb->second;
+                     return va < vb;
+                   });
+  std::uint64_t need_frames = 0;
+  for (const PageKey& key : desired) {
+    sim::Process& proc = system_.process(key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(key.page_va);
+    if (ref && system_.phys().tier_of(ref.pte->pfn()) != 0) {
+      need_frames += mem::pages_in(ref.size);
+    }
+  }
+  std::uint64_t free_t1 = system_.phys().free_frames(0);
+  for (const auto& [key, size] : t1_pages) {
+    if (need_frames <= free_t1) break;
+    if (desired.count(key) != 0) continue;
+    if (system_.migrate_page(key.pid, key.page_va, 1)) {
+      ++stats.demoted;
+      stats.cost_ns += config_.per_page_cost_ns;
+      free_t1 += mem::pages_in(size);
+    } else {
+      ++stats.failed;
+    }
+  }
+
+  // Promote the desired pages that still live in tier 2, hottest first.
+  for (const core::PageRank& pr : ranking) {
+    if (config_.max_promotions != 0 &&
+        stats.promoted >= config_.max_promotions) {
+      break;
+    }
+    if (desired.count(pr.key) == 0) continue;
+    sim::Process& proc = system_.process(pr.key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(pr.key.page_va);
+    if (!ref) continue;
+    if (system_.phys().tier_of(ref.pte->pfn()) == 0) continue;
+    if (mem::pages_in(ref.size) > system_.phys().free_frames(0)) {
+      ++stats.failed;
+      continue;
+    }
+    if (system_.migrate_page(pr.key.pid, pr.key.page_va, 0)) {
+      ++stats.promoted;
+      stats.cost_ns += config_.per_page_cost_ns;
+    } else {
+      ++stats.failed;
+    }
+  }
+  // Desired pages the ranking never mentioned (e.g., a sticky policy's
+  // carried-over residents) are promoted last, in set order.
+  for (const PageKey& key : desired) {
+    if (config_.max_promotions != 0 &&
+        stats.promoted >= config_.max_promotions) {
+      break;
+    }
+    sim::Process& proc = system_.process(key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(key.page_va);
+    if (!ref) continue;
+    if (system_.phys().tier_of(ref.pte->pfn()) == 0) continue;
+    if (mem::pages_in(ref.size) > system_.phys().free_frames(0)) {
+      ++stats.failed;
+      continue;
+    }
+    if (system_.migrate_page(key.pid, key.page_va, 0)) {
+      ++stats.promoted;
+      stats.cost_ns += config_.per_page_cost_ns;
+    } else {
+      ++stats.failed;
+    }
+  }
+
+  system_.advance_time(stats.cost_ns);
+  return stats;
+}
+
+MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
+                                 const std::vector<std::uint64_t>& capacities) {
+  TMPROF_EXPECTS(!capacities.empty());
+  TMPROF_EXPECTS(capacities.size() + 1 <= system_.phys().tier_count());
+  MoveStats stats;
+  if (ranking.empty()) return stats;
+  const auto bottom = static_cast<mem::TierId>(capacities.size());
+
+  // Assign each ranked page a target tier in rank order: hottest pages
+  // fill the fastest tier first, spilling down the ladder.
+  std::unordered_map<PageKey, mem::TierId, PageKeyHash> target;
+  target.reserve(ranking.size());
+  std::vector<std::uint64_t> used(capacities.size(), 0);
+  for (const core::PageRank& pr : ranking) {
+    if (pr.rank < config_.min_rank) break;
+    sim::Process& proc = system_.process(pr.key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(pr.key.page_va);
+    if (!ref) continue;
+    const std::uint64_t frames = mem::pages_in(ref.size);
+    mem::TierId assigned = bottom;
+    for (std::size_t t = 0; t < capacities.size(); ++t) {
+      if (used[t] + frames <= capacities[t]) {
+        used[t] += frames;
+        assigned = static_cast<mem::TierId>(t);
+        break;
+      }
+    }
+    if (assigned != bottom) target.emplace(pr.key, assigned);
+  }
+
+  // Demote first, working the ladder bottom-up: a tier can only shed pages
+  // into the tiers below it, so space must open at the bottom before the
+  // top can drain. Residents with no (or a slower) target leave when the
+  // incoming set needs their space; unranked pages sink to the bottom tier
+  // so they never squat on a middle tier another page was assigned.
+  for (mem::TierId tier = bottom; tier-- > 0;) {
+    std::uint64_t need = 0;
+    for (const auto& [key, t] : target) {
+      if (t != tier) continue;
+      sim::Process& proc = system_.process(key.pid);
+      const mem::PteRef ref = proc.page_table().resolve(key.page_va);
+      if (ref && system_.phys().tier_of(ref.pte->pfn()) != tier) {
+        need += mem::pages_in(ref.size);
+      }
+    }
+    std::uint64_t free_frames = system_.phys().free_frames(tier);
+    for (const auto& [key, size] : residents(tier)) {
+      if (need <= free_frames) break;
+      const auto it = target.find(key);
+      if (it != target.end() && it->second <= tier) continue;
+      const mem::TierId dest = it == target.end() ? bottom : it->second;
+      if (system_.migrate_page(key.pid, key.page_va, dest)) {
+        ++stats.demoted;
+        stats.cost_ns += config_.per_page_cost_ns;
+        free_frames += mem::pages_in(size);
+      } else {
+        ++stats.failed;
+      }
+    }
+  }
+  for (const core::PageRank& pr : ranking) {
+    const auto it = target.find(pr.key);
+    if (it == target.end()) continue;
+    sim::Process& proc = system_.process(pr.key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(pr.key.page_va);
+    if (!ref) continue;
+    const mem::TierId current = system_.phys().tier_of(ref.pte->pfn());
+    if (current <= it->second) continue;  // already fast enough
+    if (mem::pages_in(ref.size) > system_.phys().free_frames(it->second)) {
+      ++stats.failed;
+      continue;
+    }
+    if (system_.migrate_page(pr.key.pid, pr.key.page_va, it->second)) {
+      ++stats.promoted;
+      stats.cost_ns += config_.per_page_cost_ns;
+    } else {
+      ++stats.failed;
+    }
+  }
+  system_.advance_time(stats.cost_ns);
+  return stats;
+}
+
+}  // namespace tmprof::tiering

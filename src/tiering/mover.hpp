@@ -1,0 +1,82 @@
+#pragma once
+/// \file mover.hpp
+/// The page mover (Section IV, Step 3): reconciles tier-1 residency with
+/// the policy's decision at each epoch horizon. Demotions free room first,
+/// then promotions fill it; each page move performs the remap + shootdown
+/// through the System and charges the configured per-page migration cost
+/// (the paper's emulation uses 50 µs per page).
+
+#include <cstdint>
+
+#include "core/ranking.hpp"
+#include "sim/system.hpp"
+#include "tiering/policy.hpp"
+
+namespace tmprof::tiering {
+
+struct MoveStats {
+  std::uint64_t promoted = 0;   ///< pages moved tier2 → tier1
+  std::uint64_t demoted = 0;    ///< pages moved tier1 → tier2
+  std::uint64_t failed = 0;     ///< moves that found no room
+  util::SimNs cost_ns = 0;
+};
+
+struct MoverConfig {
+  /// Cost charged per migrated page (the paper's emulation uses 50 µs).
+  util::SimNs per_page_cost_ns = 50 * util::kMicrosecond;
+  /// Only pages ranked at least this hot are worth a migration ("to
+  /// justify the migration cost, the hottest pages should be migrated",
+  /// Section IV). Rank 1 is the tie mass every touched page reaches via a
+  /// single A-bit observation; demanding 2+ filters the noise floor.
+  std::uint64_t min_rank = 2;
+  /// Upper bound on promotions per apply() (0 = unlimited); bounds the
+  /// per-epoch migration burst on noisy profiles.
+  std::uint64_t max_promotions = 0;
+};
+
+class PageMover {
+ public:
+  explicit PageMover(sim::System& system, const MoverConfig& config = {});
+  PageMover(sim::System& system, util::SimNs per_page_cost_ns)
+      : PageMover(system, MoverConfig{per_page_cost_ns, 2, 0}) {}
+
+  /// Make tier 1 hold (as nearly as possible) the hottest ranked pages that
+  /// fit in `capacity_frames`. Charges migration time to the system clock.
+  MoveStats apply(const std::vector<core::PageRank>& ranking,
+                  std::uint64_t capacity_frames);
+
+  /// Reconcile tier-1 residency with an explicit placement decision (the
+  /// output of any tiering::Policy). `ranking` orders promotions and
+  /// identifies cold residents for demotion; pages in `desired` are moved
+  /// in regardless of the min_rank noise floor (the policy already chose).
+  MoveStats apply_placement(const PlacementSet& desired,
+                            const std::vector<core::PageRank>& ranking);
+
+  /// Waterfall placement across an arbitrary tier ladder: the hottest
+  /// ranked pages fill tier 0 up to capacities[0], the next-hottest fill
+  /// tier 1 up to capacities[1], and so on; pages below the noise floor
+  /// (or beyond every capacity) belong in the last tier. One capacity per
+  /// tier above the bottom; requires the System to have
+  /// capacities.size() + 1 tiers.
+  ///
+  /// Like real tiering kernels, reconciliation needs a few spare frames in
+  /// the destination tiers to stage exchanges: if every tier is 100% full,
+  /// demotions (and therefore the promotions waiting on them) fail
+  /// gracefully and are reported in MoveStats::failed. Keep capacities a
+  /// little below the physical tier sizes.
+  MoveStats apply_tiers(const std::vector<core::PageRank>& ranking,
+                        const std::vector<std::uint64_t>& capacities);
+
+  /// Enumerate pages currently resident in tier `tier` with their sizes.
+  [[nodiscard]] std::vector<std::pair<PageKey, mem::PageSize>> residents(
+      mem::TierId tier);
+
+ private:
+  MoveStats reconcile(const PlacementSet& desired,
+                      const std::vector<core::PageRank>& ranking);
+
+  sim::System& system_;
+  MoverConfig config_;
+};
+
+}  // namespace tmprof::tiering

@@ -1,0 +1,166 @@
+#include "tiering/runner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pmu/events.hpp"
+#include "tiering/epoch.hpp"
+#include "util/assert.hpp"
+
+namespace tmprof::tiering {
+
+namespace {
+
+/// Re-establish fault delivery for every tier-2 page: poison new tier-2
+/// residents (hot if the profiler ranked them), unpoison promoted pages.
+void sync_poison(sim::System& system, monitors::BadgerTrap& trap,
+                 const PlacementSet& hot_pages) {
+  for (sim::Process* proc : system.processes()) {
+    const mem::Pid pid = proc->pid();
+    const std::uint32_t core = pid % system.config().cores;
+    proc->page_table().walk(
+        [&](mem::VirtAddr page_va, mem::PageSize size, mem::Pte& pte) {
+          (void)size;
+          const bool in_t2 = system.phys().tier_of(pte.pfn()) != 0;
+          const bool poisoned = trap.is_poisoned(pid, page_va);
+          if (in_t2) {
+            const bool hot = hot_pages.count(PageKey{pid, page_va}) != 0;
+            trap.poison(pid, proc->page_table(), system.tlb(core), page_va,
+                        hot);
+          } else if (poisoned) {
+            trap.unpoison(pid, proc->page_table(), page_va);
+          }
+        });
+  }
+}
+
+}  // namespace
+
+RunnerResult EndToEndRunner::run(const workloads::WorkloadSpec& spec,
+                                 const sim::SimConfig& sim_config,
+                                 const RunnerOptions& options) {
+  return run(spec_factory(spec), sim_config, options);
+}
+
+RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
+                                 const sim::SimConfig& sim_config,
+                                 const RunnerOptions& options) {
+  sim::SimConfig config = sim_config;
+  if (options.slow_model == SlowMemoryModel::BadgerTrapEmulation) {
+    // Both tiers are physically DRAM; slowness comes from injected faults.
+    config.tier2_read_ns = config.tier1_read_ns;
+    config.tier2_write_ns = config.tier1_write_ns;
+  }
+  sim::System system(config);
+  for (auto& generator : factory(options.seed)) {
+    system.add_process(std::move(generator));
+  }
+
+  monitors::BadgerTrap trap(options.badgertrap);
+  if (options.slow_model == SlowMemoryModel::BadgerTrapEmulation) {
+    system.set_badgertrap(&trap);
+  }
+
+  core::DaemonConfig daemon_config = options.daemon;
+  daemon_config.fusion = options.fusion;
+  daemon_config.charge_overhead = true;
+  core::TmpDaemon daemon(system, daemon_config);
+  PageMover mover(system, options.mover);
+
+  const bool migrate = options.policy != "first-touch";
+  const bool oracle = options.policy == "oracle";
+  std::unique_ptr<Policy> policy;
+  if (migrate && !oracle) policy = make_policy(options.policy);
+
+  // Oracle pre-pass: record each epoch's true hottest pages on an identical
+  // shadow run (workload streams are deterministic, so the shadow sees the
+  // same references the main run will).
+  std::vector<std::vector<core::PageRank>> oracle_rankings;
+  if (oracle) {
+    CollectOptions collect;
+    collect.n_epochs = options.n_epochs;
+    collect.ops_per_epoch = options.ops_per_epoch;
+    collect.seed = options.seed;
+    collect.daemon = options.daemon;
+    const EpochSeries series = collect_series(factory, config, collect);
+    for (const EpochData& data : series.epochs) {
+      std::vector<core::PageRank> ranking;
+      ranking.reserve(data.truth.size());
+      for (const auto& [key, count] : data.truth) {
+        core::PageRank pr;
+        pr.key = key;
+        pr.rank = count;
+        ranking.push_back(pr);
+      }
+      std::sort(ranking.begin(), ranking.end(),
+                [](const core::PageRank& a, const core::PageRank& b) {
+                  if (a.rank != b.rank) return a.rank > b.rank;
+                  return a.key < b.key;
+                });
+      oracle_rankings.push_back(std::move(ranking));
+    }
+  }
+
+  RunnerResult result;
+  for (std::uint32_t e = 0; e < options.n_epochs; ++e) {
+    system.step(options.ops_per_epoch);
+    core::ProfileSnapshot snapshot = daemon.tick();
+    if (migrate && oracle) {
+      // Oracle places for the *coming* epoch using its truth.
+      const std::size_t next = e + 1;
+      const std::vector<core::PageRank>* ranking =
+          next < oracle_rankings.size() ? &oracle_rankings[next]
+                                        : &snapshot.ranking;
+      const MoveStats moved = mover.apply(*ranking, config.tier1_frames);
+      result.migrations += moved.promoted + moved.demoted;
+    } else if (migrate) {
+      // Every other policy decides through the Policy interface, seeing
+      // the epoch that just ended above the mover's noise floor (rank ties
+      // from single A-bit observations are not worth migrations).
+      std::vector<core::PageRank> filtered;
+      filtered.reserve(snapshot.ranking.size());
+      PageSizeMap sizes;
+      for (const core::PageRank& pr : snapshot.ranking) {
+        if (pr.rank < options.mover.min_rank) break;  // descending
+        sim::Process& proc = system.process(pr.key.pid);
+        const mem::PteRef ref = proc.page_table().resolve(pr.key.page_va);
+        if (!ref) continue;
+        filtered.push_back(pr);
+        sizes[pr.key] = ref.size;
+      }
+      PlacementSet current;
+      for (const auto& [key, size] : mover.residents(0)) {
+        current.insert(key);
+      }
+      PolicyContext ctx;
+      ctx.capacity_frames = config.tier1_frames;
+      ctx.current = &current;
+      ctx.observed_ranking = &filtered;
+      ctx.page_sizes = &sizes;
+      const PlacementSet next = policy->choose(ctx);
+      const MoveStats moved = mover.apply_placement(next, filtered);
+      result.migrations += moved.promoted + moved.demoted;
+    }
+    if (options.slow_model == SlowMemoryModel::BadgerTrapEmulation) {
+      // The emulation framework refreshes protection each period. Hot =
+      // profiler-ranked pages stuck in slow memory.
+      PlacementSet hot;
+      for (const core::PageRank& pr : snapshot.ranking) hot.insert(pr.key);
+      sync_poison(system, trap, hot);
+    }
+  }
+
+  const std::uint64_t t1 = system.pmu().truth_total(pmu::Event::MemReadTier1);
+  const std::uint64_t t2 = system.pmu().truth_total(pmu::Event::MemReadTier2);
+  result.tier1_hitrate =
+      (t1 + t2) == 0 ? 1.0
+                     : static_cast<double>(t1) / static_cast<double>(t1 + t2);
+  result.protection_faults = trap.total_faults();
+  result.profiling_overhead_ns = daemon.driver().overhead_ns();
+  // Trace-side overhead is not charged inline by the daemon (the driver's
+  // interrupt handlers run on the profiled cores); add it here.
+  result.runtime_ns = system.now() + daemon.driver().trace_overhead_ns();
+  return result;
+}
+
+}  // namespace tmprof::tiering

@@ -1,0 +1,65 @@
+#pragma once
+/// \file runner.hpp
+/// End-to-end tiered-memory execution (Section VI-C). Runs a workload
+/// online: the TMP daemon profiles each epoch, the policy picks tier-1
+/// residents, the page mover migrates at the epoch horizon, and the run's
+/// total simulated time yields the speedup over the first-come-first-
+/// allocate baseline.
+///
+/// Two slow-memory models are supported:
+///  * native     — tier 2 has NVM-class load/store latency (simulator-native)
+///  * badgertrap — both tiers are DRAM-fast, but tier-2 pages are poisoned
+///                 each refresh period and every faulting access pays the
+///                 paper's emulation constants (10 µs, +13 µs if hot).
+///                 This reproduces the paper's emulation framework exactly.
+
+#include <cstdint>
+#include <string>
+
+#include "core/daemon.hpp"
+#include "monitors/badgertrap.hpp"
+#include "sim/system.hpp"
+#include "tiering/epoch.hpp"
+#include "tiering/mover.hpp"
+#include "tiering/policies.hpp"
+#include "workloads/registry.hpp"
+
+namespace tmprof::tiering {
+
+enum class SlowMemoryModel : std::uint8_t { Native, BadgerTrapEmulation };
+
+struct RunnerOptions {
+  std::string policy = "history";       ///< "first-touch" disables migration
+  core::FusionMode fusion = core::FusionMode::Sum;
+  std::uint32_t n_epochs = 12;
+  std::uint64_t ops_per_epoch = 1'000'000;
+  std::uint64_t seed = 42;
+  SlowMemoryModel slow_model = SlowMemoryModel::Native;
+  MoverConfig mover;                      ///< migration cost + thresholds
+  monitors::BadgerTrapConfig badgertrap;  ///< used in emulation mode
+  core::DaemonConfig daemon;
+};
+
+struct RunnerResult {
+  util::SimNs runtime_ns = 0;          ///< includes charged profiling cost
+  double tier1_hitrate = 0.0;          ///< memory accesses served by tier 1
+  std::uint64_t migrations = 0;
+  std::uint64_t protection_faults = 0; ///< emulation-mode faults taken
+  util::SimNs profiling_overhead_ns = 0;
+};
+
+class EndToEndRunner {
+ public:
+  /// Execute one configuration. `sim_config.tier1_frames` defines the fast
+  /// tier; tier 2 must be large enough for the spilled footprint.
+  [[nodiscard]] static RunnerResult run(const workloads::WorkloadSpec& spec,
+                                        const sim::SimConfig& sim_config,
+                                        const RunnerOptions& options);
+
+  /// Same, for arbitrary workload sets (custom applications).
+  [[nodiscard]] static RunnerResult run(const WorkloadFactory& factory,
+                                        const sim::SimConfig& sim_config,
+                                        const RunnerOptions& options);
+};
+
+}  // namespace tmprof::tiering

@@ -1,0 +1,126 @@
+#include "tiering/series_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tmprof::tiering {
+
+namespace {
+
+constexpr const char* kMagic = "tmprof-series 1";
+
+void write_map(std::ostream& os, const char* tag,
+               const std::unordered_map<PageKey, std::uint64_t, PageKeyHash>&
+                   map) {
+  for (const auto& [key, count] : map) {
+    os << tag << ' ' << key.pid << ' ' << key.page_va << ' ' << count << '\n';
+  }
+}
+
+void write_map32(std::ostream& os, const char* tag,
+                 const std::unordered_map<PageKey, std::uint32_t,
+                                          PageKeyHash>& map) {
+  for (const auto& [key, count] : map) {
+    os << tag << ' ' << key.pid << ' ' << key.page_va << ' ' << count << '\n';
+  }
+}
+
+[[noreturn]] void malformed(const std::string& line) {
+  throw std::runtime_error("series_io: malformed line: " + line);
+}
+
+}  // namespace
+
+void save_series(const EpochSeries& series, std::ostream& os) {
+  os << kMagic << '\n';
+  for (const auto& [key, size] : series.page_sizes) {
+    os << "page " << key.pid << ' ' << key.page_va << ' '
+       << (size == mem::PageSize::k2M ? "2M" : "4K") << '\n';
+  }
+  for (const EpochData& data : series.epochs) {
+    os << "epoch " << data.epoch << '\n';
+    for (const PageKey& key : data.new_pages) {
+      os << "new " << key.pid << ' ' << key.page_va << '\n';
+    }
+    write_map(os, "truth", data.truth);
+    write_map32(os, "abit", data.observed.abit);
+    write_map32(os, "trace", data.observed.trace);
+    write_map32(os, "writes", data.observed.writes);
+    os << "end\n";
+  }
+}
+
+void save_series_file(const EpochSeries& series, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("series_io: cannot open " + path);
+  save_series(series, os);
+}
+
+EpochSeries load_series(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::runtime_error("series_io: bad header: " + line);
+  }
+  EpochSeries series;
+  EpochData data;
+  bool in_epoch = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "page") {
+      PageKey key;
+      std::string size;
+      if (!(ls >> key.pid >> key.page_va >> size)) malformed(line);
+      series.page_sizes[key] =
+          size == "2M" ? mem::PageSize::k2M : mem::PageSize::k4K;
+    } else if (tag == "epoch") {
+      if (in_epoch) malformed(line);
+      data = EpochData{};
+      if (!(ls >> data.epoch)) malformed(line);
+      data.observed.epoch = data.epoch;
+      in_epoch = true;
+    } else if (tag == "end") {
+      if (!in_epoch) malformed(line);
+      for (const auto& [key, count] : data.truth) data.truth_total += count;
+      series.epochs.push_back(std::move(data));
+      in_epoch = false;
+    } else if (tag == "new") {
+      PageKey key;
+      if (!in_epoch || !(ls >> key.pid >> key.page_va)) malformed(line);
+      data.new_pages.push_back(key);
+    } else if (tag == "truth" || tag == "abit" || tag == "trace" ||
+               tag == "writes") {
+      PageKey key;
+      std::uint64_t count = 0;
+      if (!in_epoch || !(ls >> key.pid >> key.page_va >> count)) {
+        malformed(line);
+      }
+      if (tag == "truth") data.truth[key] = count;
+      else if (tag == "abit") {
+        data.observed.abit[key] = static_cast<std::uint32_t>(count);
+      } else if (tag == "trace") {
+        data.observed.trace[key] = static_cast<std::uint32_t>(count);
+      } else {
+        data.observed.writes[key] = static_cast<std::uint32_t>(count);
+      }
+    } else {
+      malformed(line);
+    }
+  }
+  if (in_epoch) throw std::runtime_error("series_io: truncated epoch");
+  for (const auto& [key, size] : series.page_sizes) {
+    series.footprint_frames += mem::pages_in(size);
+  }
+  return series;
+}
+
+EpochSeries load_series_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("series_io: cannot open " + path);
+  return load_series(is);
+}
+
+}  // namespace tmprof::tiering

@@ -1,0 +1,25 @@
+#pragma once
+/// \file series_io.hpp
+/// EpochSeries (de)serialization. Profiling collection is the expensive
+/// half of the offline evaluation pipeline; persisting a collected series
+/// lets policy studies (fig6, ablations, notebooks) re-evaluate without
+/// re-simulating — the same split the paper uses when it computes policy
+/// results "based on the profiling data from the real hardware".
+
+#include <iosfwd>
+#include <string>
+
+#include "tiering/epoch.hpp"
+
+namespace tmprof::tiering {
+
+/// Plain-text, line-oriented format (stable across versions; see the
+/// header line "tmprof-series 1").
+void save_series(const EpochSeries& series, std::ostream& os);
+void save_series_file(const EpochSeries& series, const std::string& path);
+
+/// Throws std::runtime_error on malformed input or version mismatch.
+[[nodiscard]] EpochSeries load_series(std::istream& is);
+[[nodiscard]] EpochSeries load_series_file(const std::string& path);
+
+}  // namespace tmprof::tiering

@@ -1,0 +1,52 @@
+#pragma once
+/// \file assert.hpp
+/// Always-on invariant checking used throughout the library.
+///
+/// Simulator correctness matters more than the last few percent of speed, so
+/// these checks stay enabled in release builds. They throw (rather than
+/// abort) so tests can assert on violated preconditions.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace tmprof::util {
+
+/// Error thrown when a TMPROF_ASSERT / Expects / Ensures check fails.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void assertion_failure(
+    const char* kind, const char* expr,
+    const std::source_location loc = std::source_location::current()) {
+  throw AssertionError(std::string(kind) + " failed: `" + expr + "` at " +
+                       loc.file_name() + ":" + std::to_string(loc.line()));
+}
+
+}  // namespace tmprof::util
+
+/// Check an invariant that must hold at this program point.
+#define TMPROF_ASSERT(expr)                                       \
+  do {                                                            \
+    if (!(expr)) [[unlikely]] {                                   \
+      ::tmprof::util::assertion_failure("assertion", #expr);      \
+    }                                                             \
+  } while (false)
+
+/// Precondition check on function entry (GSL-style).
+#define TMPROF_EXPECTS(expr)                                      \
+  do {                                                            \
+    if (!(expr)) [[unlikely]] {                                   \
+      ::tmprof::util::assertion_failure("precondition", #expr);   \
+    }                                                             \
+  } while (false)
+
+/// Postcondition check before returning (GSL-style).
+#define TMPROF_ENSURES(expr)                                      \
+  do {                                                            \
+    if (!(expr)) [[unlikely]] {                                   \
+      ::tmprof::util::assertion_failure("postcondition", #expr);  \
+    }                                                             \
+  } while (false)

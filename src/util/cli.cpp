@@ -1,0 +1,55 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace tmprof::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "true";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return options_.count(key) != 0;
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& key,
+                                 std::uint64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::stoull(it->second);
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool ArgParser::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("ArgParser: bad boolean for --" + key + ": " + v);
+}
+
+}  // namespace tmprof::util

@@ -1,0 +1,36 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny `--key=value` / `--flag` argument parser for benches and examples.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tmprof::util {
+
+/// Parses `--key=value` and bare `--flag` arguments. Positional arguments
+/// are collected in order. Unknown keys are allowed (benches share configs).
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tmprof::util

@@ -1,0 +1,33 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace tmprof::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += "\"\"";
+    else quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) out_ << ',';
+    out_ << escape(cell);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace tmprof::util

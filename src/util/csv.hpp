@@ -1,0 +1,28 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV emission for bench outputs consumed by plotting scripts.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tmprof::util {
+
+/// Writes rows to a CSV file; quotes cells containing separators.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace tmprof::util

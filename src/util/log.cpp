@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace tmprof::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+namespace detail {
+void log_write(LogLevel level, std::string_view msg) {
+  std::cerr << "[tmprof:" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+LogLine::~LogLine() {
+  if (level_ >= log_level()) detail::log_write(level_, buffer_.str());
+}
+
+}  // namespace tmprof::util

@@ -1,0 +1,36 @@
+#pragma once
+/// \file table.hpp
+/// Aligned plain-text tables; benches print paper tables through this.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tmprof::util {
+
+/// Column-aligned text table with a header row and separator.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  /// Helpers for numeric cells.
+  static std::string num(std::uint64_t v);
+  static std::string fixed(double v, int digits);
+  static std::string percent(double ratio, int digits = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tmprof::util

@@ -1,0 +1,48 @@
+#include "workloads/data_analytics.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::workloads {
+
+DataAnalyticsWorkload::DataAnalyticsWorkload(std::uint64_t input_bytes,
+                                             std::uint64_t hash_bytes,
+                                             std::uint64_t seed)
+    : input_bytes_(input_bytes),
+      hash_bytes_(hash_bytes),
+      bucket_(hash_bytes / 64, 0.9),  // term frequencies are Zipfian
+      rng_(seed) {
+  TMPROF_EXPECTS(input_bytes >= 1 << 20);
+  TMPROF_EXPECTS(hash_bytes >= 1 << 16);
+  // Workers process different splits: start each scan at a random offset so
+  // multi-process deployments are not in artificial lockstep.
+  scan_cursor_ = (rng_.below(input_bytes_ / 64)) * 64;
+}
+
+MemRef DataAnalyticsWorkload::next() {
+  MemRef ref;
+  if (!shuffling_) {
+    // Map: sequential scan of the input split, one cache line at a time.
+    ref.offset = scan_cursor_;
+    ref.is_store = false;
+    ref.ip = 1;
+    scan_cursor_ += 64;
+    if (scan_cursor_ >= input_bytes_) scan_cursor_ = 0;
+    if (++refs_in_phase_ >= kMapRefs) {
+      refs_in_phase_ = 0;
+      shuffling_ = true;
+    }
+    return ref;
+  }
+  // Shuffle/reduce: read-modify-write skewed hash buckets.
+  const std::uint64_t bucket = bucket_(rng_);
+  ref.offset = input_bytes_ + bucket * 64 + (rng_.below(64) & ~7ULL);
+  ref.is_store = rng_.chance(0.5);
+  ref.ip = 2;
+  if (++refs_in_phase_ >= kShuffleRefs) {
+    refs_in_phase_ = 0;
+    shuffling_ = false;
+  }
+  return ref;
+}
+
+}  // namespace tmprof::workloads

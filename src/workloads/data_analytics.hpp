@@ -1,0 +1,43 @@
+#pragma once
+/// \file data_analytics.hpp
+/// CloudSuite Data-Analytics (Hadoop/Mahout Naive Bayes over the Wikipedia
+/// dataset). Alternates a *map* phase — sequential scan of the input
+/// splits — with a *shuffle/reduce* phase of skewed hash-bucket updates.
+/// JVM heap: 4 KiB pages; the broad sequential scans give A-bit profiling
+/// its largest detected-page counts in Table IV.
+
+#include "util/zipf.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmprof::workloads {
+
+class DataAnalyticsWorkload final : public Workload {
+ public:
+  /// \param input_bytes  scanned dataset region
+  /// \param hash_bytes   shuffle hash-table region
+  DataAnalyticsWorkload(std::uint64_t input_bytes, std::uint64_t hash_bytes,
+                        std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return input_bytes_ + hash_bytes_;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "data_analytics";
+  }
+
+ private:
+  /// References per map phase before switching to shuffle, and vice versa.
+  static constexpr std::uint64_t kMapRefs = 1 << 14;
+  static constexpr std::uint64_t kShuffleRefs = 1 << 12;
+
+  std::uint64_t input_bytes_;
+  std::uint64_t hash_bytes_;
+  util::ZipfDistribution bucket_;
+  util::Rng rng_;
+  std::uint64_t scan_cursor_ = 0;
+  std::uint64_t refs_in_phase_ = 0;
+  bool shuffling_ = false;
+};
+
+}  // namespace tmprof::workloads

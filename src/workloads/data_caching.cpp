@@ -1,0 +1,54 @@
+#include "workloads/data_caching.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::workloads {
+
+// Layout: [0, index_bytes) hash index, [index_bytes, +slab_bytes) slabs.
+DataCachingWorkload::DataCachingWorkload(std::uint64_t slab_bytes,
+                                         std::uint64_t value_bytes,
+                                         std::uint64_t seed)
+    : slab_bytes_(slab_bytes),
+      value_bytes_(value_bytes),
+      index_bytes_(slab_bytes / 16),
+      keys_(slab_bytes / value_bytes),
+      key_(slab_bytes / value_bytes, 0.99),  // classic memcached skew
+      rng_(seed) {
+  TMPROF_EXPECTS(value_bytes >= 64);
+  TMPROF_EXPECTS(slab_bytes >= value_bytes * 64);
+}
+
+std::uint64_t DataCachingWorkload::footprint_bytes() const {
+  return index_bytes_ + slab_bytes_;
+}
+
+MemRef DataCachingWorkload::next() {
+  MemRef ref;
+  if (++refs_ % kChurnPeriodRefs == 0) {
+    churn_offset_ = (churn_offset_ + keys_ / 512 + 1) % keys_;
+  }
+  if (lines_left_ == 0) {
+    // New operation: probe the hash index for a Zipf-popular key. The
+    // rank → key mapping rotates slowly (trending-item churn).
+    const std::uint64_t k = (key_(rng_) + churn_offset_) % keys_;
+    current_value_ = index_bytes_ + k * value_bytes_;
+    lines_left_ = value_bytes_ / 64;
+    line_cursor_ = 0;
+    current_is_set_ = rng_.chance(kSetFraction);
+    // Hash-bucket probe: pseudo-random position derived from the key.
+    std::uint64_t h = k;
+    ref.offset = (util::splitmix64(h) % (index_bytes_ / 8)) * 8;
+    ref.is_store = false;
+    ref.ip = 1;
+    return ref;
+  }
+  // Stream the value, line by line; SETs write, GETs read.
+  ref.offset = current_value_ + line_cursor_ * 64;
+  ref.is_store = current_is_set_;
+  ref.ip = current_is_set_ ? 3 : 2;
+  ++line_cursor_;
+  --lines_left_;
+  return ref;
+}
+
+}  // namespace tmprof::workloads

@@ -1,0 +1,49 @@
+#pragma once
+/// \file data_caching.hpp
+/// CloudSuite Data-Caching (memcached serving the Twitter dataset). GET/SET
+/// mix over Zipf-popular keys: each operation probes the hash index, then
+/// reads (or writes) a multi-line value from the slab region. The paper
+/// runs 4 memcached servers against 8 clients with a 36 GB dataset.
+
+#include "util/zipf.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmprof::workloads {
+
+class DataCachingWorkload final : public Workload {
+ public:
+  /// \param slab_bytes  value storage (dominates the footprint)
+  /// \param value_bytes average object size (twitter: ~800 B; use 1 KiB)
+  DataCachingWorkload(std::uint64_t slab_bytes, std::uint64_t value_bytes,
+                      std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "data_caching";
+  }
+
+ private:
+  static constexpr double kSetFraction = 0.05;  // CloudSuite default GET:SET
+  /// Popularity churn: every this many references the Zipf rank → key
+  /// mapping rotates by 1/512 of the key space, modeling trending items in
+  /// the Twitter dataset. Hot-set drift is what makes reactive placement
+  /// matter for caching services.
+  static constexpr std::uint64_t kChurnPeriodRefs = 200'000;
+
+  std::uint64_t slab_bytes_;
+  std::uint64_t value_bytes_;
+  std::uint64_t index_bytes_;
+  std::uint64_t keys_;
+  util::ZipfDistribution key_;
+  util::Rng rng_;
+
+  std::uint64_t current_value_ = 0;
+  std::uint64_t lines_left_ = 0;
+  std::uint64_t line_cursor_ = 0;
+  bool current_is_set_ = false;
+  std::uint64_t refs_ = 0;
+  std::uint64_t churn_offset_ = 0;
+};
+
+}  // namespace tmprof::workloads

@@ -1,0 +1,75 @@
+#include "workloads/graph500.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::workloads {
+
+// Memory layout within the footprint:
+//   [0, V*8)                   offsets array
+//   [V*8, V*8 + E*8)           edges array (CSR)
+//   [V*8 + E*8, ... + V/8)     visited bitmap
+Graph500Workload::Graph500Workload(std::uint64_t vertices, std::uint64_t seed)
+    : vertices_(vertices),
+      edges_(vertices * kEdgeFactor),
+      degree_rank_(vertices, 0.8),  // RMAT-ish degree skew
+      rng_(seed) {
+  TMPROF_EXPECTS(vertices >= 4096);
+  pick_vertex();
+}
+
+std::uint64_t Graph500Workload::footprint_bytes() const {
+  return vertices_ * kOffsetBytes + edges_ * kEdgeBytes + vertices_ / 8 + 64;
+}
+
+void Graph500Workload::pick_vertex() {
+  // Frontier vertices are visited in an order weighted by degree skew:
+  // hubs appear in many adjacency lists and are processed early and often.
+  vertex_ = degree_rank_(rng_);
+  // Approximate per-vertex degree: hubs (low rank) get long edge bursts.
+  const std::uint64_t degree =
+      2 + (vertex_ < vertices_ / 64
+               ? kEdgeFactor * 8
+               : rng_.below(kEdgeFactor));
+  edges_left_ = degree;
+  // Adjacency lists start at pseudo-random CSR positions, but are read
+  // sequentially once started (real CSR behavior).
+  edge_cursor_ = rng_.below(edges_);
+  phase_ = Phase::ReadOffset;
+}
+
+MemRef Graph500Workload::next() {
+  const std::uint64_t offsets_base = 0;
+  const std::uint64_t edges_base = vertices_ * kOffsetBytes;
+  const std::uint64_t visited_base = edges_base + edges_ * kEdgeBytes;
+  MemRef ref;
+  switch (phase_) {
+    case Phase::ReadOffset:
+      ref.offset = offsets_base + vertex_ * kOffsetBytes;
+      ref.is_store = false;
+      ref.ip = 1;
+      phase_ = Phase::StreamEdges;
+      return ref;
+    case Phase::StreamEdges:
+      ref.offset = edges_base + (edge_cursor_ % edges_) * kEdgeBytes;
+      ref.is_store = false;
+      ref.ip = 2;
+      ++edge_cursor_;
+      if (--edges_left_ == 0) {
+        phase_ = Phase::ProbeVisited;
+        neighbor_probe_left_ = 2;  // a couple of bitmap probes per vertex
+      }
+      return ref;
+    case Phase::ProbeVisited: {
+      const std::uint64_t neighbor = degree_rank_(rng_);
+      ref.offset = visited_base + neighbor / 8;
+      ref.is_store = rng_.chance(0.5);  // half the probes mark the bit
+      ref.ip = 3;
+      if (--neighbor_probe_left_ == 0) pick_vertex();
+      return ref;
+    }
+  }
+  TMPROF_ASSERT(false);
+  return ref;
+}
+
+}  // namespace tmprof::workloads

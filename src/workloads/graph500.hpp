@@ -1,0 +1,49 @@
+#pragma once
+/// \file graph500.hpp
+/// Graph500 BFS over an RMAT graph in CSR form. The generator materializes
+/// a synthetic CSR layout (offsets + edges) with an RMAT-like skewed degree
+/// distribution and then replays breadth-first traversal accesses: a
+/// frontier vertex's offset reads, a sequential burst over its edge list,
+/// and random visited-bitmap probes/updates for its neighbors.
+
+#include <vector>
+
+#include "util/zipf.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmprof::workloads {
+
+class Graph500Workload final : public Workload {
+ public:
+  /// \param vertices  vertex count (edges ≈ 16x, Graph500's edge factor)
+  Graph500Workload(std::uint64_t vertices, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override;
+  [[nodiscard]] std::string_view name() const override { return "graph500"; }
+  [[nodiscard]] mem::PageSize page_size() const override {
+    return mem::PageSize::k2M;
+  }
+
+ private:
+  static constexpr std::uint64_t kEdgeFactor = 16;
+  static constexpr std::uint64_t kOffsetBytes = 8;
+  static constexpr std::uint64_t kEdgeBytes = 8;
+
+  enum class Phase : std::uint8_t { ReadOffset, StreamEdges, ProbeVisited };
+
+  void pick_vertex();
+
+  std::uint64_t vertices_;
+  std::uint64_t edges_;
+  util::ZipfDistribution degree_rank_;  ///< skewed frontier-vertex choice
+  util::Rng rng_;
+
+  Phase phase_ = Phase::ReadOffset;
+  std::uint64_t vertex_ = 0;
+  std::uint64_t edge_cursor_ = 0;
+  std::uint64_t edges_left_ = 0;
+  std::uint64_t neighbor_probe_left_ = 0;
+};
+
+}  // namespace tmprof::workloads

@@ -1,0 +1,48 @@
+#include "workloads/graph_analytics.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::workloads {
+
+// Layout: [0, V*8) rank_a, [V*8, 2V*8) rank_b, alternating roles per sweep.
+GraphAnalyticsWorkload::GraphAnalyticsWorkload(std::uint64_t vertices,
+                                               std::uint64_t seed)
+    : vertices_(vertices), neighbor_(vertices, 0.9), rng_(seed) {
+  TMPROF_EXPECTS(vertices >= 4096);
+}
+
+std::uint64_t GraphAnalyticsWorkload::footprint_bytes() const {
+  return 2 * vertices_ * kRankBytes;
+}
+
+MemRef GraphAnalyticsWorkload::next() {
+  const std::uint64_t old_base = flip_ ? vertices_ * kRankBytes : 0;
+  const std::uint64_t new_base = flip_ ? 0 : vertices_ * kRankBytes;
+  MemRef ref;
+  if (phase_ == 0) {
+    ref.offset = old_base + sweep_cursor_ * kRankBytes;
+    ref.is_store = false;
+    ref.ip = 1;
+    ++phase_;
+    return ref;
+  }
+  if (phase_ <= kGathersPerVertex) {
+    // Gather a contribution from a skewed random neighbor's old rank.
+    ref.offset = old_base + neighbor_(rng_) * kRankBytes;
+    ref.is_store = false;
+    ref.ip = 2;
+    ++phase_;
+    return ref;
+  }
+  ref.offset = new_base + sweep_cursor_ * kRankBytes;
+  ref.is_store = true;
+  ref.ip = 3;
+  phase_ = 0;
+  if (++sweep_cursor_ >= vertices_) {
+    sweep_cursor_ = 0;
+    flip_ = !flip_;  // next superstep reads what we just wrote
+  }
+  return ref;
+}
+
+}  // namespace tmprof::workloads

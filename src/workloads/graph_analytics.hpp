@@ -1,0 +1,37 @@
+#pragma once
+/// \file graph_analytics.hpp
+/// CloudSuite Graph-Analytics (Spark GraphX PageRank over the Twitter
+/// follower graph). Each superstep sweeps vertices sequentially, reading
+/// the old rank vector, gathering contributions from Zipf-skewed neighbor
+/// ranks (Twitter's in-degree distribution is heavily skewed toward
+/// celebrity hubs — those pages get hot), and writing the new rank.
+/// Runs on a JVM heap: 4 KiB pages.
+
+#include "util/zipf.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmprof::workloads {
+
+class GraphAnalyticsWorkload final : public Workload {
+ public:
+  GraphAnalyticsWorkload(std::uint64_t vertices, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "graph_analytics";
+  }
+
+ private:
+  static constexpr std::uint64_t kRankBytes = 8;
+  static constexpr std::uint32_t kGathersPerVertex = 6;
+
+  std::uint64_t vertices_;
+  util::ZipfDistribution neighbor_;  ///< skewed neighbor choice (hubs hot)
+  util::Rng rng_;
+  std::uint64_t sweep_cursor_ = 0;
+  std::uint32_t phase_ = 0;  ///< 0 read-old, 1..k gathers, k+1 write-new
+  bool flip_ = false;        ///< double buffering of rank vectors
+};
+
+}  // namespace tmprof::workloads

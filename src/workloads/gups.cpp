@@ -1,0 +1,30 @@
+#include "workloads/gups.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::workloads {
+
+GupsWorkload::GupsWorkload(std::uint64_t table_bytes, std::uint64_t seed)
+    : table_bytes_(table_bytes), rng_(seed) {
+  TMPROF_EXPECTS(table_bytes >= mem::kHugePageSize);
+}
+
+MemRef GupsWorkload::next() {
+  MemRef ref;
+  if (store_pending_) {
+    // Second half of the read-modify-write: store back to the same word.
+    store_pending_ = false;
+    ref.offset = pending_store_offset_;
+    ref.is_store = true;
+    ref.ip = 2;
+    return ref;
+  }
+  ref.offset = rng_.below(table_bytes_) & ~7ULL;
+  ref.is_store = false;
+  ref.ip = 1;
+  pending_store_offset_ = ref.offset;
+  store_pending_ = true;
+  return ref;
+}
+
+}  // namespace tmprof::workloads

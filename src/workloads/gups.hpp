@@ -1,0 +1,35 @@
+#pragma once
+/// \file gups.hpp
+/// GUPS (Giga-Updates-Per-Second, HPC Challenge RandomAccess). Uniformly
+/// random read-modify-write updates over one huge table. The canonical
+/// worst case for both caches and TLBs: every update misses the LLC and the
+/// TLB, so IBS sees nearly every sampled access while the table's huge-page
+/// PTEs give the A-bit scanner only a coarse 2 MiB view (paper Table IV:
+/// IBS detects ~14x more pages than A-bit at the 4x rate).
+
+#include "workloads/workload.hpp"
+
+namespace tmprof::workloads {
+
+class GupsWorkload final : public Workload {
+ public:
+  /// \param table_bytes  size of the update table (paper: 4 GiB total)
+  GupsWorkload(std::uint64_t table_bytes, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return table_bytes_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "gups"; }
+  [[nodiscard]] mem::PageSize page_size() const override {
+    return mem::PageSize::k2M;  // THP-backed anonymous table
+  }
+
+ private:
+  std::uint64_t table_bytes_;
+  util::Rng rng_;
+  std::uint64_t pending_store_offset_ = 0;
+  bool store_pending_ = false;
+};
+
+}  // namespace tmprof::workloads

@@ -1,0 +1,65 @@
+#include "workloads/lulesh.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::workloads {
+
+LuleshWorkload::LuleshWorkload(std::uint64_t domain_bytes, std::uint64_t seed)
+    : domain_bytes_(domain_bytes),
+      elems_per_array_(domain_bytes / (kArrays * kElemBytes)),
+      rng_(seed) {
+  TMPROF_EXPECTS(domain_bytes >= kArrays * 64 * 1024);
+  // MPI ranks own different subdomains and drift in time: desynchronize the
+  // sweep start and kernel phase per instance.
+  cursor_ = rng_.below(elems_per_array_);
+  phase_ = static_cast<std::uint32_t>(rng_.below(kArrays));
+}
+
+MemRef LuleshWorkload::next() {
+  // Each timestep kernel (phase) sweeps elements in order, touching a small
+  // stencil in two source arrays and writing one destination array. Array
+  // roles rotate across phases, so over a timestep the whole domain is
+  // touched with high spatial locality.
+  const std::uint32_t src_a = phase_ % kArrays;
+  const std::uint32_t src_b = (phase_ + 1) % kArrays;
+  const std::uint32_t dst = (phase_ + 2) % kArrays;
+  auto addr = [&](std::uint32_t array, std::uint64_t elem) {
+    return (static_cast<std::uint64_t>(array) * elems_per_array_ +
+            (elem % elems_per_array_)) *
+           kElemBytes;
+  };
+  MemRef ref;
+  switch (ref_in_elem_) {
+    case 0:  // stencil west neighbor
+      ref.offset = addr(src_a, cursor_ == 0 ? 0 : cursor_ - 1);
+      ref.is_store = false;
+      break;
+    case 1:  // stencil center
+      ref.offset = addr(src_a, cursor_);
+      ref.is_store = false;
+      break;
+    case 2:  // stencil east neighbor
+      ref.offset = addr(src_a, cursor_ + 1);
+      ref.is_store = false;
+      break;
+    case 3:  // coupled field
+      ref.offset = addr(src_b, cursor_);
+      ref.is_store = false;
+      break;
+    default:  // result write
+      ref.offset = addr(dst, cursor_);
+      ref.is_store = true;
+      break;
+  }
+  ref.ip = phase_ % 4 + 1;
+  if (++ref_in_elem_ > 4) {
+    ref_in_elem_ = 0;
+    if (++cursor_ >= elems_per_array_) {
+      cursor_ = 0;
+      ++phase_;
+    }
+  }
+  return ref;
+}
+
+}  // namespace tmprof::workloads

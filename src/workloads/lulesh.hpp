@@ -1,0 +1,40 @@
+#pragma once
+/// \file lulesh.hpp
+/// LULESH (Livermore Unstructured Lagrangian Explicit Shock Hydrodynamics)
+/// proxy app. Time-stepped sweeps over nodal and element arrays with
+/// stencil-shaped neighborhoods: mostly sequential with small bounded
+/// strides, so hardware prefetching and the TLB work well — LULESH is the
+/// suite's cache-friendly HPC representative (paper Table IV: tiny "Both"
+/// overlap and modest IBS counts despite a 21 GB footprint).
+
+#include "workloads/workload.hpp"
+
+namespace tmprof::workloads {
+
+class LuleshWorkload final : public Workload {
+ public:
+  /// \param domain_bytes  combined size of the field arrays
+  LuleshWorkload(std::uint64_t domain_bytes, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return domain_bytes_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "lulesh"; }
+  [[nodiscard]] mem::PageSize page_size() const override {
+    return mem::PageSize::k2M;
+  }
+
+ private:
+  static constexpr std::uint32_t kArrays = 8;   ///< field arrays in the domain
+  static constexpr std::uint64_t kElemBytes = 8;
+
+  std::uint64_t domain_bytes_;
+  std::uint64_t elems_per_array_;
+  util::Rng rng_;
+  std::uint64_t cursor_ = 0;     ///< element index within the sweep
+  std::uint32_t phase_ = 0;      ///< which kernel of the timestep
+  std::uint32_t ref_in_elem_ = 0;
+};
+
+}  // namespace tmprof::workloads

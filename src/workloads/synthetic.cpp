@@ -1,0 +1,122 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tmprof::workloads {
+
+UniformWorkload::UniformWorkload(std::uint64_t footprint_bytes,
+                                 double store_fraction, std::uint64_t seed)
+    : footprint_(footprint_bytes), store_fraction_(store_fraction), rng_(seed) {
+  TMPROF_EXPECTS(footprint_bytes >= 64);
+  TMPROF_EXPECTS(store_fraction >= 0.0 && store_fraction <= 1.0);
+}
+
+MemRef UniformWorkload::next() {
+  MemRef ref;
+  ref.offset = rng_.below(footprint_) & ~7ULL;  // 8-byte aligned
+  ref.is_store = rng_.chance(store_fraction_);
+  ref.ip = 1;
+  return ref;
+}
+
+SequentialWorkload::SequentialWorkload(std::uint64_t footprint_bytes,
+                                       std::uint64_t stride,
+                                       double store_fraction,
+                                       std::uint64_t seed)
+    : footprint_(footprint_bytes),
+      stride_(stride),
+      store_fraction_(store_fraction),
+      rng_(seed) {
+  TMPROF_EXPECTS(footprint_bytes >= stride);
+  TMPROF_EXPECTS(stride >= 1);
+}
+
+MemRef SequentialWorkload::next() {
+  MemRef ref;
+  ref.offset = cursor_;
+  ref.is_store = rng_.chance(store_fraction_);
+  ref.ip = 1;
+  cursor_ += stride_;
+  if (cursor_ >= footprint_) cursor_ = 0;
+  return ref;
+}
+
+ZipfWorkload::ZipfWorkload(std::uint64_t footprint_bytes,
+                           std::uint64_t record_bytes, double theta,
+                           double store_fraction, std::uint64_t seed)
+    : footprint_(footprint_bytes),
+      record_bytes_(record_bytes),
+      store_fraction_(store_fraction),
+      zipf_(footprint_bytes / record_bytes, theta),
+      rng_(seed) {
+  TMPROF_EXPECTS(record_bytes >= 8 && record_bytes <= footprint_bytes);
+}
+
+MemRef ZipfWorkload::next() {
+  const std::uint64_t record = zipf_(rng_);
+  MemRef ref;
+  ref.offset = record * record_bytes_ + (rng_.below(record_bytes_) & ~7ULL);
+  ref.is_store = rng_.chance(store_fraction_);
+  ref.ip = 1;
+  return ref;
+}
+
+HotColdWorkload::HotColdWorkload(std::uint64_t footprint_bytes,
+                                 std::uint64_t record_bytes,
+                                 double hot_fraction_of_items,
+                                 double hot_weight, double store_fraction,
+                                 std::uint64_t seed)
+    : footprint_(footprint_bytes),
+      record_bytes_(record_bytes),
+      store_fraction_(store_fraction),
+      dist_(footprint_bytes / record_bytes,
+            std::min<std::uint64_t>(
+                footprint_bytes / record_bytes,
+                static_cast<std::uint64_t>(
+                    static_cast<double>(footprint_bytes / record_bytes) *
+                    hot_fraction_of_items) +
+                    1),
+            hot_weight),
+      rng_(seed) {
+  TMPROF_EXPECTS(record_bytes >= 8 && record_bytes <= footprint_bytes);
+  TMPROF_EXPECTS(hot_fraction_of_items > 0.0 && hot_fraction_of_items <= 1.0);
+}
+
+MemRef HotColdWorkload::next() {
+  const std::uint64_t record = dist_(rng_);
+  MemRef ref;
+  ref.offset = record * record_bytes_ + (rng_.below(record_bytes_) & ~7ULL);
+  ref.is_store = rng_.chance(store_fraction_);
+  ref.ip = 1;
+  return ref;
+}
+
+InitThenServeWorkload::InitThenServeWorkload(std::uint64_t cold_bytes,
+                                             std::uint64_t hot_bytes,
+                                             double theta, std::uint64_t seed)
+    : cold_bytes_(cold_bytes),
+      hot_bytes_(hot_bytes),
+      record_(hot_bytes / 64, theta),
+      rng_(seed) {
+  TMPROF_EXPECTS(cold_bytes >= 64 && hot_bytes >= 64 * 64);
+}
+
+MemRef InitThenServeWorkload::next() {
+  MemRef ref;
+  if (cursor_ < cold_bytes_) {
+    // Dataset load: touch every cold line exactly once.
+    ref.offset = cursor_;
+    ref.is_store = true;
+    ref.ip = 1;
+    cursor_ += 64;
+    return ref;
+  }
+  ref.offset = cold_bytes_ + record_(rng_) * 64;
+  ref.is_store = rng_.chance(0.05);
+  ref.ip = 2;
+  return ref;
+}
+
+}  // namespace tmprof::workloads

@@ -1,0 +1,120 @@
+#pragma once
+/// \file synthetic.hpp
+/// Generic access-pattern generators used by tests and as building blocks:
+/// uniform-random, sequential, strided, Zipfian and hot/cold mixtures.
+
+#include <cstdint>
+
+#include "util/zipf.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmprof::workloads {
+
+/// Uniformly random loads (optionally a store fraction) over the footprint.
+class UniformWorkload final : public Workload {
+ public:
+  UniformWorkload(std::uint64_t footprint_bytes, double store_fraction,
+                  std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return footprint_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "uniform"; }
+
+ private:
+  std::uint64_t footprint_;
+  double store_fraction_;
+  util::Rng rng_;
+};
+
+/// Pure sequential sweep with a configurable stride, wrapping at the end.
+class SequentialWorkload final : public Workload {
+ public:
+  SequentialWorkload(std::uint64_t footprint_bytes, std::uint64_t stride,
+                     double store_fraction, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return footprint_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "sequential"; }
+
+ private:
+  std::uint64_t footprint_;
+  std::uint64_t stride_;
+  double store_fraction_;
+  std::uint64_t cursor_ = 0;
+  util::Rng rng_;
+};
+
+/// Zipf-distributed accesses over fixed-size records.
+class ZipfWorkload final : public Workload {
+ public:
+  ZipfWorkload(std::uint64_t footprint_bytes, std::uint64_t record_bytes,
+               double theta, double store_fraction, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return footprint_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "zipf"; }
+
+ private:
+  std::uint64_t footprint_;
+  std::uint64_t record_bytes_;
+  double store_fraction_;
+  util::ZipfDistribution zipf_;
+  util::Rng rng_;
+};
+
+/// Hot/cold mixture over fixed-size records.
+class HotColdWorkload final : public Workload {
+ public:
+  HotColdWorkload(std::uint64_t footprint_bytes, std::uint64_t record_bytes,
+                  double hot_fraction_of_items, double hot_weight,
+                  double store_fraction, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return footprint_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "hotcold"; }
+
+ private:
+  std::uint64_t footprint_;
+  std::uint64_t record_bytes_;
+  double store_fraction_;
+  util::HotColdDistribution dist_;
+  util::Rng rng_;
+};
+
+/// Init-then-serve: a one-shot sequential initialization pass over a cold
+/// region (dataset load), then steady-state Zipfian service traffic over a
+/// separate hot region. The canonical case where first-come-first-allocate
+/// placement fails: tier 1 fills with initialization pages that are never
+/// touched again.
+class InitThenServeWorkload final : public Workload {
+ public:
+  InitThenServeWorkload(std::uint64_t cold_bytes, std::uint64_t hot_bytes,
+                        double theta, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return cold_bytes_ + hot_bytes_;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "init-then-serve";
+  }
+
+  [[nodiscard]] bool serving() const noexcept { return cursor_ >= cold_bytes_; }
+
+ private:
+  std::uint64_t cold_bytes_;
+  std::uint64_t hot_bytes_;
+  util::ZipfDistribution record_;
+  util::Rng rng_;
+  std::uint64_t cursor_ = 0;  ///< init progress; saturates at cold_bytes_
+};
+
+}  // namespace tmprof::workloads

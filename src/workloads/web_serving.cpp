@@ -1,0 +1,35 @@
+#include "workloads/web_serving.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::workloads {
+
+WebServingWorkload::WebServingWorkload(std::uint64_t content_bytes,
+                                       std::uint64_t seed)
+    : content_bytes_(content_bytes),
+      items_(content_bytes / 64),
+      // Hot set: 1/32 of the items takes kHotWeight of the traffic.
+      region_(content_bytes / 64, content_bytes / 64 / 32 + 1, kHotWeight),
+      rng_(seed) {
+  TMPROF_EXPECTS(content_bytes >= 1 << 20);
+}
+
+MemRef WebServingWorkload::next() {
+  MemRef ref;
+  if (++refs_ % kChurnPeriodRefs == 0) {
+    churn_offset_ = (churn_offset_ + items_ / 512 + 1) % items_;
+  }
+  if (burst_left_ == 0) {
+    burst_base_ = (region_(rng_) + churn_offset_) % items_ * 64;
+    burst_left_ = kBurstLines;
+    burst_store_ = rng_.chance(0.1);  // session writes
+  }
+  const std::uint64_t line = kBurstLines - burst_left_;
+  ref.offset = (burst_base_ + line * 64) % content_bytes_;
+  ref.is_store = burst_store_ && line == 0;
+  ref.ip = burst_store_ ? 2 : 1;
+  --burst_left_;
+  return ref;
+}
+
+}  // namespace tmprof::workloads

@@ -1,0 +1,48 @@
+#pragma once
+/// \file web_serving.hpp
+/// CloudSuite Web-Serving (Elgg/nginx/PHP with the Faban client). Requests
+/// hit a small hot working set — opcode caches, session state, templates —
+/// with a long uniform tail of per-user content. Almost everything hits in
+/// the processor caches, which is why IBS (beyond-LLC sampling) detects few
+/// pages while A-bit profiling detects many (the paper's clearest case for
+/// combining both sources).
+
+#include "util/zipf.hpp"
+#include "workloads/workload.hpp"
+
+namespace tmprof::workloads {
+
+class WebServingWorkload final : public Workload {
+ public:
+  /// \param content_bytes total footprint (hot region carved from its head)
+  WebServingWorkload(std::uint64_t content_bytes, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return content_bytes_;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "web_serving";
+  }
+
+ private:
+  static constexpr double kHotWeight = 0.85;
+  /// Consecutive lines touched per request step (template rendering).
+  static constexpr std::uint64_t kBurstLines = 4;
+  /// Session drift: the hot set's position rotates through the content by
+  /// 1/256 of the items every this many references (users log in and out;
+  /// yesterday's hot profiles cool down).
+  static constexpr std::uint64_t kChurnPeriodRefs = 200'000;
+
+  std::uint64_t content_bytes_;
+  std::uint64_t items_;
+  util::HotColdDistribution region_;
+  util::Rng rng_;
+  std::uint64_t burst_base_ = 0;
+  std::uint64_t burst_left_ = 0;
+  bool burst_store_ = false;
+  std::uint64_t refs_ = 0;
+  std::uint64_t churn_offset_ = 0;
+};
+
+}  // namespace tmprof::workloads

@@ -1,0 +1,54 @@
+#pragma once
+/// \file workload.hpp
+/// The workload-generator interface. A workload is a deterministic stream
+/// of memory references (offsets within its private footprint); the access
+/// engine maps offsets into a process's address space. Determinism under a
+/// fixed seed is required so the Oracle policy can replay the exact stream.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "mem/addr.hpp"
+#include "util/rng.hpp"
+
+namespace tmprof::workloads {
+
+/// One memory reference emitted by a generator.
+struct MemRef {
+  std::uint64_t offset = 0;   ///< byte offset within the workload footprint
+  bool is_store = false;
+  std::uint32_t ip = 0;       ///< synthetic code location (phase marker)
+};
+
+/// Base class for all generators.
+class Workload {
+ public:
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+  virtual ~Workload() = default;
+
+  /// Produce the next reference. Must be cheap — it runs once per
+  /// simulated memory op.
+  virtual MemRef next() = 0;
+
+  /// Total bytes this instance touches (offset upper bound).
+  [[nodiscard]] virtual std::uint64_t footprint_bytes() const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Page size the kernel would back this heap with. Linux THP promotes
+  /// large anonymous HPC heaps to 2 MiB pages; interpreted/service
+  /// workloads stay on 4 KiB pages. This difference drives the paper's
+  /// Table IV asymmetry between A-bit and IBS page counts.
+  [[nodiscard]] virtual mem::PageSize page_size() const {
+    return mem::PageSize::k4K;
+  }
+
+ protected:
+  Workload() = default;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+}  // namespace tmprof::workloads

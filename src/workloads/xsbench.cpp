@@ -1,0 +1,48 @@
+#include "workloads/xsbench.hpp"
+
+#include "util/assert.hpp"
+
+namespace tmprof::workloads {
+
+XsbenchWorkload::XsbenchWorkload(std::uint64_t grid_bytes,
+                                 std::uint64_t index_bytes, std::uint64_t seed)
+    : grid_bytes_(grid_bytes), index_bytes_(index_bytes), rng_(seed) {
+  TMPROF_EXPECTS(grid_bytes >= mem::kHugePageSize);
+  TMPROF_EXPECTS(index_bytes >= 4096);
+}
+
+MemRef XsbenchWorkload::next() {
+  MemRef ref;
+  if (phase_ < 2) {
+    // Binary-search-ish reads in the unionized energy grid (hot region).
+    ref.offset = rng_.below(index_bytes_) & ~7ULL;
+    ref.is_store = false;
+    ref.ip = 1;
+    ++phase_;
+    return ref;
+  }
+  if (phase_ == 2 + kGathersPerLookup) {
+    // Write the accumulated macroscopic cross-section to the results array
+    // at the tail of the index region (the kernel's only store).
+    ref.offset = index_bytes_ - 4096 + (rng_.below(4096) & ~7ULL);
+    ref.is_store = true;
+    ref.ip = 3;
+    phase_ = 0;
+    return ref;
+  }
+  const std::uint32_t gather = phase_ - 2;
+  if (gather == 0) {
+    // Pick the random grid row once per lookup; gathers stride within it.
+    gather_row_ = rng_.below(grid_bytes_ / 64) * 64;
+  }
+  // Consecutive gathers touch nearby columns of the row (small stride), but
+  // each lookup's row is uniformly random in the huge grid.
+  ref.offset = (gather_row_ + gather * 16) % grid_bytes_;
+  ref.offset = index_bytes_ + (ref.offset & ~7ULL);
+  ref.is_store = false;
+  ref.ip = 2;
+  ++phase_;
+  return ref;
+}
+
+}  // namespace tmprof::workloads

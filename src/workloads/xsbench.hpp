@@ -1,0 +1,40 @@
+#pragma once
+/// \file xsbench.hpp
+/// XSBench (Monte Carlo neutron-transport cross-section lookup kernel).
+/// Each "lookup" reads the small energy-grid index structures (hot) and then
+/// gathers from several random rows of the enormous nuclide cross-section
+/// grid (cold, uniformly random). The paper runs it with a 120 GB footprint:
+/// the largest, most trace-dominated workload of the suite.
+
+#include "workloads/workload.hpp"
+
+namespace tmprof::workloads {
+
+class XsbenchWorkload final : public Workload {
+ public:
+  /// \param grid_bytes   size of the nuclide grid region
+  /// \param index_bytes  size of the hot index structures (unionized grid)
+  XsbenchWorkload(std::uint64_t grid_bytes, std::uint64_t index_bytes,
+                  std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return index_bytes_ + grid_bytes_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "xsbench"; }
+  [[nodiscard]] mem::PageSize page_size() const override {
+    return mem::PageSize::k2M;
+  }
+
+ private:
+  /// Cross-section gathers per lookup (one per interacting nuclide).
+  static constexpr std::uint32_t kGathersPerLookup = 5;
+
+  std::uint64_t grid_bytes_;
+  std::uint64_t index_bytes_;
+  util::Rng rng_;
+  std::uint32_t phase_ = 0;           ///< 0..1 index reads, then gathers
+  std::uint64_t gather_row_ = 0;
+};
+
+}  // namespace tmprof::workloads

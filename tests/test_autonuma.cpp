@@ -1,0 +1,121 @@
+#include "core/autonuma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/synthetic.hpp"
+
+namespace tmprof::core {
+namespace {
+
+sim::SimConfig small_config() {
+  sim::SimConfig cfg;
+  cfg.cores = 2;
+  cfg.llc_bytes = 1 << 18;
+  cfg.tier1_frames = 1 << 14;
+  cfg.tier2_frames = 1 << 14;
+  return cfg;
+}
+
+TEST(AutoNuma, HintFaultsRevealAccessedPages) {
+  sim::System sys(small_config());
+  sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  sys.step(20000);  // populate mappings
+  AutoNumaConfig cfg;
+  cfg.window_pages = 1 << 16;  // cover everything each pass
+  AutoNumaProfiler profiler(sys, cfg);
+  profiler.protect_pass();
+  sys.step(50000);
+  const EpochObservation obs = profiler.end_epoch();
+  EXPECT_FALSE(obs.abit.empty());
+  EXPECT_GT(profiler.faults_taken(), 0U);
+  for (const auto& [key, count] : obs.abit) EXPECT_GE(count, 1U);
+}
+
+TEST(AutoNuma, OneFaultPerPagePerPass) {
+  sim::System sys(small_config());
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(1 << 16, 0.0, 1));
+  sim::Process& proc = sys.process(pid);
+  // Touch one page repeatedly.
+  for (int i = 0; i < 4; ++i) sys.access(proc, proc.vaddr_of(0), false, 1);
+  AutoNumaConfig cfg;
+  cfg.window_pages = 64;
+  AutoNumaProfiler profiler(sys, cfg);
+  profiler.protect_pass();
+  for (int i = 0; i < 100; ++i) sys.access(proc, proc.vaddr_of(0), false, 1);
+  // Hint fault unprotects: exactly one fault despite 100 accesses.
+  EXPECT_EQ(profiler.faults_taken(), 0U);  // counted at end_epoch
+  const EpochObservation obs = profiler.end_epoch();
+  ASSERT_EQ(obs.abit.size(), 1U);
+  EXPECT_EQ(obs.abit.begin()->second, 1U);
+}
+
+TEST(AutoNuma, ProtectPassChargesOverhead) {
+  sim::System sys(small_config());
+  sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(4 << 20, 0.0, 1));
+  sys.step(20000);
+  AutoNumaConfig cfg;
+  cfg.window_pages = 128;
+  AutoNumaProfiler profiler(sys, cfg);
+  const util::SimNs before = sys.now();
+  const util::SimNs cost = profiler.protect_pass();
+  EXPECT_GT(cost, 0U);
+  EXPECT_EQ(sys.now(), before + cost);
+  EXPECT_EQ(profiler.overhead_ns(), cost);
+}
+
+TEST(AutoNuma, WindowSlidesAcrossPasses) {
+  sim::System sys(small_config());
+  sys.add_process(std::make_unique<workloads::SequentialWorkload>(
+      1 << 20, 4096, 0.0, 1));
+  sys.step(256);  // touch all 256 pages in order
+  AutoNumaConfig cfg;
+  cfg.window_pages = 64;  // a quarter of the footprint per pass
+  AutoNumaProfiler profiler(sys, cfg);
+  std::size_t total_pages_seen = 0;
+  for (int pass = 0; pass < 4; ++pass) {
+    profiler.protect_pass();
+    sys.step(512);  // two sweeps touch every page
+    total_pages_seen += profiler.end_epoch().abit.size();
+  }
+  // Four sliding windows of 64 pages cover most of the 256-page table.
+  EXPECT_GT(total_pages_seen, 200U);
+}
+
+TEST(AutoNuma, EpochsReportDeltasNotTotals) {
+  sim::System sys(small_config());
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(1 << 16, 0.0, 1));
+  sim::Process& proc = sys.process(pid);
+  sys.access(proc, proc.vaddr_of(0), false, 1);
+  AutoNumaConfig cfg;
+  cfg.window_pages = 64;
+  AutoNumaProfiler profiler(sys, cfg);
+  profiler.protect_pass();
+  sys.access(proc, proc.vaddr_of(0), false, 1);
+  EXPECT_EQ(profiler.end_epoch().abit.size(), 1U);
+  // No new faults since: the next epoch must be empty.
+  EXPECT_TRUE(profiler.end_epoch().abit.empty());
+}
+
+TEST(AutoNuma, DestructorDisarmsOutstandingProtections) {
+  sim::System sys(small_config());
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(1 << 16, 0.0, 1));
+  sim::Process& proc = sys.process(pid);
+  sys.access(proc, proc.vaddr_of(0), false, 1);
+  {
+    AutoNumaConfig cfg;
+    cfg.window_pages = 64;
+    AutoNumaProfiler profiler(sys, cfg);
+    profiler.protect_pass();
+  }
+  // Poison removed: this access must not need a fault handler.
+  const sim::AccessResult r = sys.access(proc, proc.vaddr_of(0), false, 1);
+  EXPECT_FALSE(r.protection_fault);
+}
+
+}  // namespace
+}  // namespace tmprof::core

@@ -1,0 +1,89 @@
+#include "monitors/badgertrap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmprof::monitors {
+namespace {
+
+class BadgerTrapTest : public ::testing::Test {
+ protected:
+  BadgerTrapTest() : tlb_(mem::Tlb::make_default()) {
+    pt_.map(0x1000, 5, mem::PageSize::k4K);
+    pt_.map(0x2000, 6, mem::PageSize::k4K);
+  }
+
+  mem::PageTable pt_;
+  mem::Tlb tlb_;
+  BadgerTrap trap_;
+};
+
+TEST_F(BadgerTrapTest, PoisonSetsReservedBitAndFlushesTlb) {
+  // Warm the TLB first.
+  auto* pte = pt_.resolve(0x1000).pte;
+  tlb_.fill(1, 0x1000, mem::PageSize::k4K, pte, false);
+  trap_.poison(1, pt_, tlb_, 0x1000);
+  EXPECT_TRUE(pte->poisoned());
+  EXPECT_TRUE(trap_.is_poisoned(1, 0x1000));
+  EXPECT_EQ(tlb_.lookup(1, 0x1000).level, mem::TlbHit::Miss);
+}
+
+TEST_F(BadgerTrapTest, WalkFaultsOnPoisonedPage) {
+  trap_.poison(1, pt_, tlb_, 0x1000);
+  const mem::WalkResult r = mem::PageTableWalker::walk(pt_, 0x1000, false);
+  EXPECT_EQ(r.status, mem::WalkResult::Status::Poisoned);
+}
+
+TEST_F(BadgerTrapTest, HandleFaultCountsAndInstallsTranslation) {
+  trap_.poison(1, pt_, tlb_, 0x1000);
+  const util::SimNs latency = trap_.handle_fault(1, pt_, tlb_, 0x1234, false);
+  EXPECT_EQ(latency, trap_.handle_fault(1, pt_, tlb_, 0x1234, false));
+  EXPECT_EQ(trap_.fault_count(1, 0x1000), 2U);
+  EXPECT_EQ(trap_.total_faults(), 2U);
+  // Translation installed: the next TLB lookup hits without a walk.
+  EXPECT_EQ(tlb_.lookup(1, 0x1000).level, mem::TlbHit::L1);
+  // PTE stays poisoned (repoison semantics).
+  EXPECT_TRUE(pt_.resolve(0x1000).pte->poisoned());
+  // A bit set by the handler's re-walk, as the original access would have.
+  EXPECT_TRUE(pt_.resolve(0x1000).pte->accessed());
+}
+
+TEST_F(BadgerTrapTest, HotPagesPayExtraLatency) {
+  BadgerTrapConfig cfg;
+  BadgerTrap trap(cfg);
+  trap.poison(1, pt_, tlb_, 0x1000, /*hot=*/false);
+  trap.poison(1, pt_, tlb_, 0x2000, /*hot=*/true);
+  const util::SimNs cold = trap.handle_fault(1, pt_, tlb_, 0x1000, false);
+  const util::SimNs hot = trap.handle_fault(1, pt_, tlb_, 0x2000, false);
+  EXPECT_EQ(hot - cold, cfg.hot_extra_latency_ns);
+  EXPECT_EQ(cold, cfg.handler_cost_ns + cfg.fault_latency_ns);
+  EXPECT_EQ(trap.injected_latency_ns(), cold + hot);
+}
+
+TEST_F(BadgerTrapTest, UnpoisonRestoresNormalWalks) {
+  trap_.poison(1, pt_, tlb_, 0x1000);
+  trap_.unpoison(1, pt_, 0x1000);
+  EXPECT_FALSE(trap_.is_poisoned(1, 0x1000));
+  const mem::WalkResult r = mem::PageTableWalker::walk(pt_, 0x1000, false);
+  EXPECT_EQ(r.status, mem::WalkResult::Status::Ok);
+  EXPECT_EQ(trap_.poisoned_pages(), 0U);
+}
+
+TEST_F(BadgerTrapTest, RefreshReflushesCachedTranslations) {
+  trap_.poison(1, pt_, tlb_, 0x1000);
+  // Fault handler installs the translation...
+  trap_.handle_fault(1, pt_, tlb_, 0x1000, false);
+  EXPECT_EQ(tlb_.lookup(1, 0x1000).level, mem::TlbHit::L1);
+  // ...refresh() re-arms fault delivery.
+  std::unordered_map<mem::Pid, mem::PageTable*> tables{{1, &pt_}};
+  trap_.refresh(tables, tlb_);
+  EXPECT_EQ(tlb_.lookup(1, 0x1000).level, mem::TlbHit::Miss);
+}
+
+TEST_F(BadgerTrapTest, StoreFaultSetsDirtyViaHandler) {
+  trap_.poison(1, pt_, tlb_, 0x1000);
+  trap_.handle_fault(1, pt_, tlb_, 0x1000, /*is_store=*/true);
+  EXPECT_TRUE(pt_.resolve(0x1000).pte->dirty());
+}
+
+}  // namespace
+}  // namespace tmprof::monitors

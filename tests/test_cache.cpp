@@ -1,0 +1,117 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace tmprof::mem {
+namespace {
+
+TEST(CacheLevel, MissThenHitAfterFill) {
+  CacheLevel c(4096, 4);
+  EXPECT_FALSE(c.access(0x1000, false));
+  c.fill(0x1000);
+  EXPECT_TRUE(c.access(0x1000, false));
+  // Same line, different byte.
+  EXPECT_TRUE(c.access(0x103f, false));
+  // Next line misses.
+  EXPECT_FALSE(c.access(0x1040, false));
+}
+
+TEST(CacheLevel, LruEviction) {
+  // 2 sets x 2 ways, 64B lines => 256 bytes.
+  CacheLevel c(256, 2);
+  // Three lines mapping to set 0 (line addresses even).
+  c.fill(0x000);
+  c.fill(0x080);
+  EXPECT_TRUE(c.access(0x000, false));  // make 0x080 LRU
+  c.fill(0x100);
+  EXPECT_TRUE(c.contains(0x000));
+  EXPECT_FALSE(c.contains(0x080));
+  EXPECT_TRUE(c.contains(0x100));
+}
+
+TEST(CacheLevel, DirtyEvictionCounted) {
+  CacheLevel c(256, 1);  // direct mapped, 4 sets
+  c.fill(0x000);
+  EXPECT_TRUE(c.access(0x000, true));  // dirty it
+  c.fill(0x100);                        // same set, evicts dirty line
+  EXPECT_EQ(c.dirty_evictions(), 1U);
+}
+
+TEST(CacheLevel, FlushEmptiesCache) {
+  CacheLevel c(4096, 4);
+  c.fill(0x1000);
+  c.flush();
+  EXPECT_FALSE(c.contains(0x1000));
+}
+
+TEST(CacheLevel, GeometryValidated) {
+  EXPECT_THROW(CacheLevel(100, 4), util::AssertionError);   // not line multiple
+  EXPECT_THROW(CacheLevel(192, 1), util::AssertionError);   // sets not pow2
+  CacheLevel ok(1 << 15, 8);
+  EXPECT_EQ(ok.size_bytes(), 1ULL << 15);
+  EXPECT_EQ(ok.sets() * ok.ways() * kLineSize, 1ULL << 15);
+}
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  HierarchyTest()
+      : llc_(1 << 20, 16),
+        hier_(CacheHierarchy::make_default(&llc_, /*enable_prefetch=*/false)) {}
+
+  CacheLevel llc_;
+  CacheHierarchy hier_;
+};
+
+TEST_F(HierarchyTest, ColdMissGoesToMemoryThenHitsL1) {
+  auto first = hier_.access(0x10000, false);
+  EXPECT_TRUE(first.llc_miss);
+  EXPECT_TRUE(is_memory(first.source));
+  auto second = hier_.access(0x10000, false);
+  EXPECT_EQ(second.source, DataSource::L1);
+  EXPECT_FALSE(second.llc_miss);
+}
+
+TEST_F(HierarchyTest, LlcHitAfterPrivateFlush) {
+  hier_.access(0x10000, false);
+  hier_.flush();  // clears L1/L2 only
+  auto r = hier_.access(0x10000, false);
+  EXPECT_EQ(r.source, DataSource::LLC);
+}
+
+TEST(Hierarchy, PrefetchNextLineMakesItAnLlcHit) {
+  CacheLevel llc(1 << 20, 16);
+  CacheHierarchy hier = CacheHierarchy::make_default(&llc, true);
+  auto first = hier.access(0x20000, false);
+  EXPECT_TRUE(first.llc_miss);
+  EXPECT_TRUE(first.prefetch_issued);
+  EXPECT_EQ(hier.prefetch_fills(), 1U);
+  // The next line was prefetched into the LLC only: the demand access hits
+  // LLC, not memory.
+  auto next = hier.access(0x20040, false);
+  EXPECT_EQ(next.source, DataSource::LLC);
+  EXPECT_FALSE(next.llc_miss);
+}
+
+TEST(Hierarchy, RepeatedMissSameLineDoesNotSelfFeedPrefetch) {
+  CacheLevel llc(1 << 12, 1);  // tiny direct-mapped LLC to force misses
+  CacheHierarchy hier(64 * 2, 1, 64 * 2, 1, &llc, true);
+  hier.access(0x0, false);
+  const std::uint64_t fills_before = hier.prefetch_fills();
+  // Conflicting line evicts, then re-access the first: new demand line each
+  // time, prefetcher triggers at most once per distinct line.
+  hier.access(0x0, false);
+  EXPECT_EQ(hier.prefetch_fills(), fills_before);
+}
+
+TEST(DataSource, Helpers) {
+  EXPECT_TRUE(is_memory(DataSource::MemTier1));
+  EXPECT_TRUE(is_memory(DataSource::MemTier2));
+  EXPECT_FALSE(is_memory(DataSource::LLC));
+  EXPECT_STREQ(to_string(DataSource::L1), "L1");
+  EXPECT_STREQ(to_string(DataSource::MemTier2), "MemT2");
+}
+
+}  // namespace
+}  // namespace tmprof::mem

@@ -1,0 +1,61 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmprof::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, KeyValuePairs) {
+  const auto p = parse({"--workload=gups", "--epochs=12"});
+  EXPECT_EQ(p.get("workload", ""), "gups");
+  EXPECT_EQ(p.get_u64("epochs", 0), 12U);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto p = parse({"--verbose"});
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_TRUE(p.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const auto p = parse({});
+  EXPECT_FALSE(p.has("x"));
+  EXPECT_EQ(p.get("x", "dflt"), "dflt");
+  EXPECT_EQ(p.get_u64("x", 7), 7U);
+  EXPECT_DOUBLE_EQ(p.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(p.get_bool("x", false));
+}
+
+TEST(Cli, Positional) {
+  const auto p = parse({"first", "--k=v", "second"});
+  ASSERT_EQ(p.positional().size(), 2U);
+  EXPECT_EQ(p.positional()[0], "first");
+  EXPECT_EQ(p.positional()[1], "second");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const auto p = parse({"--a=yes", "--b=off", "--c=1", "--d=false"});
+  EXPECT_TRUE(p.get_bool("a", false));
+  EXPECT_FALSE(p.get_bool("b", true));
+  EXPECT_TRUE(p.get_bool("c", false));
+  EXPECT_FALSE(p.get_bool("d", true));
+}
+
+TEST(Cli, BadBooleanThrows) {
+  const auto p = parse({"--a=maybe"});
+  EXPECT_THROW(p.get_bool("a", false), std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto p = parse({"--theta=0.99"});
+  EXPECT_DOUBLE_EQ(p.get_double("theta", 0.0), 0.99);
+}
+
+}  // namespace
+}  // namespace tmprof::util

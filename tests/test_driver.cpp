@@ -1,0 +1,169 @@
+#include "core/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/synthetic.hpp"
+
+namespace tmprof::core {
+namespace {
+
+sim::SimConfig small_config() {
+  sim::SimConfig cfg;
+  cfg.cores = 2;
+  cfg.llc_bytes = 1 << 18;  // small LLC so accesses reach memory
+  cfg.tier1_frames = 8192;
+  cfg.tier2_frames = 8192;
+  return cfg;
+}
+
+DriverConfig fast_driver() {
+  DriverConfig cfg;
+  cfg.ibs = monitors::IbsConfig::with_period(256);
+  return cfg;
+}
+
+TEST(Driver, CollectsTraceSamplesIntoEpoch) {
+  sim::System sys(small_config());
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  TmpDriver driver(sys, fast_driver());
+  sys.step(100000);
+  const EpochObservation obs = driver.end_epoch();
+  EXPECT_FALSE(obs.trace.empty());
+  for (const auto& [key, count] : obs.trace) {
+    EXPECT_EQ(key.pid, pid);
+    EXPECT_GT(count, 0U);
+  }
+  EXPECT_GT(driver.trace_samples_kept(), 0U);
+}
+
+TEST(Driver, AbitScanPopulatesObservation) {
+  sim::System sys(small_config());
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  TmpDriver driver(sys, fast_driver());
+  sys.step(20000);
+  const auto scan = driver.scan_processes({pid});
+  EXPECT_GT(scan.pages_accessed, 0U);
+  EXPECT_GE(scan.ptes_visited, scan.pages_accessed);
+  const EpochObservation obs = driver.end_epoch();
+  EXPECT_EQ(obs.abit.size(), scan.pages_accessed);
+}
+
+TEST(Driver, LoadsOnlyFilterDropsStores) {
+  sim::SimConfig cfg = small_config();
+  sim::System sys_a(cfg), sys_b(cfg);
+  sys_a.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 1.0, 1));
+  sys_b.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 1.0, 1));
+  DriverConfig keep = fast_driver();
+  keep.trace_loads_only = false;
+  DriverConfig drop = fast_driver();
+  drop.trace_loads_only = true;
+  TmpDriver keeper(sys_a, keep);
+  TmpDriver dropper(sys_b, drop);
+  sys_a.step(50000);
+  sys_b.step(50000);
+  keeper.end_epoch();  // drains the trace buffer into the stats
+  dropper.end_epoch();
+  EXPECT_GT(keeper.trace_samples_kept(), 0U);
+  EXPECT_EQ(dropper.trace_samples_kept(), 0U);  // all ops are stores
+}
+
+TEST(Driver, MemoryOnlyFilterDropsCacheHits) {
+  // Tiny footprint: after warmup everything hits in cache, so a
+  // memory-only driver collects almost nothing while a keep-all does.
+  sim::SimConfig cfg = small_config();
+  sim::System sys_a(cfg), sys_b(cfg);
+  sys_a.add_process(
+      std::make_unique<workloads::UniformWorkload>(1 << 14, 0.0, 1));
+  sys_b.add_process(
+      std::make_unique<workloads::UniformWorkload>(1 << 14, 0.0, 1));
+  DriverConfig memonly = fast_driver();
+  DriverConfig all = fast_driver();
+  all.trace_memory_only = false;
+  TmpDriver a(sys_a, memonly);
+  TmpDriver b(sys_b, all);
+  sys_a.step(100000);
+  sys_b.step(100000);
+  a.end_epoch();
+  b.end_epoch();
+  EXPECT_LT(a.trace_samples_kept(), b.trace_samples_kept() / 10);
+}
+
+TEST(Driver, TraceDisableStopsCollection) {
+  sim::System sys(small_config());
+  sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  TmpDriver driver(sys, fast_driver());
+  driver.set_trace_enabled(false);
+  sys.step(50000);
+  driver.end_epoch();
+  EXPECT_EQ(driver.trace_samples_kept(), 0U);
+  driver.set_trace_enabled(true);
+  sys.step(50000);
+  driver.end_epoch();
+  EXPECT_GT(driver.trace_samples_kept(), 0U);
+}
+
+TEST(Driver, EpochsSeparateObservations) {
+  sim::System sys(small_config());
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  TmpDriver driver(sys, fast_driver());
+  sys.step(30000);
+  driver.scan_processes({pid});
+  const EpochObservation first = driver.end_epoch();
+  EXPECT_EQ(first.epoch, 0U);
+  const EpochObservation empty = driver.end_epoch();
+  EXPECT_EQ(empty.epoch, 1U);
+  EXPECT_TRUE(empty.trace.empty());
+  EXPECT_TRUE(empty.abit.empty());
+  EXPECT_EQ(driver.epoch(), 2U);
+}
+
+TEST(Driver, StoreTracksBothDetection) {
+  sim::System sys(small_config());
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  TmpDriver driver(sys, fast_driver());
+  sys.step(200000);
+  driver.scan_processes({pid});
+  driver.end_epoch();
+  EXPECT_GT(driver.store().frames_with_trace(), 0U);
+  EXPECT_GT(driver.store().frames_with_abit(), 0U);
+  // Co-detection is rare but bounded by both single-method counts.
+  EXPECT_LE(driver.store().frames_with_both(),
+            std::min(driver.store().frames_with_abit(),
+                     driver.store().frames_with_trace()));
+}
+
+TEST(Driver, PebsBackendWorks) {
+  sim::System sys(small_config());
+  sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  DriverConfig cfg;
+  cfg.backend = TraceBackend::Pebs;
+  cfg.pebs.sample_after = 64;
+  TmpDriver driver(sys, cfg);
+  sys.step(100000);
+  driver.end_epoch();
+  EXPECT_GT(driver.trace_samples_kept(), 0U);
+  EXPECT_GT(driver.trace_overhead_ns(), 0U);
+}
+
+TEST(Driver, OverheadAccumulates) {
+  sim::System sys(small_config());
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  TmpDriver driver(sys, fast_driver());
+  sys.step(50000);
+  driver.scan_processes({pid});
+  EXPECT_GT(driver.overhead_ns(), 0U);
+  EXPECT_EQ(driver.overhead_ns(),
+            driver.trace_overhead_ns() + driver.abit_overhead_ns());
+}
+
+}  // namespace
+}  // namespace tmprof::core

@@ -1,0 +1,71 @@
+#include "core/gating.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace tmprof::core {
+namespace {
+
+TEST(Gating, StartsActive) {
+  ActivityGate gate;
+  EXPECT_TRUE(gate.active());
+}
+
+TEST(Gating, TracksMaximum) {
+  ActivityGate gate;
+  gate.update(100);
+  gate.update(50);
+  EXPECT_EQ(gate.max_seen(), 100U);
+  gate.update(200);
+  EXPECT_EQ(gate.max_seen(), 200U);
+}
+
+TEST(Gating, TwentyPercentRule) {
+  ActivityGate gate(0.2);
+  EXPECT_TRUE(gate.update(1000));  // establishes the max; 1000 > 200
+  EXPECT_TRUE(gate.update(999));   // 999 > 200
+  EXPECT_TRUE(gate.update(201));   // just above threshold
+  EXPECT_FALSE(gate.update(200));  // at threshold: not strictly above
+  EXPECT_FALSE(gate.update(0));    // idle
+  EXPECT_TRUE(gate.update(500));   // activity resumes
+}
+
+TEST(Gating, FirstUpdateWithMaxIsActive) {
+  // The very first period both sets and is compared against the max:
+  // current(1000) > 0.2*1000 holds, so profiling continues.
+  ActivityGate gate(0.2);
+  EXPECT_TRUE(gate.update(1000));
+}
+
+TEST(Gating, ZeroActivityStaysActiveUntilBaselineExists) {
+  ActivityGate gate;
+  EXPECT_TRUE(gate.update(0));  // no max yet: keep profiling
+  gate.update(100);
+  EXPECT_FALSE(gate.update(0));
+}
+
+TEST(Gating, ResetRestoresInitialState) {
+  ActivityGate gate;
+  gate.update(1000);
+  gate.update(0);
+  EXPECT_FALSE(gate.active());
+  gate.reset();
+  EXPECT_TRUE(gate.active());
+  EXPECT_EQ(gate.max_seen(), 0U);
+}
+
+TEST(Gating, CustomThreshold) {
+  ActivityGate gate(0.5);
+  gate.update(100);
+  EXPECT_TRUE(gate.update(51));
+  EXPECT_FALSE(gate.update(50));
+}
+
+TEST(Gating, RejectsBadThreshold) {
+  EXPECT_THROW(ActivityGate(0.0), util::AssertionError);
+  EXPECT_THROW(ActivityGate(1.5), util::AssertionError);
+}
+
+}  // namespace
+}  // namespace tmprof::core

@@ -1,0 +1,92 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tmprof::util {
+namespace {
+
+TEST(Histogram, BucketsValues) {
+  Histogram h(0, 100, 10);
+  h.add(5);
+  h.add(15);
+  h.add(15);
+  h.add(99);
+  EXPECT_EQ(h.count(0), 1U);
+  EXPECT_EQ(h.count(1), 2U);
+  EXPECT_EQ(h.count(9), 1U);
+  EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(10, 20, 2);
+  h.add(5);
+  h.add(25);
+  h.add(15);
+  EXPECT_EQ(h.underflow(), 1U);
+  EXPECT_EQ(h.overflow(), 1U);
+  EXPECT_EQ(h.total(), 3U);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0, 10, 2);
+  h.add(1, 7);
+  EXPECT_EQ(h.count(0), 7U);
+}
+
+TEST(Histogram, BucketLoEdges) {
+  Histogram h(100, 200, 10);
+  EXPECT_EQ(h.bucket_lo(0), 100U);
+  EXPECT_EQ(h.bucket_lo(5), 150U);
+}
+
+TEST(Heatmap, AccumulatesCells) {
+  Heatmap hm(100, 10, 1000, 10);
+  hm.add(5, 50);
+  hm.add(5, 50);
+  hm.add(95, 950);
+  EXPECT_EQ(hm.at(0, 0), 2U);
+  EXPECT_EQ(hm.at(9, 9), 1U);
+  EXPECT_EQ(hm.total(), 3U);
+  EXPECT_EQ(hm.max_cell(), 2U);
+}
+
+TEST(Heatmap, ClipsOutOfRangeWithoutCounting) {
+  Heatmap hm(10, 2, 10, 2);
+  hm.add(10, 0);
+  hm.add(0, 10);
+  EXPECT_EQ(hm.total(), 0U);
+}
+
+TEST(Heatmap, AsciiRenderHasOneRowPerAddrBin) {
+  Heatmap hm(10, 4, 10, 3);
+  hm.add(0, 0);
+  const std::string art = hm.render_ascii();
+  int newlines = 0;
+  for (char c : art) newlines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(newlines, 3);
+  // Low address renders on the bottom row.
+  EXPECT_NE(art.rfind('\n', art.size() - 2), std::string::npos);
+  EXPECT_NE(art[art.size() - 1 - 4], ' ');
+}
+
+TEST(Heatmap, CsvListsNonZeroCells) {
+  Heatmap hm(10, 2, 10, 2);
+  hm.add(1, 1);
+  hm.add(9, 9, 3);
+  std::ostringstream os;
+  hm.write_csv(os);
+  EXPECT_EQ(os.str(), "time_bin,addr_bin,count\n0,0,1\n1,1,3\n");
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(10, 10, 4), AssertionError);
+  EXPECT_THROW(Histogram(0, 10, 0), AssertionError);
+  EXPECT_THROW(Heatmap(0, 1, 1, 1), AssertionError);
+}
+
+}  // namespace
+}  // namespace tmprof::util

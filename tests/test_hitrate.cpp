@@ -1,0 +1,111 @@
+#include "tiering/hitrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tiering/policies.hpp"
+
+namespace tmprof::tiering {
+namespace {
+
+PageKey key(std::uint64_t n) { return PageKey{1, n * mem::kPageSize}; }
+
+/// Hand-built series: page 0 is persistently hot, pages 1..9 cold; a phase
+/// change at epoch 2 makes page 5 the hot one.
+EpochSeries synthetic_series() {
+  EpochSeries series;
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    EpochData data;
+    data.epoch = e;
+    const std::uint64_t hot = e < 2 ? 0 : 5;
+    for (std::uint64_t p = 0; p < 10; ++p) {
+      const std::uint64_t count = p == hot ? 900 : 10;
+      data.truth[key(p)] = count;
+      data.truth_total += count;
+      // The profiler observes the truth (perfect profiler for this test).
+      data.observed.trace[key(p)] = static_cast<std::uint32_t>(count);
+      if (e == 0) data.new_pages.push_back(key(p));
+    }
+    series.epochs.push_back(std::move(data));
+  }
+  for (std::uint64_t p = 0; p < 10; ++p) {
+    series.page_sizes[key(p)] = mem::PageSize::k4K;
+  }
+  series.footprint_frames = 10;
+  return series;
+}
+
+HitrateOptions options(std::uint64_t capacity) {
+  HitrateOptions opt;
+  opt.capacity_frames = capacity;
+  opt.fusion = core::FusionMode::Sum;
+  return opt;
+}
+
+TEST(Hitrate, OracleBeatsHistoryAtPhaseChange) {
+  const EpochSeries series = synthetic_series();
+  OraclePolicy oracle;
+  HistoryPolicy history;
+  const HitrateResult o = evaluate_policy(oracle, series, options(1));
+  const HitrateResult h = evaluate_policy(history, series, options(1));
+  EXPECT_GT(o.overall, h.overall);
+  // Oracle with capacity 1 always holds the hot page: ~91% hitrate.
+  EXPECT_NEAR(o.overall, 900.0 / 990.0, 0.01);
+}
+
+TEST(Hitrate, HistoryLagsOneEpochAfterPhaseChange) {
+  const EpochSeries series = synthetic_series();
+  HistoryPolicy history;
+  const HitrateResult h = evaluate_policy(history, series, options(1));
+  ASSERT_EQ(h.per_epoch.size(), 4U);
+  // Epoch 2 is the phase change: History still holds page 0.
+  EXPECT_LT(h.per_epoch[2], 0.1);
+  // Epoch 3: History caught up.
+  EXPECT_GT(h.per_epoch[3], 0.85);
+}
+
+TEST(Hitrate, FullCapacityGivesPerfectHitrate) {
+  const EpochSeries series = synthetic_series();
+  OraclePolicy oracle;
+  const HitrateResult r = evaluate_policy(oracle, series, options(10));
+  EXPECT_DOUBLE_EQ(r.overall, 1.0);
+}
+
+TEST(Hitrate, FirstTouchIsCapacityBound) {
+  const EpochSeries series = synthetic_series();
+  FirstTouchPolicy ft;
+  const HitrateResult r = evaluate_policy(ft, series, options(5));
+  // First five touched pages stay put: 0..4 resident. Hot page 0 covered in
+  // the first phase, hot page 5 missed in the second.
+  EXPECT_GT(r.overall, 0.4);
+  EXPECT_LT(r.overall, 0.6);
+}
+
+TEST(Hitrate, PromotionsCounted) {
+  const EpochSeries series = synthetic_series();
+  OraclePolicy oracle;
+  const HitrateResult r = evaluate_policy(oracle, series, options(1));
+  // Initial promotion + the phase-change swap.
+  EXPECT_EQ(r.promotions, 2U);
+}
+
+TEST(Hitrate, TotalsAreConsistent) {
+  const EpochSeries series = synthetic_series();
+  HistoryPolicy history;
+  const HitrateResult r = evaluate_policy(history, series, options(3));
+  EXPECT_EQ(r.total_accesses, 4 * 990U);
+  EXPECT_LE(r.tier1_accesses, r.total_accesses);
+  EXPECT_NEAR(r.overall,
+              static_cast<double>(r.tier1_accesses) /
+                  static_cast<double>(r.total_accesses),
+              1e-12);
+}
+
+TEST(Hitrate, ZeroCapacityRejected) {
+  const EpochSeries series = synthetic_series();
+  HistoryPolicy history;
+  EXPECT_THROW(evaluate_policy(history, series, options(0)),
+               util::AssertionError);
+}
+
+}  // namespace
+}  // namespace tmprof::tiering

@@ -1,0 +1,135 @@
+/// Integration tests: paper-level behaviors that cut across every module.
+/// Each test is a miniature version of one of the paper's claims.
+
+#include <gtest/gtest.h>
+
+#include "core/daemon.hpp"
+#include "tiering/hitrate.hpp"
+#include "tiering/policies.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace tmprof {
+namespace {
+
+sim::SimConfig small_config() {
+  sim::SimConfig cfg;
+  cfg.cores = 2;
+  cfg.llc_bytes = 1 << 19;
+  cfg.tier1_frames = 1 << 15;
+  cfg.tier2_frames = 1 << 17;
+  return cfg;
+}
+
+tiering::CollectOptions fast_options(std::uint32_t epochs = 4) {
+  tiering::CollectOptions opt;
+  opt.n_epochs = epochs;
+  opt.ops_per_epoch = 120000;
+  opt.daemon.driver.ibs = monitors::IbsConfig::with_period(1024);
+  return opt;
+}
+
+/// Section III-B4 / Table I: A-bit staleness from the no-shootdown
+/// optimization — with shootdowns the scanner observes at least as many
+/// accessed pages, because cached translations stop hiding accesses.
+TEST(PaperClaims, NoShootdownHidesSomeAccesses) {
+  auto run = [&](bool shootdown) {
+    sim::System sys(small_config());
+    // Footprint small enough to be TLB-resident.
+    const mem::Pid pid = sys.add_process(
+        std::make_unique<workloads::UniformWorkload>(1 << 21, 0.0, 1));
+    core::DriverConfig cfg;
+    cfg.abit.shootdown_on_clear = shootdown;
+    core::TmpDriver driver(sys, cfg);
+    std::uint64_t observed = 0;
+    for (int e = 0; e < 6; ++e) {
+      sys.step(40000);
+      observed += driver.scan_processes({pid}).pages_accessed;
+      driver.end_epoch();
+    }
+    return observed;
+  };
+  const std::uint64_t with_shootdown = run(true);
+  const std::uint64_t without = run(false);
+  EXPECT_GT(with_shootdown, without);
+}
+
+/// Section VI-B: IBS trace sampling detects far more pages than A-bit on a
+/// huge random workload (GUPS-like), and the reverse holds for a small
+/// cache-resident hot set (Web-Serving-like).
+TEST(PaperClaims, TraceVsAbitAsymmetry) {
+  const auto gups = workloads::find_spec("gups", 0.2);
+  tiering::CollectOptions opt = fast_options();
+  opt.daemon.driver.ibs = monitors::IbsConfig::with_period(256);
+  const tiering::EpochSeries series =
+      tiering::collect_series(gups, small_config(), opt);
+  std::uint64_t abit_pages = 0, trace_pages = 0;
+  for (const auto& data : series.epochs) {
+    abit_pages += data.observed.abit.size();
+    trace_pages += data.observed.trace.size();
+  }
+  // GUPS: huge-page A-bit entries are few; trace samples see 4K spread.
+  EXPECT_GT(trace_pages, abit_pages);
+}
+
+/// Section VI-C / Fig. 6: the combined (TMP) ranking never loses to the
+/// worse single source, and Oracle bounds History from above.
+TEST(PaperClaims, CombinedProfileAndOracleOrdering) {
+  const auto spec = workloads::find_spec("data_caching", 0.1);
+  const tiering::EpochSeries series =
+      tiering::collect_series(spec, small_config(), fast_options(5));
+  const std::uint64_t capacity = series.footprint_frames / 8;
+  ASSERT_GT(capacity, 0U);
+
+  auto eval = [&](const std::string& policy, core::FusionMode fusion) {
+    tiering::HitrateOptions opt;
+    opt.capacity_frames = capacity;
+    opt.fusion = fusion;
+    auto p = tiering::make_policy(policy);
+    return tiering::evaluate_policy(*p, series, opt).overall;
+  };
+
+  const double oracle = eval("oracle", core::FusionMode::Sum);
+  const double history_sum = eval("history", core::FusionMode::Sum);
+  const double history_abit = eval("history", core::FusionMode::AbitOnly);
+  const double history_trace = eval("history", core::FusionMode::TraceOnly);
+  EXPECT_GE(oracle + 1e-9, history_sum);
+  EXPECT_GE(history_sum + 1e-9, std::min(history_abit, history_trace));
+}
+
+/// Fig. 2's premise: PTW A-bit-set events and LLC-miss events are the same
+/// order of magnitude, justifying the simple-sum rank.
+TEST(PaperClaims, EventPopulationsComparable) {
+  sim::System sys(small_config());
+  sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(64 << 20, 0.1, 3));
+  sys.step(300000);
+  const auto walks = sys.pmu().truth_total(pmu::Event::PtwAbitSet);
+  const auto misses = sys.pmu().truth_total(pmu::Event::LlcMiss);
+  ASSERT_GT(walks, 0U);
+  ASSERT_GT(misses, 0U);
+  const double ratio = static_cast<double>(walks) / static_cast<double>(misses);
+  EXPECT_GT(ratio, 0.0001);
+  EXPECT_LT(ratio, 10000.0);
+}
+
+/// The daemon's full pipeline survives multiple workload types in sequence
+/// without leaking state across epochs.
+TEST(Integration, DaemonAcrossAllWorkloads) {
+  for (const auto& name : workloads::table3_names()) {
+    const auto spec = workloads::find_spec(name, 0.1);
+    sim::System sys(small_config());
+    tiering::add_spec_processes(sys, spec, 7);
+    core::DaemonConfig cfg;
+    cfg.driver.ibs = monitors::IbsConfig::with_period(512);
+    core::TmpDaemon daemon(sys, cfg);
+    for (int e = 0; e < 2; ++e) {
+      sys.step(40000);
+      const core::ProfileSnapshot snap = daemon.tick();
+      EXPECT_EQ(snap.epoch, static_cast<std::uint32_t>(e)) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmprof

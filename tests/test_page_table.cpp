@@ -1,0 +1,185 @@
+#include "mem/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace tmprof::mem {
+namespace {
+
+TEST(PageTable, MapAndResolve4k) {
+  PageTable pt;
+  pt.map(0x1000, 42, PageSize::k4K);
+  const PteRef ref = pt.resolve(0x1abc);
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref.pte->pfn(), 42U);
+  EXPECT_EQ(ref.size, PageSize::k4K);
+  EXPECT_EQ(ref.page_va, 0x1000U);
+  EXPECT_TRUE(ref.pte->present());
+}
+
+TEST(PageTable, MapAndResolveHuge) {
+  PageTable pt;
+  pt.map(2 * kHugePageSize, 512, PageSize::k2M);
+  const PteRef ref = pt.resolve(2 * kHugePageSize + 12345);
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref.pte->pfn(), 512U);
+  EXPECT_EQ(ref.size, PageSize::k2M);
+  EXPECT_TRUE(ref.pte->huge());
+}
+
+TEST(PageTable, UnmappedResolvesNull) {
+  PageTable pt;
+  EXPECT_FALSE(pt.resolve(0xdead000));
+  pt.map(0x1000, 1, PageSize::k4K);
+  EXPECT_FALSE(pt.resolve(0x2000));
+}
+
+TEST(PageTable, UnmapReturnsOldPte) {
+  PageTable pt;
+  pt.map(0x3000, 7, PageSize::k4K);
+  pt.resolve(0x3000).pte->set_accessed(true);
+  const Pte old = pt.unmap(0x3000);
+  EXPECT_TRUE(old.accessed());
+  EXPECT_EQ(old.pfn(), 7U);
+  EXPECT_FALSE(pt.resolve(0x3000));
+}
+
+TEST(PageTable, CountsMappings) {
+  PageTable pt;
+  EXPECT_EQ(pt.mapped_4k(), 0U);
+  pt.map(0x1000, 1, PageSize::k4K);
+  pt.map(0x2000, 2, PageSize::k4K);
+  pt.map(kHugePageSize * 4, 1024, PageSize::k2M);
+  EXPECT_EQ(pt.mapped_4k(), 2U);
+  EXPECT_EQ(pt.mapped_2m(), 1U);
+  EXPECT_EQ(pt.mapped_bytes(), 2 * kPageSize + kHugePageSize);
+  pt.unmap(0x1000);
+  EXPECT_EQ(pt.mapped_4k(), 1U);
+}
+
+TEST(PageTable, RejectsDoubleMap) {
+  PageTable pt;
+  pt.map(0x1000, 1, PageSize::k4K);
+  EXPECT_THROW(pt.map(0x1000, 2, PageSize::k4K), util::AssertionError);
+}
+
+TEST(PageTable, RejectsMisalignedHugeMap) {
+  PageTable pt;
+  EXPECT_THROW(pt.map(0x1000, 1, PageSize::k2M), util::AssertionError);
+}
+
+TEST(PageTable, RejectsHugeOverlappingSmallSubtree) {
+  PageTable pt;
+  pt.map(3 * kHugePageSize + 0x1000, 1, PageSize::k4K);
+  EXPECT_THROW(pt.map(3 * kHugePageSize, 512, PageSize::k2M),
+               util::AssertionError);
+}
+
+TEST(PageTable, WalkVisitsAllLeavesInOrder) {
+  PageTable pt;
+  pt.map(0x5000, 5, PageSize::k4K);
+  pt.map(0x1000, 1, PageSize::k4K);
+  pt.map(kHugePageSize * 8, 4096, PageSize::k2M);
+  std::vector<VirtAddr> vas;
+  pt.walk([&](VirtAddr va, PageSize, Pte&) { vas.push_back(va); });
+  ASSERT_EQ(vas.size(), 3U);
+  EXPECT_EQ(vas[0], 0x1000U);
+  EXPECT_EQ(vas[1], 0x5000U);
+  EXPECT_EQ(vas[2], kHugePageSize * 8);
+}
+
+TEST(PageTable, WalkCanMutateFlagBits) {
+  PageTable pt;
+  pt.map(0x1000, 1, PageSize::k4K);
+  pt.resolve(0x1000).pte->set_accessed(true);
+  pt.walk([](VirtAddr, PageSize, Pte& pte) {
+    EXPECT_TRUE(pte.test_clear_accessed());
+  });
+  EXPECT_FALSE(pt.resolve(0x1000).pte->accessed());
+}
+
+TEST(PageTable, NodeCountGrows) {
+  PageTable pt;
+  const std::uint64_t before = pt.node_count();
+  pt.map(0x1000, 1, PageSize::k4K);
+  EXPECT_GT(pt.node_count(), before);
+  // Mapping a neighbor reuses the same subtree.
+  const std::uint64_t after_one = pt.node_count();
+  pt.map(0x2000, 2, PageSize::k4K);
+  EXPECT_EQ(pt.node_count(), after_one);
+}
+
+TEST(PageTable, SparseAddressesSupported) {
+  PageTable pt;
+  const VirtAddr high = (1ULL << 47) - kPageSize;
+  pt.map(high, 99, PageSize::k4K);
+  const PteRef ref = pt.resolve(high + 5);
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref.pte->pfn(), 99U);
+}
+
+TEST(Pte, FlagRoundTrips) {
+  Pte pte;
+  pte.set_present(true);
+  pte.set_writable(true);
+  pte.set_accessed(true);
+  pte.set_dirty(true);
+  pte.set_poisoned(true);
+  pte.set_pfn(0x123456);
+  EXPECT_TRUE(pte.present());
+  EXPECT_TRUE(pte.writable());
+  EXPECT_TRUE(pte.accessed());
+  EXPECT_TRUE(pte.dirty());
+  EXPECT_TRUE(pte.poisoned());
+  EXPECT_EQ(pte.pfn(), 0x123456U);
+  pte.set_poisoned(false);
+  EXPECT_FALSE(pte.poisoned());
+  EXPECT_EQ(pte.pfn(), 0x123456U);  // pfn untouched by flag changes
+}
+
+TEST(Pte, TestClearAccessed) {
+  Pte pte;
+  pte.set_accessed(true);
+  EXPECT_TRUE(pte.test_clear_accessed());
+  EXPECT_FALSE(pte.accessed());
+  EXPECT_FALSE(pte.test_clear_accessed());
+}
+
+}  // namespace
+}  // namespace tmprof::mem
+
+namespace tmprof::mem {
+namespace {
+
+TEST(PageTable, UnmapPrunesEmptyNodes) {
+  PageTable pt;
+  const std::uint64_t base_nodes = pt.node_count();
+  pt.map(0x1000, 1, PageSize::k4K);
+  pt.map(0x2000, 2, PageSize::k4K);
+  EXPECT_GT(pt.node_count(), base_nodes);
+  pt.unmap(0x1000);
+  pt.unmap(0x2000);
+  EXPECT_EQ(pt.node_count(), base_nodes);
+  // The freed range can now back a huge mapping (THP collapse scenario).
+  pt.map(0x0, 512, PageSize::k2M);
+  const PteRef ref = pt.resolve(0x1000);
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref.size, PageSize::k2M);
+}
+
+TEST(PageTable, PartialUnmapKeepsSharedNodes) {
+  PageTable pt;
+  pt.map(0x1000, 1, PageSize::k4K);
+  pt.map(0x2000, 2, PageSize::k4K);
+  pt.unmap(0x1000);
+  // Sibling still mapped: its node chain must survive.
+  const PteRef ref = pt.resolve(0x2000);
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref.pte->pfn(), 2U);
+}
+
+}  // namespace
+}  // namespace tmprof::mem

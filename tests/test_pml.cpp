@@ -1,0 +1,65 @@
+#include "monitors/pml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tmprof::monitors {
+namespace {
+
+MemOpEvent dirty_event(mem::PhysAddr paddr) {
+  MemOpEvent ev;
+  ev.paddr = paddr;
+  ev.is_store = true;
+  return ev;
+}
+
+TEST(Pml, LogsAlignedAddresses) {
+  PmlMonitor pml;
+  std::vector<mem::PhysAddr> got;
+  pml.set_drain([&](std::span<const mem::PhysAddr> addrs) {
+    got.assign(addrs.begin(), addrs.end());
+  });
+  pml.on_dirty_set(dirty_event(0x12345));
+  pml.drain();
+  ASSERT_EQ(got.size(), 1U);
+  EXPECT_EQ(got[0], 0x12000U);  // 4 KiB aligned
+}
+
+TEST(Pml, FullLogNotifies) {
+  PmlConfig cfg;
+  cfg.log_capacity = 4;
+  PmlMonitor pml(cfg);
+  int notifications = 0;
+  pml.set_drain([&](std::span<const mem::PhysAddr> addrs) {
+    EXPECT_EQ(addrs.size(), 4U);
+    ++notifications;
+  });
+  for (int i = 0; i < 10; ++i) {
+    pml.on_dirty_set(dirty_event(static_cast<mem::PhysAddr>(i) << 12));
+  }
+  EXPECT_EQ(notifications, 2);
+  EXPECT_EQ(pml.notifications(), 2U);
+  EXPECT_EQ(pml.entries_logged(), 10U);
+}
+
+TEST(Pml, OnlyDirtyTransitionsReachIt) {
+  // The monitor trusts the engine to call on_dirty_set only on 0->1
+  // transitions; verify the other hooks do nothing.
+  PmlMonitor pml;
+  MemOpEvent ev = dirty_event(0x1000);
+  pml.on_mem_op(ev);
+  pml.on_retire(0, 4, 0);
+  EXPECT_EQ(pml.entries_logged(), 0U);
+}
+
+TEST(Pml, DrainOnEmptyIsNoop) {
+  PmlMonitor pml;
+  int drains = 0;
+  pml.set_drain([&](std::span<const mem::PhysAddr>) { ++drains; });
+  pml.drain();
+  EXPECT_EQ(drains, 0);
+}
+
+}  // namespace
+}  // namespace tmprof::monitors

@@ -1,0 +1,90 @@
+#include "pmu/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace tmprof::pmu {
+namespace {
+
+TEST(PmuCore, TruthAlwaysCounts) {
+  PmuCore core(4);
+  core.record(Event::LlcMiss, 0, 5);
+  core.record(Event::LlcMiss, 10, 2);
+  EXPECT_EQ(core.truth(Event::LlcMiss), 7U);
+}
+
+TEST(PmuCore, UnprogrammedEventReadsZero) {
+  PmuCore core(4);
+  core.record(Event::LlcMiss, 0, 100);
+  EXPECT_EQ(core.read(Event::LlcMiss), 0U);
+}
+
+TEST(PmuCore, ProgrammedEventReadsExactWithoutMultiplexing) {
+  PmuCore core(4);
+  core.program({Event::LlcMiss, Event::DtlbWalk});
+  EXPECT_FALSE(core.multiplexing());
+  core.record(Event::LlcMiss, 0, 42);
+  core.record(Event::DtlbWalk, 0, 17);
+  EXPECT_EQ(core.read(Event::LlcMiss), 42U);
+  EXPECT_EQ(core.read(Event::DtlbWalk), 17U);
+}
+
+TEST(PmuCore, MultiplexingScalesEstimates) {
+  PmuCore core(1);  // one register, two events -> 50% duty cycle each
+  core.program({Event::LlcMiss, Event::DtlbWalk});
+  EXPECT_TRUE(core.multiplexing());
+  // Emit a steady stream of both events over many slices.
+  const util::SimNs horizon = 100 * PmuCore::kSliceNs;
+  for (util::SimNs t = 0; t < horizon; t += util::kMicrosecond * 100) {
+    core.record(Event::LlcMiss, t, 10);
+    core.record(Event::DtlbWalk, t, 10);
+  }
+  const std::uint64_t true_count = core.truth(Event::LlcMiss);
+  const std::uint64_t estimate = core.read(Event::LlcMiss);
+  // The scaled estimate should be within 15% of truth for a steady stream.
+  EXPECT_NEAR(static_cast<double>(estimate), static_cast<double>(true_count),
+              0.15 * static_cast<double>(true_count));
+}
+
+TEST(PmuCore, DuplicateProgrammingRejected) {
+  PmuCore core(2);
+  EXPECT_THROW(core.program({Event::LlcMiss, Event::LlcMiss}),
+               util::AssertionError);
+}
+
+TEST(PmuCore, ReprogramResetsObservation) {
+  PmuCore core(2);
+  core.program({Event::LlcMiss});
+  core.record(Event::LlcMiss, 0, 5);
+  core.program({Event::LlcMiss});
+  EXPECT_EQ(core.read(Event::LlcMiss), 0U);
+  EXPECT_EQ(core.truth(Event::LlcMiss), 5U);
+}
+
+TEST(Pmu, AggregatesAcrossCores) {
+  Pmu pmu(3, 4);
+  pmu.program_all({Event::LlcMiss});
+  pmu.core(0).record(Event::LlcMiss, 0, 1);
+  pmu.core(1).record(Event::LlcMiss, 0, 2);
+  pmu.core(2).record(Event::LlcMiss, 0, 3);
+  EXPECT_EQ(pmu.read_total(Event::LlcMiss), 6U);
+  EXPECT_EQ(pmu.truth_total(Event::LlcMiss), 6U);
+}
+
+TEST(Pmu, CoreIndexValidated) {
+  Pmu pmu(2);
+  EXPECT_THROW(pmu.core(2), util::AssertionError);
+}
+
+TEST(Events, NamesAreUnique) {
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    for (std::size_t j = i + 1; j < kEventCount; ++j) {
+      EXPECT_NE(event_name(static_cast<Event>(i)),
+                event_name(static_cast<Event>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmprof::pmu

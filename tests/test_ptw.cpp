@@ -1,0 +1,85 @@
+#include "mem/ptw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmprof::mem {
+namespace {
+
+TEST(Ptw, NotPresentFault) {
+  PageTable pt;
+  const WalkResult r = PageTableWalker::walk(pt, 0x1000, false);
+  EXPECT_EQ(r.status, WalkResult::Status::NotPresent);
+  EXPECT_EQ(r.levels, 4U);
+}
+
+TEST(Ptw, SuccessfulWalkSetsAccessed) {
+  PageTable pt;
+  pt.map(0x1000, 5, PageSize::k4K);
+  EXPECT_FALSE(pt.resolve(0x1000).pte->accessed());
+  const WalkResult r = PageTableWalker::walk(pt, 0x1234, false);
+  EXPECT_EQ(r.status, WalkResult::Status::Ok);
+  EXPECT_TRUE(r.set_accessed);
+  EXPECT_FALSE(r.set_dirty);
+  EXPECT_EQ(r.pfn, 5U);
+  EXPECT_EQ(r.page_va, 0x1000U);
+  EXPECT_TRUE(pt.resolve(0x1000).pte->accessed());
+}
+
+TEST(Ptw, SecondWalkDoesNotReSetAccessed) {
+  PageTable pt;
+  pt.map(0x1000, 5, PageSize::k4K);
+  PageTableWalker::walk(pt, 0x1000, false);
+  const WalkResult r = PageTableWalker::walk(pt, 0x1000, false);
+  EXPECT_FALSE(r.set_accessed);  // A already 1: no 0->1 transition
+}
+
+TEST(Ptw, StoreSetsDirty) {
+  PageTable pt;
+  pt.map(0x1000, 5, PageSize::k4K);
+  const WalkResult r = PageTableWalker::walk(pt, 0x1000, true);
+  EXPECT_TRUE(r.set_dirty);
+  EXPECT_TRUE(pt.resolve(0x1000).pte->dirty());
+  const WalkResult r2 = PageTableWalker::walk(pt, 0x1000, true);
+  EXPECT_FALSE(r2.set_dirty);
+}
+
+TEST(Ptw, LoadNeverSetsDirty) {
+  PageTable pt;
+  pt.map(0x1000, 5, PageSize::k4K);
+  PageTableWalker::walk(pt, 0x1000, false);
+  EXPECT_FALSE(pt.resolve(0x1000).pte->dirty());
+}
+
+TEST(Ptw, HugeWalkIsThreeLevels) {
+  PageTable pt;
+  pt.map(kHugePageSize, 512, PageSize::k2M);
+  const WalkResult r = PageTableWalker::walk(pt, kHugePageSize + 123, false);
+  EXPECT_EQ(r.status, WalkResult::Status::Ok);
+  EXPECT_EQ(r.levels, 3U);
+  EXPECT_EQ(r.size, PageSize::k2M);
+}
+
+TEST(Ptw, PoisonedFaultsBeforeTouchingBits) {
+  PageTable pt;
+  pt.map(0x1000, 5, PageSize::k4K);
+  pt.resolve(0x1000).pte->set_poisoned(true);
+  const WalkResult r = PageTableWalker::walk(pt, 0x1000, true);
+  EXPECT_EQ(r.status, WalkResult::Status::Poisoned);
+  EXPECT_FALSE(pt.resolve(0x1000).pte->accessed());
+  EXPECT_FALSE(pt.resolve(0x1000).pte->dirty());
+}
+
+TEST(Ptw, PoisonIgnoredOnHandlerRewalk) {
+  PageTable pt;
+  pt.map(0x1000, 5, PageSize::k4K);
+  pt.resolve(0x1000).pte->set_poisoned(true);
+  const WalkResult r =
+      PageTableWalker::walk(pt, 0x1000, true, /*honor_poison=*/false);
+  EXPECT_EQ(r.status, WalkResult::Status::Ok);
+  EXPECT_TRUE(r.set_accessed);
+  EXPECT_TRUE(r.set_dirty);
+  EXPECT_TRUE(pt.resolve(0x1000).pte->poisoned());  // poison preserved
+}
+
+}  // namespace
+}  // namespace tmprof::mem

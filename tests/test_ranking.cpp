@@ -1,0 +1,82 @@
+#include "core/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tmprof::core {
+namespace {
+
+EpochObservation make_obs() {
+  EpochObservation obs;
+  const PageKey a{1, 0x1000};
+  const PageKey b{1, 0x2000};
+  const PageKey c{2, 0x1000};
+  obs.abit[a] = 3;
+  obs.abit[b] = 1;
+  obs.trace[b] = 10;
+  obs.trace[c] = 4;
+  return obs;
+}
+
+TEST(Ranking, SumFusesBothSources) {
+  const auto ranked = build_ranking(make_obs(), FusionMode::Sum);
+  ASSERT_EQ(ranked.size(), 3U);
+  EXPECT_EQ(ranked[0].key, (PageKey{1, 0x2000}));
+  EXPECT_EQ(ranked[0].rank, 11U);
+  EXPECT_EQ(ranked[0].abit, 1U);
+  EXPECT_EQ(ranked[0].trace, 10U);
+  EXPECT_EQ(ranked[1].rank, 4U);
+  EXPECT_EQ(ranked[2].rank, 3U);
+}
+
+TEST(Ranking, AbitOnlyIgnoresTrace) {
+  const auto ranked = build_ranking(make_obs(), FusionMode::AbitOnly);
+  ASSERT_EQ(ranked.size(), 2U);
+  EXPECT_EQ(ranked[0].key, (PageKey{1, 0x1000}));
+  EXPECT_EQ(ranked[0].rank, 3U);
+  for (const PageRank& pr : ranked) EXPECT_EQ(pr.trace, 0U);
+}
+
+TEST(Ranking, TraceOnlyIgnoresAbit) {
+  const auto ranked = build_ranking(make_obs(), FusionMode::TraceOnly);
+  ASSERT_EQ(ranked.size(), 2U);
+  EXPECT_EQ(ranked[0].key, (PageKey{1, 0x2000}));
+  EXPECT_EQ(ranked[0].rank, 10U);
+}
+
+TEST(Ranking, MaxFusion) {
+  const auto ranked = build_ranking(make_obs(), FusionMode::Max);
+  EXPECT_EQ(ranked[0].rank, 10U);  // max(1, 10)
+}
+
+TEST(Ranking, WeightedFusion) {
+  const auto ranked = build_ranking(make_obs(), FusionMode::Weighted, 0.5);
+  // b: 1 + 0.5*10 = 6; c: 0.5*4 = 2; a: 3.
+  EXPECT_EQ(ranked[0].rank, 6U);
+  EXPECT_EQ(ranked[1].rank, 3U);
+  EXPECT_EQ(ranked[2].rank, 2U);
+}
+
+TEST(Ranking, DeterministicTieBreak) {
+  EpochObservation obs;
+  obs.abit[PageKey{1, 0x3000}] = 2;
+  obs.abit[PageKey{1, 0x1000}] = 2;
+  obs.abit[PageKey{1, 0x2000}] = 2;
+  const auto ranked = build_ranking(obs, FusionMode::Sum);
+  ASSERT_EQ(ranked.size(), 3U);
+  EXPECT_LT(ranked[0].key, ranked[1].key);
+  EXPECT_LT(ranked[1].key, ranked[2].key);
+}
+
+TEST(Ranking, EmptyObservationGivesEmptyRanking) {
+  EpochObservation obs;
+  EXPECT_TRUE(build_ranking(obs, FusionMode::Sum).empty());
+}
+
+TEST(Ranking, FusionNames) {
+  EXPECT_EQ(to_string(FusionMode::Sum), "sum");
+  EXPECT_EQ(to_string(FusionMode::AbitOnly), "abit-only");
+  EXPECT_EQ(to_string(FusionMode::TraceOnly), "trace-only");
+}
+
+}  // namespace
+}  // namespace tmprof::core

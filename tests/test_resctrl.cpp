@@ -1,0 +1,86 @@
+#include "sim/resctrl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/synthetic.hpp"
+
+namespace tmprof::sim {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.cores = 2;
+  cfg.llc_bytes = 1 << 18;
+  cfg.tier1_frames = 1 << 14;
+  cfg.tier2_frames = 1 << 14;
+  return cfg;
+}
+
+TEST(Resctrl, OccupancyTracksCacheFootprint) {
+  System sys(small_config());
+  const mem::Pid busy = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(2 << 20, 0.0, 1));
+  const mem::Pid tiny = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 10, 0.0, 2));
+  sys.step(40000);
+  ResctrlMonitor resctrl(sys);
+  const std::uint64_t occ_busy = resctrl.llc_occupancy_bytes(busy);
+  const std::uint64_t occ_tiny = resctrl.llc_occupancy_bytes(tiny);
+  EXPECT_GT(occ_busy, occ_tiny);
+  // The tiny process's whole footprint fits in its occupancy bound.
+  EXPECT_LE(occ_tiny, 8U << 10);
+  EXPECT_GT(occ_busy, 0U);
+}
+
+TEST(Resctrl, BandwidthReadsAreDeltas) {
+  System sys(small_config());
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(4 << 20, 0.0, 1));
+  ResctrlMonitor resctrl(sys);
+  sys.step(20000);
+  const MbmReading first = resctrl.read_bandwidth(pid);
+  EXPECT_GT(first.bytes, 0U);
+  EXPECT_GT(first.interval_ns, 0U);
+  EXPECT_GT(first.gib_per_s(), 0.0);
+  // Immediately re-reading yields (almost) nothing.
+  const MbmReading second = resctrl.read_bandwidth(pid);
+  EXPECT_EQ(second.bytes, 0U);
+}
+
+TEST(Resctrl, BandwidthAttributedPerProcess) {
+  System sys(small_config());
+  // A memory-thrashing process vs a cache-resident one.
+  const mem::Pid thrasher = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  const mem::Pid resident = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(16 << 10, 0.0, 2));
+  ResctrlMonitor resctrl(sys);
+  sys.step(40000);
+  const MbmReading bw_thrasher = resctrl.read_bandwidth(thrasher);
+  const MbmReading bw_resident = resctrl.read_bandwidth(resident);
+  EXPECT_GT(bw_thrasher.bytes, bw_resident.bytes * 4);
+}
+
+TEST(Resctrl, UtilizationBounded) {
+  System sys(small_config());
+  sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(8 << 20, 0.0, 1));
+  ResctrlMonitor resctrl(sys);
+  sys.step(50000);
+  const double util = resctrl.llc_utilization();
+  EXPECT_GT(util, 0.0);
+  EXPECT_LE(util, 1.0);
+}
+
+TEST(Resctrl, OccupancyLinesOwnerZeroIsUntracked) {
+  mem::CacheLevel llc(1 << 16, 8);
+  llc.fill(0x0, 7);
+  llc.fill(0x40, 7);
+  llc.fill(0x80);  // untracked
+  EXPECT_EQ(llc.occupancy_lines(7), 2U);
+  EXPECT_EQ(llc.occupancy_lines(0), 1U);
+  EXPECT_EQ(llc.occupancy_lines(9), 0U);
+}
+
+}  // namespace
+}  // namespace tmprof::sim

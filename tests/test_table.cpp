@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace tmprof::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string s = t.to_string();
+  // All lines the same width.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), AssertionError);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.rows(), 0U);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2U);
+  EXPECT_EQ(t.columns(), 1U);
+}
+
+TEST(TextTable, NumericHelpers) {
+  EXPECT_EQ(TextTable::num(42), "42");
+  EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::percent(0.5), "50.0%");
+  EXPECT_EQ(TextTable::percent(0.123, 2), "12.30%");
+}
+
+TEST(TextTable, HeaderAppearsInOutput) {
+  TextTable t({"workload", "hitrate"});
+  t.add_row({"gups", "0.42"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("workload"), std::string::npos);
+  EXPECT_NE(s.find("gups"), std::string::npos);
+  EXPECT_NE(s.find("0.42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmprof::util

@@ -1,0 +1,130 @@
+#include "mem/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hpp"
+
+namespace tmprof::mem {
+namespace {
+
+class TlbTest : public ::testing::Test {
+ protected:
+  TlbTest() : tlb_(Tlb::make_default()) {
+    pt_.map(0x1000, 10, PageSize::k4K);
+    pt_.map(kHugePageSize * 2, 1024, PageSize::k2M);
+  }
+
+  Pte* pte4k() { return pt_.resolve(0x1000).pte; }
+  Pte* pte2m() { return pt_.resolve(kHugePageSize * 2).pte; }
+
+  PageTable pt_;
+  Tlb tlb_;
+};
+
+TEST_F(TlbTest, MissWhenEmpty) {
+  EXPECT_EQ(tlb_.lookup(1, 0x1000).level, TlbHit::Miss);
+}
+
+TEST_F(TlbTest, FillThenHitL1) {
+  tlb_.fill(1, 0x1000, PageSize::k4K, pte4k(), false);
+  const auto r = tlb_.lookup(1, 0x1234);
+  EXPECT_EQ(r.level, TlbHit::L1);
+  ASSERT_NE(r.entry, nullptr);
+  EXPECT_EQ(r.entry->pte, pte4k());
+  EXPECT_EQ(r.size, PageSize::k4K);
+}
+
+TEST_F(TlbTest, HugePageHitCoversWholeRegion) {
+  tlb_.fill(1, kHugePageSize * 2, PageSize::k2M, pte2m(), false);
+  const auto r = tlb_.lookup(1, kHugePageSize * 2 + 0x12345);
+  EXPECT_EQ(r.level, TlbHit::L1);
+  EXPECT_EQ(r.size, PageSize::k2M);
+}
+
+TEST_F(TlbTest, PidIsolation) {
+  tlb_.fill(1, 0x1000, PageSize::k4K, pte4k(), false);
+  EXPECT_EQ(tlb_.lookup(2, 0x1000).level, TlbHit::Miss);
+}
+
+TEST_F(TlbTest, InvalidatePage) {
+  tlb_.fill(1, 0x1000, PageSize::k4K, pte4k(), false);
+  tlb_.invalidate_page(1, 0x1000, PageSize::k4K);
+  EXPECT_EQ(tlb_.lookup(1, 0x1000).level, TlbHit::Miss);
+}
+
+TEST_F(TlbTest, InvalidatePid) {
+  tlb_.fill(1, 0x1000, PageSize::k4K, pte4k(), false);
+  tlb_.fill(2, 0x1000, PageSize::k4K, pte4k(), false);
+  tlb_.invalidate_pid(1);
+  EXPECT_EQ(tlb_.lookup(1, 0x1000).level, TlbHit::Miss);
+  EXPECT_EQ(tlb_.lookup(2, 0x1000).level, TlbHit::L1);
+}
+
+TEST_F(TlbTest, FlushClearsEverything) {
+  tlb_.fill(1, 0x1000, PageSize::k4K, pte4k(), false);
+  tlb_.fill(1, kHugePageSize * 2, PageSize::k2M, pte2m(), false);
+  EXPECT_GT(tlb_.valid_entries(), 0U);
+  tlb_.flush();
+  EXPECT_EQ(tlb_.valid_entries(), 0U);
+}
+
+TEST_F(TlbTest, EvictionFromL1StillHitsInL2) {
+  // Fill far more 4K translations than L1 holds (64 entries default).
+  PageTable pt;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    pt.map(0x100000 + i * kPageSize, i + 1, PageSize::k4K);
+  }
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    const VirtAddr va = 0x100000 + i * kPageSize;
+    tlb_.fill(1, va, PageSize::k4K, pt.resolve(va).pte, false);
+  }
+  // The very first page should be out of L1 but still in the larger L2.
+  const auto r = tlb_.lookup(1, 0x100000);
+  EXPECT_EQ(r.level, TlbHit::L2);
+  // And now it is promoted: a second lookup hits L1.
+  EXPECT_EQ(tlb_.lookup(1, 0x100000).level, TlbHit::L1);
+}
+
+TEST_F(TlbTest, DirtyCachedStateTracked) {
+  auto* entry = tlb_.fill(1, 0x1000, PageSize::k4K, pte4k(), false);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->dirty_cached);
+  entry->dirty_cached = true;
+  EXPECT_TRUE(tlb_.lookup(1, 0x1000).entry->dirty_cached);
+}
+
+/// Property: an array never reports more valid entries than its capacity.
+class TlbCapacity : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TlbCapacity, NeverExceedsCapacity) {
+  const std::uint32_t ways = GetParam();
+  TlbArray arr(4, ways, PageSize::k4K);
+  PageTable pt;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    pt.map(i * kPageSize, i + 1, PageSize::k4K);
+    arr.insert(1, i, pt.resolve(i * kPageSize).pte, false);
+    EXPECT_LE(arr.valid_entries(), arr.capacity());
+  }
+  EXPECT_EQ(arr.valid_entries(), arr.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, TlbCapacity, ::testing::Values(1U, 2U, 4U, 8U));
+
+TEST(TlbArray, LruEvictsOldest) {
+  PageTable pt;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    pt.map(i * kPageSize, i + 1, PageSize::k4K);
+  }
+  TlbArray arr(1, 2, PageSize::k4K);
+  arr.insert(1, 0, pt.resolve(0).pte, false);
+  arr.insert(1, 1, pt.resolve(kPageSize).pte, false);
+  // Touch vpn 0 so vpn 1 is LRU.
+  EXPECT_NE(arr.lookup(1, 0), nullptr);
+  arr.insert(1, 2, pt.resolve(2 * kPageSize).pte, false);
+  EXPECT_NE(arr.lookup(1, 0), nullptr);
+  EXPECT_EQ(arr.lookup(1, 1), nullptr);
+  EXPECT_NE(arr.lookup(1, 2), nullptr);
+}
+
+}  // namespace
+}  // namespace tmprof::mem

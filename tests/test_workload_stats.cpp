@@ -1,0 +1,171 @@
+/// Statistical property tests: each Table III generator must reproduce the
+/// access-distribution *class* that drives its paper results (skew,
+/// uniformity, sequentiality, phases, churn). These tests pin the workload
+/// models' shapes so refactors can't silently change the reproduction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "workloads/registry.hpp"
+
+namespace tmprof::workloads {
+namespace {
+
+/// Per-4K-page access histogram over `draws` references.
+std::unordered_map<std::uint64_t, std::uint64_t> page_histogram(
+    Workload& workload, int draws) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  for (int i = 0; i < draws; ++i) {
+    counts[workload.next().offset >> mem::kPageShift] += 1;
+  }
+  return counts;
+}
+
+/// Fraction of traffic captured by the hottest `top_n` pages.
+double head_concentration(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counts,
+    std::size_t top_n, int draws) {
+  std::vector<std::uint64_t> values;
+  values.reserve(counts.size());
+  for (const auto& [page, count] : counts) values.push_back(count);
+  std::sort(values.rbegin(), values.rend());
+  std::uint64_t head = 0;
+  for (std::size_t i = 0; i < std::min(top_n, values.size()); ++i) {
+    head += values[i];
+  }
+  return static_cast<double>(head) / draws;
+}
+
+TEST(WorkloadStats, GupsIsUniform) {
+  const auto spec = find_spec("gups", 0.25);
+  auto w = make_workload(spec, 0, 42);
+  const int draws = 200000;
+  const auto counts = page_histogram(*w, draws);
+  // Uniform random RMW: pairs land on the same page, so distinct pages
+  // ~ footprint, and the hottest 1% of pages carries ~1% of traffic (x2
+  // slack for sampling noise).
+  const double head = head_concentration(counts, counts.size() / 100, draws);
+  EXPECT_LT(head, 0.03);
+  // Footprint coverage: uniform sampling touches most pages.
+  EXPECT_GT(counts.size(), (w->footprint_bytes() >> mem::kPageShift) / 2);
+}
+
+TEST(WorkloadStats, DataCachingIsZipfHeavy) {
+  const auto spec = find_spec("data_caching", 0.25);
+  auto w = make_workload(spec, 0, 42);
+  const int draws = 200000;
+  const auto counts = page_histogram(*w, draws);
+  // Zipf 0.99: the top 1% of touched pages carries a large share.
+  const double head = head_concentration(counts, counts.size() / 100, draws);
+  EXPECT_GT(head, 0.15);
+}
+
+TEST(WorkloadStats, WebServingHotSetDominates) {
+  const auto spec = find_spec("web_serving", 0.25);
+  auto w = make_workload(spec, 0, 42);
+  const int draws = 200000;
+  const auto counts = page_histogram(*w, draws);
+  // 85% of traffic goes to the hot ~3% of items.
+  const double head = head_concentration(counts, counts.size() / 10, draws);
+  EXPECT_GT(head, 0.7);
+}
+
+TEST(WorkloadStats, LuleshIsSequentialWithinArrays) {
+  const auto spec = find_spec("lulesh", 0.25);
+  auto w = make_workload(spec, 0, 42);
+  // Each element's 5 stencil refs touch 3 arrays: exactly the two
+  // consecutive same-array (west->center, center->east) pairs are spatially
+  // near, giving a 2/5 near fraction — far above a random stream's ~0.
+  std::uint64_t near = 0;
+  const int draws = 100000;
+  std::uint64_t prev = w->next().offset;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t offset = w->next().offset;
+    const std::uint64_t delta =
+        offset > prev ? offset - prev : prev - offset;
+    near += delta < (1 << 20) ? 1 : 0;
+    prev = offset;
+  }
+  EXPECT_NEAR(static_cast<double>(near) / draws, 0.4, 0.05);
+}
+
+TEST(WorkloadStats, DataAnalyticsAlternatesPhases) {
+  const auto spec = find_spec("data_analytics", 0.25);
+  auto w = make_workload(spec, 0, 42);
+  // Stores only happen in shuffle phases; over a long horizon both phases
+  // must appear, in runs (not interleaved uniformly).
+  int transitions = 0;
+  bool last_store = false;
+  int stores = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    const bool is_shuffle_ref = w->next().ip == 2;
+    stores += is_shuffle_ref ? 1 : 0;
+    if (is_shuffle_ref != last_store) ++transitions;
+    last_store = is_shuffle_ref;
+  }
+  EXPECT_GT(stores, draws / 10);       // shuffle phase present
+  EXPECT_LT(stores, draws / 2);        // map phase dominates
+  EXPECT_LT(transitions, 200);         // phases are long runs
+}
+
+TEST(WorkloadStats, DataCachingHotSetDrifts) {
+  const auto spec = find_spec("data_caching", 0.25);
+  auto w = make_workload(spec, 0, 42);
+  auto top_pages = [&](int draws) {
+    const auto counts = page_histogram(*w, draws);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(
+        counts.begin(), counts.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    std::unordered_set<std::uint64_t> top;
+    for (std::size_t i = 0; i < std::min<std::size_t>(200, sorted.size());
+         ++i) {
+      top.insert(sorted[i].first);
+    }
+    return top;
+  };
+  const auto early = top_pages(400000);
+  // Burn a long interval so churn rotates the mapping.
+  for (int i = 0; i < 3'000'000; ++i) w->next();
+  const auto late = top_pages(400000);
+  std::size_t common = 0;
+  for (const auto page : early) common += late.count(page);
+  // The hot sets overlap partially but have visibly drifted.
+  EXPECT_LT(common, early.size() * 9 / 10);
+}
+
+TEST(WorkloadStats, Graph500HubsAreHot) {
+  const auto spec = find_spec("graph500", 0.25);
+  auto w = make_workload(spec, 0, 42);
+  const int draws = 200000;
+  const auto counts = page_histogram(*w, draws);
+  // Degree-skewed frontier selection concentrates offset-array traffic on
+  // hub vertices: top 1% of pages well above uniform share.
+  const double head = head_concentration(counts, counts.size() / 100, draws);
+  EXPECT_GT(head, 0.05);
+}
+
+TEST(WorkloadStats, XsbenchIndexRegionIsHot) {
+  const auto spec = find_spec("xsbench", 0.25);
+  auto w = make_workload(spec, 0, 42);
+  // 2 of every 8 refs hit the small index region (offsets below 1/32 of
+  // the footprint): verify that region's traffic share.
+  const std::uint64_t boundary = w->footprint_bytes() / 32;
+  std::uint64_t in_index = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (w->next().offset < boundary) ++in_index;
+  }
+  const double share = static_cast<double>(in_index) / draws;
+  EXPECT_GT(share, 0.2);
+  EXPECT_LT(share, 0.6);
+}
+
+}  // namespace
+}  // namespace tmprof::workloads

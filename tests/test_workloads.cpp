@@ -1,0 +1,167 @@
+#include "workloads/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workloads/synthetic.hpp"
+
+namespace tmprof::workloads {
+namespace {
+
+TEST(Synthetic, UniformStaysInFootprint) {
+  UniformWorkload w(1 << 20, 0.5, 1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(w.next().offset, 1U << 20);
+  }
+}
+
+TEST(Synthetic, SequentialWrapsAround) {
+  SequentialWorkload w(256, 64, 0.0, 1);
+  EXPECT_EQ(w.next().offset, 0U);
+  EXPECT_EQ(w.next().offset, 64U);
+  EXPECT_EQ(w.next().offset, 128U);
+  EXPECT_EQ(w.next().offset, 192U);
+  EXPECT_EQ(w.next().offset, 0U);
+}
+
+TEST(Synthetic, ZipfSkewsTowardsLowRecords) {
+  ZipfWorkload w(1 << 20, 4096, 0.99, 0.0, 1);
+  std::uint64_t head = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (w.next().offset < 16 * 4096) ++head;
+  }
+  // Top 16 of 256 records get far more than their uniform share (6%).
+  EXPECT_GT(head, draws / 5);
+}
+
+TEST(Synthetic, StoreFractionRespected) {
+  UniformWorkload w(1 << 16, 0.25, 2);
+  int stores = 0;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) stores += w.next().is_store ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(stores) / draws, 0.25, 0.02);
+}
+
+TEST(Registry, HasAllEightTable3Workloads) {
+  const auto specs = table3_specs();
+  ASSERT_EQ(specs.size(), 8U);
+  const auto names = table3_names();
+  const std::unordered_set<std::string> set(names.begin(), names.end());
+  for (const char* name :
+       {"data_analytics", "data_caching", "graph500", "graph_analytics",
+        "gups", "lulesh", "web_serving", "xsbench"}) {
+    EXPECT_TRUE(set.count(name)) << name;
+  }
+}
+
+TEST(Registry, HpcWorkloadsUseHugePages) {
+  for (const auto& spec : table3_specs()) {
+    const bool is_hpc = spec.suite == "HPC";
+    EXPECT_EQ(spec.page_size == mem::PageSize::k2M, is_hpc) << spec.name;
+  }
+}
+
+TEST(Registry, FootprintOrderingMatchesPaper) {
+  // XSBench is the biggest, web_serving among the smallest (Table III).
+  const auto xs = find_spec("xsbench");
+  const auto web = find_spec("web_serving");
+  const auto caching = find_spec("data_caching");
+  EXPECT_GT(xs.total_bytes, caching.total_bytes);
+  EXPECT_GT(caching.total_bytes, web.total_bytes);
+}
+
+TEST(Registry, ScaleMultipliesFootprints) {
+  const auto big = find_spec("gups", 2.0);
+  const auto base = find_spec("gups", 1.0);
+  EXPECT_GE(big.total_bytes, base.total_bytes * 2 - mem::kHugePageSize);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(find_spec("nope"), std::out_of_range);
+}
+
+/// Property sweep over every Table III workload: generators stay in their
+/// footprint, are deterministic under a seed, and differ across processes.
+class AllWorkloads : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllWorkloads, OffsetsStayInFootprint) {
+  const auto spec = find_spec(GetParam(), 0.25);
+  const auto w = make_workload(spec, 0, 42);
+  const std::uint64_t footprint = w->footprint_bytes();
+  EXPECT_GT(footprint, 0U);
+  for (int i = 0; i < 50000; ++i) {
+    const MemRef ref = w->next();
+    ASSERT_LT(ref.offset, footprint) << spec.name << " @ " << i;
+  }
+}
+
+TEST_P(AllWorkloads, DeterministicUnderSeed) {
+  const auto spec = find_spec(GetParam(), 0.25);
+  const auto a = make_workload(spec, 0, 7);
+  const auto b = make_workload(spec, 0, 7);
+  for (int i = 0; i < 2000; ++i) {
+    const MemRef ra = a->next();
+    const MemRef rb = b->next();
+    ASSERT_EQ(ra.offset, rb.offset);
+    ASSERT_EQ(ra.is_store, rb.is_store);
+  }
+}
+
+TEST_P(AllWorkloads, ProcessStreamsDiffer) {
+  const auto spec = find_spec(GetParam(), 0.25);
+  if (spec.processes < 2) GTEST_SKIP();
+  const auto a = make_workload(spec, 0, 7);
+  const auto b = make_workload(spec, 1, 7);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a->next().offset == b->next().offset) ++equal;
+  }
+  // Streams may overlap on sequential phases but not be identical.
+  EXPECT_LT(equal, 1000);
+}
+
+TEST_P(AllWorkloads, EmitsSomeStoresAndSomeLoads) {
+  const auto spec = find_spec(GetParam(), 0.25);
+  const auto w = make_workload(spec, 0, 11);
+  int stores = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) stores += w->next().is_store ? 1 : 0;
+  EXPECT_GT(stores, 0) << spec.name;
+  EXPECT_LT(stores, draws) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, AllWorkloads,
+    ::testing::Values("data_analytics", "data_caching", "graph500",
+                      "graph_analytics", "gups", "lulesh", "web_serving",
+                      "xsbench"));
+
+TEST(Gups, AlternatesLoadStorePairs) {
+  const auto spec = find_spec("gups", 0.25);
+  const auto w = make_workload(spec, 0, 1);
+  for (int i = 0; i < 100; ++i) {
+    const MemRef load = w->next();
+    const MemRef store = w->next();
+    EXPECT_FALSE(load.is_store);
+    EXPECT_TRUE(store.is_store);
+    EXPECT_EQ(load.offset, store.offset);  // read-modify-write
+  }
+}
+
+TEST(WebServing, TrafficConcentratesOnHotSet) {
+  const auto spec = find_spec("web_serving", 0.5);
+  const auto w = make_workload(spec, 0, 3);
+  const std::uint64_t footprint = w->footprint_bytes();
+  const std::uint64_t hot_boundary = footprint / 16;  // generous hot bound
+  std::uint64_t hot = 0;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    if (w->next().offset < hot_boundary) ++hot;
+  }
+  EXPECT_GT(hot, draws / 2);
+}
+
+}  // namespace
+}  // namespace tmprof::workloads
