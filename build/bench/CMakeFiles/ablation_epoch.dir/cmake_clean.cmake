@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_epoch.dir/ablation_epoch.cpp.o"
+  "CMakeFiles/ablation_epoch.dir/ablation_epoch.cpp.o.d"
+  "ablation_epoch"
+  "ablation_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

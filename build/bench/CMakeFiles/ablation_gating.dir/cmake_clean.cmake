@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gating.dir/ablation_gating.cpp.o"
+  "CMakeFiles/ablation_gating.dir/ablation_gating.cpp.o.d"
+  "ablation_gating"
+  "ablation_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shootdown.dir/ablation_shootdown.cpp.o"
+  "CMakeFiles/ablation_shootdown.dir/ablation_shootdown.cpp.o.d"
+  "ablation_shootdown"
+  "ablation_shootdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shootdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_compare.dir/arch_compare.cpp.o"
+  "CMakeFiles/arch_compare.dir/arch_compare.cpp.o.d"
+  "arch_compare"
+  "arch_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation.dir/consolidation.cpp.o"
+  "CMakeFiles/consolidation.dir/consolidation.cpp.o.d"
+  "consolidation"
+  "consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ptw_ratio.dir/fig2_ptw_ratio.cpp.o"
+  "CMakeFiles/fig2_ptw_ratio.dir/fig2_ptw_ratio.cpp.o.d"
+  "fig2_ptw_ratio"
+  "fig2_ptw_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ptw_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_heatmap_ibs.dir/fig3_heatmap_ibs.cpp.o"
+  "CMakeFiles/fig3_heatmap_ibs.dir/fig3_heatmap_ibs.cpp.o.d"
+  "fig3_heatmap_ibs"
+  "fig3_heatmap_ibs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_heatmap_ibs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

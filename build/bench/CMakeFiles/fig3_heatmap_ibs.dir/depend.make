@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_heatmap_ibs.
+# This may be replaced when dependencies are built.

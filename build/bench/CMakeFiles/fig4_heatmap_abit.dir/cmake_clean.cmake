@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_heatmap_abit.dir/fig4_heatmap_abit.cpp.o"
+  "CMakeFiles/fig4_heatmap_abit.dir/fig4_heatmap_abit.cpp.o.d"
+  "fig4_heatmap_abit"
+  "fig4_heatmap_abit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_heatmap_abit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

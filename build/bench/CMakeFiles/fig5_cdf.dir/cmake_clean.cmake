@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cdf.dir/fig5_cdf.cpp.o"
+  "CMakeFiles/fig5_cdf.dir/fig5_cdf.cpp.o.d"
+  "fig5_cdf"
+  "fig5_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hitrate.dir/fig6_hitrate.cpp.o"
+  "CMakeFiles/fig6_hitrate.dir/fig6_hitrate.cpp.o.d"
+  "fig6_hitrate"
+  "fig6_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_compare.dir/profiler_compare.cpp.o"
+  "CMakeFiles/profiler_compare.dir/profiler_compare.cpp.o.d"
+  "profiler_compare"
+  "profiler_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_detected_pages.dir/table4_detected_pages.cpp.o"
+  "CMakeFiles/table4_detected_pages.dir/table4_detected_pages.cpp.o.d"
+  "table4_detected_pages"
+  "table4_detected_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_detected_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_overhead.dir/table_overhead.cpp.o"
+  "CMakeFiles/table_overhead.dir/table_overhead.cpp.o.d"
+  "table_overhead"
+  "table_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

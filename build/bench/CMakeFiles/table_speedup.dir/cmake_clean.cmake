@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_speedup.dir/table_speedup.cpp.o"
+  "CMakeFiles/table_speedup.dir/table_speedup.cpp.o.d"
+  "table_speedup"
+  "table_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_tier.dir/three_tier.cpp.o"
+  "CMakeFiles/three_tier.dir/three_tier.cpp.o.d"
+  "three_tier"
+  "three_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_tiering.dir/caching_tiering.cpp.o"
+  "CMakeFiles/caching_tiering.dir/caching_tiering.cpp.o.d"
+  "caching_tiering"
+  "caching_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for caching_tiering.
+# This may be replaced when dependencies are built.

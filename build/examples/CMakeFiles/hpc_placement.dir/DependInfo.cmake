@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hpc_placement.cpp" "examples/CMakeFiles/hpc_placement.dir/hpc_placement.cpp.o" "gcc" "examples/CMakeFiles/hpc_placement.dir/hpc_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tiering/CMakeFiles/tmprof_tiering.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tmprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tmprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/tmprof_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/tmprof_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmprof_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tmprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_placement.dir/hpc_placement.cpp.o"
+  "CMakeFiles/hpc_placement.dir/hpc_placement.cpp.o.d"
+  "hpc_placement"
+  "hpc_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autonuma.cpp" "src/core/CMakeFiles/tmprof_core.dir/autonuma.cpp.o" "gcc" "src/core/CMakeFiles/tmprof_core.dir/autonuma.cpp.o.d"
+  "/root/repo/src/core/daemon.cpp" "src/core/CMakeFiles/tmprof_core.dir/daemon.cpp.o" "gcc" "src/core/CMakeFiles/tmprof_core.dir/daemon.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/tmprof_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/tmprof_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/gating.cpp" "src/core/CMakeFiles/tmprof_core.dir/gating.cpp.o" "gcc" "src/core/CMakeFiles/tmprof_core.dir/gating.cpp.o.d"
+  "/root/repo/src/core/numa_maps.cpp" "src/core/CMakeFiles/tmprof_core.dir/numa_maps.cpp.o" "gcc" "src/core/CMakeFiles/tmprof_core.dir/numa_maps.cpp.o.d"
+  "/root/repo/src/core/page_stats.cpp" "src/core/CMakeFiles/tmprof_core.dir/page_stats.cpp.o" "gcc" "src/core/CMakeFiles/tmprof_core.dir/page_stats.cpp.o.d"
+  "/root/repo/src/core/pid_filter.cpp" "src/core/CMakeFiles/tmprof_core.dir/pid_filter.cpp.o" "gcc" "src/core/CMakeFiles/tmprof_core.dir/pid_filter.cpp.o.d"
+  "/root/repo/src/core/ranking.cpp" "src/core/CMakeFiles/tmprof_core.dir/ranking.cpp.o" "gcc" "src/core/CMakeFiles/tmprof_core.dir/ranking.cpp.o.d"
+  "/root/repo/src/core/thermostat.cpp" "src/core/CMakeFiles/tmprof_core.dir/thermostat.cpp.o" "gcc" "src/core/CMakeFiles/tmprof_core.dir/thermostat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tmprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/tmprof_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/tmprof_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmprof_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tmprof_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tmprof_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmprof_core.dir/autonuma.cpp.o"
+  "CMakeFiles/tmprof_core.dir/autonuma.cpp.o.d"
+  "CMakeFiles/tmprof_core.dir/daemon.cpp.o"
+  "CMakeFiles/tmprof_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/tmprof_core.dir/driver.cpp.o"
+  "CMakeFiles/tmprof_core.dir/driver.cpp.o.d"
+  "CMakeFiles/tmprof_core.dir/gating.cpp.o"
+  "CMakeFiles/tmprof_core.dir/gating.cpp.o.d"
+  "CMakeFiles/tmprof_core.dir/numa_maps.cpp.o"
+  "CMakeFiles/tmprof_core.dir/numa_maps.cpp.o.d"
+  "CMakeFiles/tmprof_core.dir/page_stats.cpp.o"
+  "CMakeFiles/tmprof_core.dir/page_stats.cpp.o.d"
+  "CMakeFiles/tmprof_core.dir/pid_filter.cpp.o"
+  "CMakeFiles/tmprof_core.dir/pid_filter.cpp.o.d"
+  "CMakeFiles/tmprof_core.dir/ranking.cpp.o"
+  "CMakeFiles/tmprof_core.dir/ranking.cpp.o.d"
+  "CMakeFiles/tmprof_core.dir/thermostat.cpp.o"
+  "CMakeFiles/tmprof_core.dir/thermostat.cpp.o.d"
+  "libtmprof_core.a"
+  "libtmprof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmprof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

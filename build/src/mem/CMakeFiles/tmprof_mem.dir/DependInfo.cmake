@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/tmprof_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/tmprof_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/mem/CMakeFiles/tmprof_mem.dir/page_table.cpp.o" "gcc" "src/mem/CMakeFiles/tmprof_mem.dir/page_table.cpp.o.d"
+  "/root/repo/src/mem/ptw.cpp" "src/mem/CMakeFiles/tmprof_mem.dir/ptw.cpp.o" "gcc" "src/mem/CMakeFiles/tmprof_mem.dir/ptw.cpp.o.d"
+  "/root/repo/src/mem/tiers.cpp" "src/mem/CMakeFiles/tmprof_mem.dir/tiers.cpp.o" "gcc" "src/mem/CMakeFiles/tmprof_mem.dir/tiers.cpp.o.d"
+  "/root/repo/src/mem/tlb.cpp" "src/mem/CMakeFiles/tmprof_mem.dir/tlb.cpp.o" "gcc" "src/mem/CMakeFiles/tmprof_mem.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tmprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

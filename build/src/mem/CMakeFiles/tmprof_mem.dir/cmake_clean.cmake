@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmprof_mem.dir/cache.cpp.o"
+  "CMakeFiles/tmprof_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/tmprof_mem.dir/page_table.cpp.o"
+  "CMakeFiles/tmprof_mem.dir/page_table.cpp.o.d"
+  "CMakeFiles/tmprof_mem.dir/ptw.cpp.o"
+  "CMakeFiles/tmprof_mem.dir/ptw.cpp.o.d"
+  "CMakeFiles/tmprof_mem.dir/tiers.cpp.o"
+  "CMakeFiles/tmprof_mem.dir/tiers.cpp.o.d"
+  "CMakeFiles/tmprof_mem.dir/tlb.cpp.o"
+  "CMakeFiles/tmprof_mem.dir/tlb.cpp.o.d"
+  "libtmprof_mem.a"
+  "libtmprof_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmprof_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitors/abit.cpp" "src/monitors/CMakeFiles/tmprof_monitors.dir/abit.cpp.o" "gcc" "src/monitors/CMakeFiles/tmprof_monitors.dir/abit.cpp.o.d"
+  "/root/repo/src/monitors/badgertrap.cpp" "src/monitors/CMakeFiles/tmprof_monitors.dir/badgertrap.cpp.o" "gcc" "src/monitors/CMakeFiles/tmprof_monitors.dir/badgertrap.cpp.o.d"
+  "/root/repo/src/monitors/ibs.cpp" "src/monitors/CMakeFiles/tmprof_monitors.dir/ibs.cpp.o" "gcc" "src/monitors/CMakeFiles/tmprof_monitors.dir/ibs.cpp.o.d"
+  "/root/repo/src/monitors/lwp.cpp" "src/monitors/CMakeFiles/tmprof_monitors.dir/lwp.cpp.o" "gcc" "src/monitors/CMakeFiles/tmprof_monitors.dir/lwp.cpp.o.d"
+  "/root/repo/src/monitors/pebs.cpp" "src/monitors/CMakeFiles/tmprof_monitors.dir/pebs.cpp.o" "gcc" "src/monitors/CMakeFiles/tmprof_monitors.dir/pebs.cpp.o.d"
+  "/root/repo/src/monitors/pml.cpp" "src/monitors/CMakeFiles/tmprof_monitors.dir/pml.cpp.o" "gcc" "src/monitors/CMakeFiles/tmprof_monitors.dir/pml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/tmprof_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/tmprof_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tmprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

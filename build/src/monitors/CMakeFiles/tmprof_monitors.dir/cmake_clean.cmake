@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmprof_monitors.dir/abit.cpp.o"
+  "CMakeFiles/tmprof_monitors.dir/abit.cpp.o.d"
+  "CMakeFiles/tmprof_monitors.dir/badgertrap.cpp.o"
+  "CMakeFiles/tmprof_monitors.dir/badgertrap.cpp.o.d"
+  "CMakeFiles/tmprof_monitors.dir/ibs.cpp.o"
+  "CMakeFiles/tmprof_monitors.dir/ibs.cpp.o.d"
+  "CMakeFiles/tmprof_monitors.dir/lwp.cpp.o"
+  "CMakeFiles/tmprof_monitors.dir/lwp.cpp.o.d"
+  "CMakeFiles/tmprof_monitors.dir/pebs.cpp.o"
+  "CMakeFiles/tmprof_monitors.dir/pebs.cpp.o.d"
+  "CMakeFiles/tmprof_monitors.dir/pml.cpp.o"
+  "CMakeFiles/tmprof_monitors.dir/pml.cpp.o.d"
+  "libtmprof_monitors.a"
+  "libtmprof_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmprof_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmprof_pmu.dir/counters.cpp.o"
+  "CMakeFiles/tmprof_pmu.dir/counters.cpp.o.d"
+  "libtmprof_pmu.a"
+  "libtmprof_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmprof_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmprof_sim.dir/process.cpp.o"
+  "CMakeFiles/tmprof_sim.dir/process.cpp.o.d"
+  "CMakeFiles/tmprof_sim.dir/resctrl.cpp.o"
+  "CMakeFiles/tmprof_sim.dir/resctrl.cpp.o.d"
+  "CMakeFiles/tmprof_sim.dir/system.cpp.o"
+  "CMakeFiles/tmprof_sim.dir/system.cpp.o.d"
+  "CMakeFiles/tmprof_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/tmprof_sim.dir/trace_io.cpp.o.d"
+  "libtmprof_sim.a"
+  "libtmprof_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmprof_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tiering/epoch.cpp" "src/tiering/CMakeFiles/tmprof_tiering.dir/epoch.cpp.o" "gcc" "src/tiering/CMakeFiles/tmprof_tiering.dir/epoch.cpp.o.d"
+  "/root/repo/src/tiering/hitrate.cpp" "src/tiering/CMakeFiles/tmprof_tiering.dir/hitrate.cpp.o" "gcc" "src/tiering/CMakeFiles/tmprof_tiering.dir/hitrate.cpp.o.d"
+  "/root/repo/src/tiering/khugepaged.cpp" "src/tiering/CMakeFiles/tmprof_tiering.dir/khugepaged.cpp.o" "gcc" "src/tiering/CMakeFiles/tmprof_tiering.dir/khugepaged.cpp.o.d"
+  "/root/repo/src/tiering/mover.cpp" "src/tiering/CMakeFiles/tmprof_tiering.dir/mover.cpp.o" "gcc" "src/tiering/CMakeFiles/tmprof_tiering.dir/mover.cpp.o.d"
+  "/root/repo/src/tiering/policies.cpp" "src/tiering/CMakeFiles/tmprof_tiering.dir/policies.cpp.o" "gcc" "src/tiering/CMakeFiles/tmprof_tiering.dir/policies.cpp.o.d"
+  "/root/repo/src/tiering/runner.cpp" "src/tiering/CMakeFiles/tmprof_tiering.dir/runner.cpp.o" "gcc" "src/tiering/CMakeFiles/tmprof_tiering.dir/runner.cpp.o.d"
+  "/root/repo/src/tiering/series_io.cpp" "src/tiering/CMakeFiles/tmprof_tiering.dir/series_io.cpp.o" "gcc" "src/tiering/CMakeFiles/tmprof_tiering.dir/series_io.cpp.o.d"
+  "/root/repo/src/tiering/swap.cpp" "src/tiering/CMakeFiles/tmprof_tiering.dir/swap.cpp.o" "gcc" "src/tiering/CMakeFiles/tmprof_tiering.dir/swap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/tmprof_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmprof_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tmprof_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tmprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/tmprof_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmprof_tiering.dir/epoch.cpp.o"
+  "CMakeFiles/tmprof_tiering.dir/epoch.cpp.o.d"
+  "CMakeFiles/tmprof_tiering.dir/hitrate.cpp.o"
+  "CMakeFiles/tmprof_tiering.dir/hitrate.cpp.o.d"
+  "CMakeFiles/tmprof_tiering.dir/khugepaged.cpp.o"
+  "CMakeFiles/tmprof_tiering.dir/khugepaged.cpp.o.d"
+  "CMakeFiles/tmprof_tiering.dir/mover.cpp.o"
+  "CMakeFiles/tmprof_tiering.dir/mover.cpp.o.d"
+  "CMakeFiles/tmprof_tiering.dir/policies.cpp.o"
+  "CMakeFiles/tmprof_tiering.dir/policies.cpp.o.d"
+  "CMakeFiles/tmprof_tiering.dir/runner.cpp.o"
+  "CMakeFiles/tmprof_tiering.dir/runner.cpp.o.d"
+  "CMakeFiles/tmprof_tiering.dir/series_io.cpp.o"
+  "CMakeFiles/tmprof_tiering.dir/series_io.cpp.o.d"
+  "CMakeFiles/tmprof_tiering.dir/swap.cpp.o"
+  "CMakeFiles/tmprof_tiering.dir/swap.cpp.o.d"
+  "libtmprof_tiering.a"
+  "libtmprof_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmprof_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

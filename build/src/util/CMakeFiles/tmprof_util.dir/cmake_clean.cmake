@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmprof_util.dir/cdf.cpp.o"
+  "CMakeFiles/tmprof_util.dir/cdf.cpp.o.d"
+  "CMakeFiles/tmprof_util.dir/cli.cpp.o"
+  "CMakeFiles/tmprof_util.dir/cli.cpp.o.d"
+  "CMakeFiles/tmprof_util.dir/csv.cpp.o"
+  "CMakeFiles/tmprof_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tmprof_util.dir/histogram.cpp.o"
+  "CMakeFiles/tmprof_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/tmprof_util.dir/log.cpp.o"
+  "CMakeFiles/tmprof_util.dir/log.cpp.o.d"
+  "CMakeFiles/tmprof_util.dir/stats.cpp.o"
+  "CMakeFiles/tmprof_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tmprof_util.dir/table.cpp.o"
+  "CMakeFiles/tmprof_util.dir/table.cpp.o.d"
+  "CMakeFiles/tmprof_util.dir/zipf.cpp.o"
+  "CMakeFiles/tmprof_util.dir/zipf.cpp.o.d"
+  "libtmprof_util.a"
+  "libtmprof_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmprof_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/data_analytics.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/data_analytics.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/data_analytics.cpp.o.d"
+  "/root/repo/src/workloads/data_caching.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/data_caching.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/data_caching.cpp.o.d"
+  "/root/repo/src/workloads/graph500.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/graph500.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/graph500.cpp.o.d"
+  "/root/repo/src/workloads/graph_analytics.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/graph_analytics.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/graph_analytics.cpp.o.d"
+  "/root/repo/src/workloads/gups.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/gups.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/gups.cpp.o.d"
+  "/root/repo/src/workloads/lulesh.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/lulesh.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/lulesh.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/web_serving.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/web_serving.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/web_serving.cpp.o.d"
+  "/root/repo/src/workloads/xsbench.cpp" "src/workloads/CMakeFiles/tmprof_workloads.dir/xsbench.cpp.o" "gcc" "src/workloads/CMakeFiles/tmprof_workloads.dir/xsbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/tmprof_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tmprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmprof_workloads.dir/data_analytics.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/data_analytics.cpp.o.d"
+  "CMakeFiles/tmprof_workloads.dir/data_caching.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/data_caching.cpp.o.d"
+  "CMakeFiles/tmprof_workloads.dir/graph500.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/graph500.cpp.o.d"
+  "CMakeFiles/tmprof_workloads.dir/graph_analytics.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/graph_analytics.cpp.o.d"
+  "CMakeFiles/tmprof_workloads.dir/gups.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/gups.cpp.o.d"
+  "CMakeFiles/tmprof_workloads.dir/lulesh.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/lulesh.cpp.o.d"
+  "CMakeFiles/tmprof_workloads.dir/registry.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/tmprof_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/tmprof_workloads.dir/web_serving.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/web_serving.cpp.o.d"
+  "CMakeFiles/tmprof_workloads.dir/xsbench.cpp.o"
+  "CMakeFiles/tmprof_workloads.dir/xsbench.cpp.o.d"
+  "libtmprof_workloads.a"
+  "libtmprof_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmprof_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmprof_workloads.a"
+)

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abit.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_abit.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_abit.cpp.o.d"
+  "/root/repo/tests/test_autonuma.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_autonuma.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_autonuma.cpp.o.d"
+  "/root/repo/tests/test_badgertrap.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_badgertrap.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_badgertrap.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cdf.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_cdf.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_cdf.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_csv_log.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_csv_log.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_csv_log.cpp.o.d"
+  "/root/repo/tests/test_daemon.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_daemon.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_daemon.cpp.o.d"
+  "/root/repo/tests/test_driver.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_driver.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_driver.cpp.o.d"
+  "/root/repo/tests/test_epoch.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_epoch.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_epoch.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gating.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_gating.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_gating.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_hitrate.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_hitrate.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_hitrate.cpp.o.d"
+  "/root/repo/tests/test_ibs.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_ibs.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_ibs.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_integration2.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_integration2.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_integration2.cpp.o.d"
+  "/root/repo/tests/test_khugepaged_swap.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_khugepaged_swap.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_khugepaged_swap.cpp.o.d"
+  "/root/repo/tests/test_lwp.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_lwp.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_lwp.cpp.o.d"
+  "/root/repo/tests/test_mover.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_mover.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_mover.cpp.o.d"
+  "/root/repo/tests/test_numa_maps.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_numa_maps.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_numa_maps.cpp.o.d"
+  "/root/repo/tests/test_page_stats.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_page_stats.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_page_stats.cpp.o.d"
+  "/root/repo/tests/test_page_table.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_page_table.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_page_table.cpp.o.d"
+  "/root/repo/tests/test_pebs.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_pebs.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_pebs.cpp.o.d"
+  "/root/repo/tests/test_pid_filter.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_pid_filter.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_pid_filter.cpp.o.d"
+  "/root/repo/tests/test_pml.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_pml.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_pml.cpp.o.d"
+  "/root/repo/tests/test_pmu.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_pmu.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_pmu.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_ptw.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_ptw.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_ptw.cpp.o.d"
+  "/root/repo/tests/test_ranking.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_ranking.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_ranking.cpp.o.d"
+  "/root/repo/tests/test_resctrl.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_resctrl.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_resctrl.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_series_io.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_series_io.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_series_io.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thermostat.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_thermostat.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_thermostat.cpp.o.d"
+  "/root/repo/tests/test_tiers.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_tiers.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_tiers.cpp.o.d"
+  "/root/repo/tests/test_tlb.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_tlb.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_workload_stats.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_workload_stats.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_workload_stats.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_workloads.cpp.o.d"
+  "/root/repo/tests/test_write_policy.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_write_policy.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_write_policy.cpp.o.d"
+  "/root/repo/tests/test_zipf.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tiering/CMakeFiles/tmprof_tiering.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tmprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tmprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/tmprof_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/tmprof_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmprof_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tmprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
