@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
       collect.ops_per_epoch = ops_per_epoch;
       collect.seed = seed;
       collect.daemon.driver.ibs = bench::scaled_ibs(4);
+      collect.n_threads = bench::selected_threads(args);
       const tiering::EpochSeries series = tiering::collect_series(
           spec, bench::testbed_config(spec.total_bytes), collect);
 

@@ -59,4 +59,11 @@ inline std::vector<workloads::WorkloadSpec> selected_specs(
   return workloads::table3_specs(scale);
 }
 
+/// Engine selection shared by the benches: --threads=0 (default) keeps the
+/// legacy serial engine; --threads=N >= 1 switches to the deterministic
+/// sharded engine with N workers (results are identical for every N >= 1).
+inline std::uint32_t selected_threads(const util::ArgParser& args) {
+  return static_cast<std::uint32_t>(args.get_u64("threads", 0));
+}
+
 }  // namespace tmprof::bench

@@ -22,6 +22,7 @@
 #include "tiering/hitrate.hpp"
 #include "tiering/policies.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
       combined_mode(args.get("fusion", "sum"));
   const double trace_weight = args.get_double("trace-weight", 1.0);
   const bool write_csv = args.get_bool("csv", true);
+  const std::uint32_t threads = bench::selected_threads(args);
 
   std::cout << "Fig. 6: tier-1 hitrate, Oracle & History x profiling source\n"
             << "(epoch = " << ops_per_epoch << " ops, " << epochs
@@ -71,8 +73,15 @@ int main(int argc, char** argv) {
     csv << "workload,ratio,policy,source,hitrate\n";
   }
 
-  double worst_gain = 1e9, best_gain = 0.0;
-  for (const auto& spec : bench::selected_specs(args)) {
+  // Collection dominates the wall clock; the replay below is cheap. With
+  // --threads=N the workloads (independent Systems) collect concurrently,
+  // each on the sharded engine; a single selected workload instead shards
+  // its own cores across the pool. Either way the series are identical to
+  // a --threads=1 run — output order is fixed by the spec list.
+  const std::vector<workloads::WorkloadSpec> specs = bench::selected_specs(args);
+  std::vector<tiering::EpochSeries> collected(specs.size());
+  const bool outer_parallel = threads > 1 && specs.size() > 1;
+  const auto collect_one = [&](std::size_t i) {
     tiering::CollectOptions collect;
     collect.n_epochs = epochs;
     collect.ops_per_epoch = ops_per_epoch;
@@ -85,8 +94,21 @@ int main(int argc, char** argv) {
       collect.daemon.driver.backend = core::TraceBackend::Pebs;
       collect.daemon.driver.pebs.sample_after = 16;
     }
-    const tiering::EpochSeries series = tiering::collect_series(
-        spec, bench::testbed_config(spec.total_bytes), collect);
+    collect.n_threads = outer_parallel ? 1 : threads;
+    collected[i] = tiering::collect_series(
+        specs[i], bench::testbed_config(specs[i].total_bytes), collect);
+  };
+  if (outer_parallel) {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(specs.size(), collect_one);
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) collect_one(i);
+  }
+
+  double worst_gain = 1e9, best_gain = 0.0;
+  for (std::size_t spec_idx = 0; spec_idx < specs.size(); ++spec_idx) {
+    const workloads::WorkloadSpec& spec = specs[spec_idx];
+    const tiering::EpochSeries& series = collected[spec_idx];
 
     util::TextTable table({"t1 ratio", "orc-abit", "orc-ibs", "orc-tmp",
                            "hist-abit", "hist-ibs", "hist-tmp", "orc-truth",

@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
     opt.badgertrap.fault_latency_ns = scaled_ns(10.0);
     opt.badgertrap.hot_extra_latency_ns = scaled_ns(13.0);
     opt.badgertrap.handler_cost_ns = scaled_ns(1.0);
+    opt.n_threads = bench::selected_threads(args);
 
     opt.policy = "first-touch";
     const tiering::RunnerResult base =

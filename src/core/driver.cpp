@@ -15,12 +15,17 @@ TmpDriver::TmpDriver(sim::System& system, const DriverConfig& config)
     ibs_->set_drain([this](std::span<const monitors::TraceSample> samples) {
       on_trace(samples);
     });
+    // The sharded engine runs each core's callbacks on a worker thread;
+    // per-core sample lanes defer the (driver-mutating) drain to the epoch
+    // barrier, keeping the monitor shard-safe.
+    if (system.config().sharded_engine) ibs_->enable_sharded();
   } else {
     pebs_ = std::make_unique<monitors::PebsMonitor>(config_.pebs,
                                                     system.config().cores);
     pebs_->set_drain([this](std::span<const monitors::TraceSample> samples) {
       on_trace(samples);
     });
+    if (system.config().sharded_engine) pebs_->enable_sharded();
   }
   if (config_.use_pml) {
     pml_ = std::make_unique<monitors::PmlMonitor>(config_.pml);

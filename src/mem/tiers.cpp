@@ -4,19 +4,31 @@
 
 namespace tmprof::mem {
 
-PhysMemory::PhysMemory(std::vector<TierSpec> tiers) {
+PhysMemory::PhysMemory(std::vector<TierSpec> tiers, std::uint32_t arenas)
+    : arenas_(arenas) {
   TMPROF_EXPECTS(!tiers.empty());
+  TMPROF_EXPECTS(arenas >= 1);
   Pfn base = 0;
   for (auto& spec : tiers) {
     TMPROF_EXPECTS(spec.frames > 0);
     TierState state;
     state.spec = std::move(spec);
     state.base = base;
-    state.low_bump = base;
-    // Huge pages are carved downward from the tier top; the floor starts at
-    // the (possibly unaligned) top and each carve aligns itself.
     const Pfn top = base + state.spec.frames;
-    state.high_bump = top;
+    // Slice the tier into `arenas` contiguous ranges; the last arena takes
+    // the remainder. Boundaries depend only on (frames, arenas), so the
+    // carve is reproducible across runs and thread counts.
+    const std::uint64_t per_arena = state.spec.frames / arenas;
+    state.arenas.resize(arenas);
+    for (std::uint32_t a = 0; a < arenas; ++a) {
+      ArenaState& arena = state.arenas[a];
+      arena.base = base + a * per_arena;
+      arena.top = (a + 1 == arenas) ? top : arena.base + per_arena;
+      arena.low_bump = arena.base;
+      // Huge pages are carved downward from the arena top; the floor starts
+      // at the (possibly unaligned) top and each carve aligns itself.
+      arena.high_bump = arena.top;
+    }
     base = top;
     tiers_.push_back(std::move(state));
   }
@@ -40,28 +52,28 @@ TierId PhysMemory::tier_of(Pfn pfn) const {
   return 0;
 }
 
-std::optional<Pfn> PhysMemory::take(TierState& tier, PageSize size) {
+std::optional<Pfn> PhysMemory::take(ArenaState& arena, PageSize size) {
   if (size == PageSize::k4K) {
-    if (!tier.free_4k.empty()) {
-      const Pfn pfn = tier.free_4k.back();
-      tier.free_4k.pop_back();
+    if (!arena.free_4k.empty()) {
+      const Pfn pfn = arena.free_4k.back();
+      arena.free_4k.pop_back();
       return pfn;
     }
     // The low bump may not cross into the huge-page region carved above.
-    if (tier.low_bump < tier.high_bump) return tier.low_bump++;
+    if (arena.low_bump < arena.high_bump) return arena.low_bump++;
     return std::nullopt;
   }
-  if (!tier.free_2m.empty()) {
-    const Pfn pfn = tier.free_2m.back();
-    tier.free_2m.pop_back();
+  if (!arena.free_2m.empty()) {
+    const Pfn pfn = arena.free_2m.back();
+    arena.free_2m.pop_back();
     return pfn;
   }
   // Carve a 512-aligned chunk just below the current huge-page floor.
-  if (tier.high_bump >= kPagesPerHuge) {
-    const Pfn candidate = (tier.high_bump - kPagesPerHuge) &
+  if (arena.high_bump >= kPagesPerHuge) {
+    const Pfn candidate = (arena.high_bump - kPagesPerHuge) &
                           ~(kPagesPerHuge - 1);
-    if (candidate >= tier.low_bump && candidate >= tier.base) {
-      tier.high_bump = candidate;
+    if (candidate >= arena.low_bump && candidate >= arena.base) {
+      arena.high_bump = candidate;
       return candidate;
     }
   }
@@ -69,9 +81,11 @@ std::optional<Pfn> PhysMemory::take(TierState& tier, PageSize size) {
 }
 
 std::optional<Pfn> PhysMemory::alloc(TierId preferred, Pid pid,
-                                     VirtAddr page_va, PageSize size) {
+                                     VirtAddr page_va, PageSize size,
+                                     std::uint32_t arena) {
   for (std::size_t i = preferred; i < tiers_.size(); ++i) {
-    if (auto pfn = alloc_exact(static_cast<TierId>(i), pid, page_va, size)) {
+    if (auto pfn =
+            alloc_exact(static_cast<TierId>(i), pid, page_va, size, arena)) {
       return pfn;
     }
   }
@@ -79,10 +93,12 @@ std::optional<Pfn> PhysMemory::alloc(TierId preferred, Pid pid,
 }
 
 std::optional<Pfn> PhysMemory::alloc_exact(TierId tier_id, Pid pid,
-                                           VirtAddr page_va, PageSize size) {
+                                           VirtAddr page_va, PageSize size,
+                                           std::uint32_t arena) {
   TMPROF_EXPECTS(tier_id < tiers_.size());
-  TierState& tier = tiers_[tier_id];
-  const auto head = take(tier, size);
+  TMPROF_EXPECTS(arena < arenas_);
+  ArenaState& state = tiers_[tier_id].arenas[arena];
+  const auto head = take(state, size);
   if (!head) return std::nullopt;
   const std::uint64_t span = pages_in(size);
   for (std::uint64_t i = 0; i < span; ++i) {
@@ -94,8 +110,42 @@ std::optional<Pfn> PhysMemory::alloc_exact(TierId tier_id, Pid pid,
     info.allocated = true;
     info.head = i == 0;
   }
-  tier.used += span;
+  state.used += span;
   return head;
+}
+
+bool PhysMemory::rebalance_arenas(const std::vector<std::uint64_t>& weights) {
+  TMPROF_EXPECTS(weights.size() == arenas_);
+  std::uint64_t total_weight = 0;
+  for (const std::uint64_t w : weights) total_weight += w;
+  TMPROF_EXPECTS(total_weight > 0);
+  for (const TierState& tier : tiers_) {
+    for (const ArenaState& arena : tier.arenas) {
+      if (arena.used != 0 || !arena.free_4k.empty() || !arena.free_2m.empty() ||
+          arena.low_bump != arena.base || arena.high_bump != arena.top) {
+        return false;
+      }
+    }
+  }
+  for (TierState& tier : tiers_) {
+    const Pfn top = tier.base + tier.spec.frames;
+    std::uint64_t prefix = 0;
+    Pfn cursor = tier.base;
+    for (std::uint32_t a = 0; a < arenas_; ++a) {
+      prefix += weights[a];
+      ArenaState& arena = tier.arenas[a];
+      arena.base = cursor;
+      // Cumulative proportional boundary: the per-arena frame counts sum
+      // exactly to the tier size, with rounding spread deterministically.
+      arena.top = (a + 1 == arenas_)
+                      ? top
+                      : tier.base + tier.spec.frames * prefix / total_weight;
+      arena.low_bump = arena.base;
+      arena.high_bump = arena.top;
+      cursor = arena.top;
+    }
+  }
+  return true;
 }
 
 void PhysMemory::free(Pfn head) {
@@ -108,9 +158,16 @@ void PhysMemory::free(Pfn head) {
     frames_[head + i] = FrameInfo{};
   }
   TierState& tier = tiers_[tier_of(head)];
-  tier.used -= span;
-  if (size == PageSize::k4K) tier.free_4k.push_back(head);
-  else tier.free_2m.push_back(head);
+  ArenaState* arena = &tier.arenas.front();
+  for (ArenaState& candidate : tier.arenas) {
+    if (head >= candidate.base && head < candidate.top) {
+      arena = &candidate;
+      break;
+    }
+  }
+  arena->used -= span;
+  if (size == PageSize::k4K) arena->free_4k.push_back(head);
+  else arena->free_2m.push_back(head);
 }
 
 const FrameInfo& PhysMemory::frame(Pfn pfn) const {
@@ -120,12 +177,14 @@ const FrameInfo& PhysMemory::frame(Pfn pfn) const {
 
 std::uint64_t PhysMemory::free_frames(TierId tier) const {
   TMPROF_EXPECTS(tier < tiers_.size());
-  return tiers_[tier].spec.frames - tiers_[tier].used;
+  return tiers_[tier].spec.frames - used_frames(tier);
 }
 
 std::uint64_t PhysMemory::used_frames(TierId tier) const {
   TMPROF_EXPECTS(tier < tiers_.size());
-  return tiers_[tier].used;
+  std::uint64_t used = 0;
+  for (const ArenaState& arena : tiers_[tier].arenas) used += arena.used;
+  return used;
 }
 
 }  // namespace tmprof::mem

@@ -39,7 +39,7 @@ util::SimNs BadgerTrap::handle_fault(mem::Pid pid, mem::PageTable& table,
   auto it = pages_.find(PageKey{pid, walk.page_va});
   TMPROF_ASSERT(it != pages_.end());
   it->second.faults += 1;
-  ++total_faults_;
+  total_faults_.fetch_add(1, std::memory_order_relaxed);
   if (config_.unpoison_on_fault) {
     // AutoNUMA semantics: the hint fault restores normal access; only the
     // next protect pass re-arms the page.
@@ -51,7 +51,7 @@ util::SimNs BadgerTrap::handle_fault(mem::Pid pid, mem::PageTable& table,
   tlb.fill(pid, walk.page_va, walk.size, walk.pte, walk.pte->dirty());
   util::SimNs latency = config_.handler_cost_ns + config_.fault_latency_ns;
   if (it->second.hot) latency += config_.hot_extra_latency_ns;
-  injected_latency_ns_ += latency;
+  injected_latency_ns_.fetch_add(latency, std::memory_order_relaxed);
   return latency;
 }
 

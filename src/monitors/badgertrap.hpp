@@ -13,6 +13,7 @@
 /// access. `fault_latency_ns` / `hot_extra_latency_ns` model the paper's
 /// 10 µs and +13 µs constants.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -86,10 +87,10 @@ class BadgerTrap {
   [[nodiscard]] std::uint64_t fault_count(mem::Pid pid,
                                           mem::VirtAddr page_va) const;
   [[nodiscard]] std::uint64_t total_faults() const noexcept {
-    return total_faults_;
+    return total_faults_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] util::SimNs injected_latency_ns() const noexcept {
-    return injected_latency_ns_;
+    return injected_latency_ns_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t poisoned_pages() const noexcept {
     return pages_.size();
@@ -103,9 +104,16 @@ class BadgerTrap {
   };
 
   BadgerTrapConfig config_;
+  /// Poison/unpoison mutate the map structure and must stay on the main
+  /// thread (epoch barrier). handle_fault() may run concurrently on shard
+  /// workers: it only mutates the *values* of existing entries, and the
+  /// keys are shard-disjoint (a page belongs to one pid, a pid to one
+  /// core), so per-entry state needs no locking — only the global tallies
+  /// are contended, hence atomic. Relaxed suffices: sums are commutative,
+  /// so the merged totals are deterministic regardless of interleaving.
   std::unordered_map<PageKey, PageState, PageKeyHash> pages_;
-  std::uint64_t total_faults_ = 0;
-  util::SimNs injected_latency_ns_ = 0;
+  std::atomic<std::uint64_t> total_faults_{0};
+  std::atomic<util::SimNs> injected_latency_ns_{0};
 };
 
 }  // namespace tmprof::monitors

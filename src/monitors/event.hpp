@@ -47,6 +47,25 @@ class AccessObserver {
   /// A D bit transitioned 0 → 1 for the page holding `event.paddr`
   /// (the hook Page-Modification Logging attaches to).
   virtual void on_dirty_set(const MemOpEvent& event) { (void)event; }
+
+  // --- sharded-engine protocol ------------------------------------------
+  /// The sharded access engine replays each simulated core on its own
+  /// thread. Before a parallel step it asks every observer for a per-core
+  /// sink: return an observer whose callbacks are safe to invoke from
+  /// `core`'s worker thread (typically `this`, if all mutable state is
+  /// per-core), or nullptr (the default) to have the engine buffer that
+  /// core's events and replay them on the main thread at the epoch
+  /// barrier, in ascending core order.
+  virtual AccessObserver* shard_sink(std::uint32_t core) {
+    (void)core;
+    return nullptr;
+  }
+
+  /// Epoch-barrier hook, called on the main thread after all shards have
+  /// finished (observers are merged in registration order). Implementations
+  /// fold per-core state into their global view in ascending core order so
+  /// results are independent of the worker-thread count.
+  virtual void merge_shards() {}
 };
 
 /// A decoded trace sample, common to the IBS and PEBS models. Field set

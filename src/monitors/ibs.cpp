@@ -6,7 +6,11 @@ namespace tmprof::monitors {
 
 IbsMonitor::IbsMonitor(const IbsConfig& config, std::uint32_t cores,
                        std::uint64_t seed)
-    : config_(config), rng_(seed), countdown_(cores), tag_armed_(cores, false) {
+    : config_(config),
+      rng_(seed),
+      seed_(seed),
+      countdown_(cores),
+      tag_armed_(cores, 0) {
   TMPROF_EXPECTS(config.sample_period >= 16);
   TMPROF_EXPECTS(config.buffer_capacity >= 1);
   TMPROF_EXPECTS(cores >= 1);
@@ -14,12 +18,26 @@ IbsMonitor::IbsMonitor(const IbsConfig& config, std::uint32_t cores,
   for (std::uint32_t c = 0; c < cores; ++c) reload(c);
 }
 
+void IbsMonitor::enable_sharded() {
+  if (sharded_) return;
+  sharded_ = true;
+  lanes_.resize(countdown_.size());
+  for (std::uint32_t c = 0; c < lanes_.size(); ++c) {
+    // Independent, reproducible per-core tag-randomization streams.
+    std::uint64_t mix = seed_ ^ (0x9e3779b97f4a7c15ULL * (c + 1));
+    lanes_[c].rng = util::Rng(util::splitmix64(mix));
+    lanes_[c].buffer.reserve(config_.buffer_capacity);
+    reload(c);  // re-arm the countdown from the core's own stream
+  }
+}
+
 void IbsMonitor::reload(std::uint32_t core) {
   std::int64_t period = static_cast<std::int64_t>(config_.sample_period);
   if (config_.randomize) {
     // Randomize the low 1/16 of the period, like IbsOpCurCnt randomization.
+    util::Rng& rng = sharded_ ? lanes_[core].rng : rng_;
     const std::uint64_t jitter_span = config_.sample_period / 16 + 1;
-    period += static_cast<std::int64_t>(rng_.below(jitter_span)) -
+    period += static_cast<std::int64_t>(rng.below(jitter_span)) -
               static_cast<std::int64_t>(jitter_span / 2);
     if (period < 1) period = 1;
   }
@@ -33,24 +51,26 @@ void IbsMonitor::on_retire(std::uint32_t core, std::uint64_t uops,
   countdown_[core] -= static_cast<std::int64_t>(uops);
   if (countdown_[core] > 0) return;
   reload(core);
+  std::uint64_t& tags_lost = sharded_ ? lanes_[core].tags_lost : tags_lost_;
   if (tag_armed_[core]) {
     // Previous tag never matched a memory op before the next fired: lost.
-    ++tags_lost_;
+    ++tags_lost;
   }
   // The tagged uop is one of the `uops` just retired. Only one of them is
   // the memory micro-op the upcoming on_mem_op() call describes, so arm the
   // tag with probability 1/uops; otherwise the tag hit a non-memory uop.
-  if (uops <= 1 || rng_.below(uops) == 0) {
-    tag_armed_[core] = true;
+  util::Rng& rng = sharded_ ? lanes_[core].rng : rng_;
+  if (uops <= 1 || rng.below(uops) == 0) {
+    tag_armed_[core] = 1;
   } else {
-    ++tags_lost_;
+    ++tags_lost;
   }
 }
 
 void IbsMonitor::on_mem_op(const MemOpEvent& event) {
   TMPROF_ASSERT(event.core < tag_armed_.size());
   if (!tag_armed_[event.core]) return;
-  tag_armed_[event.core] = false;
+  tag_armed_[event.core] = 0;
   TraceSample sample;
   sample.time = event.time;
   sample.core = event.core;
@@ -61,6 +81,16 @@ void IbsMonitor::on_mem_op(const MemOpEvent& event) {
   sample.is_store = event.is_store;
   sample.source = event.source;
   sample.tlb_miss = event.tlb == mem::TlbHit::Miss;
+  if (sharded_) {
+    CoreLane& lane = lanes_[event.core];
+    lane.buffer.push_back(sample);
+    ++lane.samples;
+    // The PMI fires per buffer threshold; the handler cost is charged, but
+    // the records stay put until the epoch barrier drains them (the driver
+    // store is not shard-safe).
+    if (lane.buffer.size() % config_.buffer_capacity == 0) ++lane.interrupts;
+    return;
+  }
   buffer_.push_back(sample);
   ++samples_taken_;
   if (buffer_.size() >= config_.buffer_capacity) {
@@ -70,14 +100,40 @@ void IbsMonitor::on_mem_op(const MemOpEvent& event) {
 }
 
 void IbsMonitor::drain() {
+  if (sharded_) {
+    for (CoreLane& lane : lanes_) {
+      if (lane.buffer.empty()) continue;
+      if (drain_) drain_(std::span<const TraceSample>(lane.buffer));
+      lane.buffer.clear();
+    }
+    return;
+  }
   if (buffer_.empty()) return;
   if (drain_) drain_(std::span<const TraceSample>(buffer_));
   buffer_.clear();
 }
 
+std::uint64_t IbsMonitor::samples_taken() const noexcept {
+  std::uint64_t total = samples_taken_;
+  for (const CoreLane& lane : lanes_) total += lane.samples;
+  return total;
+}
+
+std::uint64_t IbsMonitor::tags_lost() const noexcept {
+  std::uint64_t total = tags_lost_;
+  for (const CoreLane& lane : lanes_) total += lane.tags_lost;
+  return total;
+}
+
+std::uint64_t IbsMonitor::interrupts() const noexcept {
+  std::uint64_t total = interrupts_;
+  for (const CoreLane& lane : lanes_) total += lane.interrupts;
+  return total;
+}
+
 util::SimNs IbsMonitor::overhead_ns() const noexcept {
-  return samples_taken_ * config_.cost_per_record_ns +
-         interrupts_ * config_.cost_per_interrupt_ns;
+  return samples_taken() * config_.cost_per_record_ns +
+         interrupts() * config_.cost_per_interrupt_ns;
 }
 
 }  // namespace tmprof::monitors

@@ -54,36 +54,61 @@ class IbsMonitor final : public AccessObserver {
   /// Install the buffer-full interrupt handler (the TMP driver's drain).
   void set_drain(DrainFn drain) { drain_ = std::move(drain); }
 
+  /// Switch to sharded operation: per-core tag RNG streams, sample buffers
+  /// and statistics, so each simulated core's callbacks may run on its own
+  /// worker thread. Buffer-threshold interrupts are still *counted* per
+  /// core (the overhead model is unchanged) but the actual drain to the
+  /// driver is deferred to the epoch barrier, where buffers empty in
+  /// ascending core order. Call before the first event is delivered.
+  void enable_sharded();
+  [[nodiscard]] bool sharded() const noexcept { return sharded_; }
+
   void on_retire(std::uint32_t core, std::uint64_t uops,
                  util::SimNs now) override;
   void on_mem_op(const MemOpEvent& event) override;
 
-  /// Explicitly drain buffered records (periodic poll path).
+  AccessObserver* shard_sink(std::uint32_t /*core*/) override {
+    return sharded_ ? this : nullptr;
+  }
+  void merge_shards() override { drain(); }
+
+  /// Explicitly drain buffered records (periodic poll path). In sharded
+  /// mode, drains every core's buffer in ascending core order.
   void drain();
 
   [[nodiscard]] const IbsConfig& config() const noexcept { return config_; }
-  [[nodiscard]] std::uint64_t samples_taken() const noexcept {
-    return samples_taken_;
-  }
-  [[nodiscard]] std::uint64_t tags_lost() const noexcept { return tags_lost_; }
-  [[nodiscard]] std::uint64_t interrupts() const noexcept {
-    return interrupts_;
-  }
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept;
+  [[nodiscard]] std::uint64_t tags_lost() const noexcept;
+  [[nodiscard]] std::uint64_t interrupts() const noexcept;
   /// Modeled software overhead of collection so far.
   [[nodiscard]] util::SimNs overhead_ns() const noexcept;
 
  private:
+  /// Per-core state that a shard's worker thread owns exclusively in
+  /// sharded mode (padded out by vector element separation; no two cores
+  /// write the same element).
+  struct CoreLane {
+    util::Rng rng{0};
+    std::vector<TraceSample> buffer;
+    std::uint64_t samples = 0;
+    std::uint64_t tags_lost = 0;
+    std::uint64_t interrupts = 0;
+  };
+
   void reload(std::uint32_t core);
 
   IbsConfig config_;
   DrainFn drain_;
   util::Rng rng_;
+  std::uint64_t seed_;
   std::vector<std::int64_t> countdown_;   ///< per core
-  std::vector<bool> tag_armed_;           ///< tag waiting for this core's op
+  std::vector<std::uint8_t> tag_armed_;   ///< tag waiting for this core's op
   std::vector<TraceSample> buffer_;
   std::uint64_t samples_taken_ = 0;
   std::uint64_t tags_lost_ = 0;
   std::uint64_t interrupts_ = 0;
+  bool sharded_ = false;
+  std::vector<CoreLane> lanes_;           ///< populated in sharded mode
 };
 
 }  // namespace tmprof::monitors

@@ -12,6 +12,13 @@ PebsMonitor::PebsMonitor(const PebsConfig& config, std::uint32_t cores)
   buffer_.reserve(config.buffer_capacity);
 }
 
+void PebsMonitor::enable_sharded() {
+  if (sharded_) return;
+  sharded_ = true;
+  lanes_.resize(counter_.size());
+  for (CoreLane& lane : lanes_) lane.buffer.reserve(config_.buffer_capacity);
+}
+
 bool PebsMonitor::qualifies(const MemOpEvent& event) const noexcept {
   switch (config_.event) {
     case PebsEvent::LlcMiss:
@@ -29,8 +36,12 @@ bool PebsMonitor::qualifies(const MemOpEvent& event) const noexcept {
 
 void PebsMonitor::on_mem_op(const MemOpEvent& event) {
   if (!qualifies(event)) return;
-  ++events_seen_;
   TMPROF_ASSERT(event.core < counter_.size());
+  if (sharded_) {
+    ++lanes_[event.core].events;
+  } else {
+    ++events_seen_;
+  }
   if (++counter_[event.core] < config_.sample_after) return;
   counter_[event.core] = 0;
   TraceSample sample;
@@ -43,6 +54,13 @@ void PebsMonitor::on_mem_op(const MemOpEvent& event) {
   sample.is_store = event.is_store;
   sample.source = event.source;
   sample.tlb_miss = event.tlb == mem::TlbHit::Miss;
+  if (sharded_) {
+    CoreLane& lane = lanes_[event.core];
+    lane.buffer.push_back(sample);
+    ++lane.samples;
+    if (lane.buffer.size() % config_.buffer_capacity == 0) ++lane.interrupts;
+    return;
+  }
   buffer_.push_back(sample);
   ++samples_taken_;
   if (buffer_.size() >= config_.buffer_capacity) {
@@ -52,14 +70,40 @@ void PebsMonitor::on_mem_op(const MemOpEvent& event) {
 }
 
 void PebsMonitor::drain() {
+  if (sharded_) {
+    for (CoreLane& lane : lanes_) {
+      if (lane.buffer.empty()) continue;
+      if (drain_) drain_(std::span<const TraceSample>(lane.buffer));
+      lane.buffer.clear();
+    }
+    return;
+  }
   if (buffer_.empty()) return;
   if (drain_) drain_(std::span<const TraceSample>(buffer_));
   buffer_.clear();
 }
 
+std::uint64_t PebsMonitor::samples_taken() const noexcept {
+  std::uint64_t total = samples_taken_;
+  for (const CoreLane& lane : lanes_) total += lane.samples;
+  return total;
+}
+
+std::uint64_t PebsMonitor::events_seen() const noexcept {
+  std::uint64_t total = events_seen_;
+  for (const CoreLane& lane : lanes_) total += lane.events;
+  return total;
+}
+
+std::uint64_t PebsMonitor::interrupts() const noexcept {
+  std::uint64_t total = interrupts_;
+  for (const CoreLane& lane : lanes_) total += lane.interrupts;
+  return total;
+}
+
 util::SimNs PebsMonitor::overhead_ns() const noexcept {
-  return samples_taken_ * config_.cost_per_record_ns +
-         interrupts_ * config_.cost_per_interrupt_ns;
+  return samples_taken() * config_.cost_per_record_ns +
+         interrupts() * config_.cost_per_interrupt_ns;
 }
 
 }  // namespace tmprof::monitors

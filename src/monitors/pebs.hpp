@@ -44,23 +44,37 @@ class PebsMonitor final : public AccessObserver {
 
   void set_drain(DrainFn drain) { drain_ = std::move(drain); }
 
+  /// Switch to sharded operation: per-core sample buffers and statistics so
+  /// each simulated core's callbacks may run on its own worker thread. PMIs
+  /// are counted per core; the actual drain to the driver happens at the
+  /// epoch barrier in ascending core order. Call before the first event.
+  void enable_sharded();
+  [[nodiscard]] bool sharded() const noexcept { return sharded_; }
+
   void on_mem_op(const MemOpEvent& event) override;
 
+  AccessObserver* shard_sink(std::uint32_t /*core*/) override {
+    return sharded_ ? this : nullptr;
+  }
+  void merge_shards() override { drain(); }
+
+  /// In sharded mode, drains every core's buffer in ascending core order.
   void drain();
 
   [[nodiscard]] const PebsConfig& config() const noexcept { return config_; }
-  [[nodiscard]] std::uint64_t samples_taken() const noexcept {
-    return samples_taken_;
-  }
-  [[nodiscard]] std::uint64_t events_seen() const noexcept {
-    return events_seen_;
-  }
-  [[nodiscard]] std::uint64_t interrupts() const noexcept {
-    return interrupts_;
-  }
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept;
+  [[nodiscard]] std::uint64_t events_seen() const noexcept;
+  [[nodiscard]] std::uint64_t interrupts() const noexcept;
   [[nodiscard]] util::SimNs overhead_ns() const noexcept;
 
  private:
+  struct CoreLane {
+    std::vector<TraceSample> buffer;
+    std::uint64_t samples = 0;
+    std::uint64_t events = 0;
+    std::uint64_t interrupts = 0;
+  };
+
   [[nodiscard]] bool qualifies(const MemOpEvent& event) const noexcept;
 
   PebsConfig config_;
@@ -70,6 +84,8 @@ class PebsMonitor final : public AccessObserver {
   std::uint64_t samples_taken_ = 0;
   std::uint64_t events_seen_ = 0;
   std::uint64_t interrupts_ = 0;
+  bool sharded_ = false;
+  std::vector<CoreLane> lanes_;         ///< populated in sharded mode
 };
 
 }  // namespace tmprof::monitors

@@ -66,6 +66,13 @@ struct SimConfig {
   std::uint64_t code_bytes_per_process = 64ULL << 10;
 
   std::uint32_t pmu_registers = 6;
+
+  /// Build the deterministic *sharded* access engine: per-core LLC slices,
+  /// per-core physical-memory arenas, and System::step_parallel() support.
+  /// Results are bitwise-reproducible for a given seed regardless of how
+  /// many OS threads execute the shards, but differ from the legacy shared-
+  /// LLC serial engine (false), which existing experiments keep by default.
+  bool sharded_engine = false;
 };
 
 }  // namespace tmprof::sim

@@ -5,7 +5,7 @@ namespace tmprof::sim {
 ResctrlMonitor::ResctrlMonitor(System& system) : system_(system) {}
 
 std::uint64_t ResctrlMonitor::llc_occupancy_bytes(mem::Pid pid) const {
-  return system_.llc().occupancy_lines(pid) * mem::kLineSize;
+  return system_.llc_occupancy_lines(pid) * mem::kLineSize;
 }
 
 MbmReading ResctrlMonitor::read_bandwidth(mem::Pid pid) {
@@ -22,14 +22,13 @@ MbmReading ResctrlMonitor::read_bandwidth(mem::Pid pid) {
 }
 
 double ResctrlMonitor::llc_utilization() const {
-  const mem::CacheLevel& llc = system_.llc();
   std::uint64_t used = 0;
   // Owner 0 marks untracked lines; every process PID is >= 1000.
   for (mem::Pid pid = 1000; pid < 1000 + 64; ++pid) {
-    used += llc.occupancy_lines(pid);
+    used += system_.llc_occupancy_lines(pid);
   }
   return static_cast<double>(used * mem::kLineSize) /
-         static_cast<double>(llc.size_bytes());
+         static_cast<double>(system_.llc_size_bytes());
 }
 
 }  // namespace tmprof::sim

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "mem/ptw.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tmprof::sim {
 
@@ -25,26 +27,72 @@ std::vector<mem::TierSpec> tier_specs(const SimConfig& config) {
   }
   return specs;
 }
+
+std::uint64_t pow2_floor(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
 }  // namespace
 
 System::System(const SimConfig& config)
     : config_(config),
-      phys_(tier_specs(config)),
+      phys_(tier_specs(config), config.sharded_engine ? config.cores : 1),
       pmu_(config.cores, config.pmu_registers),
-      llc_(config.llc_bytes, config.llc_ways) {
+      // With the sharded engine the LLC lives in per-core slices; keep the
+      // shared-LLC member at its minimum legal geometry (one set) so it
+      // costs nothing.
+      llc_(config.sharded_engine
+               ? mem::kLineSize * config.llc_ways
+               : config.llc_bytes,
+           config.llc_ways) {
   TMPROF_EXPECTS(config.cores >= 1);
+  if (config.sharded_engine) {
+    // Slice the LLC: same associativity, a power-of-two fraction of the
+    // sets per core (CacheLevel indexes with a mask). Rounding down keeps
+    // the slice a valid geometry; the few percent of capacity lost to
+    // rounding is a modeling choice, not an error.
+    const std::uint64_t total_sets =
+        config.llc_bytes /
+        (static_cast<std::uint64_t>(config.llc_ways) * mem::kLineSize);
+    const std::uint64_t slice_sets =
+        pow2_floor(std::max<std::uint64_t>(1, total_sets / config.cores));
+    const std::uint64_t slice_bytes =
+        slice_sets * config.llc_ways * mem::kLineSize;
+    llc_slices_.reserve(config.cores);
+    for (std::uint32_t c = 0; c < config.cores; ++c) {
+      llc_slices_.push_back(
+          std::make_unique<mem::CacheLevel>(slice_bytes, config.llc_ways));
+    }
+  }
   cores_.reserve(config.cores);
   for (std::uint32_t c = 0; c < config.cores; ++c) {
+    mem::CacheLevel* llc =
+        config.sharded_engine ? llc_slices_[c].get() : &llc_;
     cores_.push_back(Core{
         mem::Tlb(config.l1_tlb, config.l2_tlb),
         mem::CacheHierarchy(config.l1_bytes, config.l1_ways, config.l2_bytes,
-                            config.l2_ways, &llc_, config.prefetch)});
+                            config.l2_ways, llc, config.prefetch)});
   }
 }
 
 mem::Tlb& System::tlb(std::uint32_t core) {
   TMPROF_EXPECTS(core < cores_.size());
   return cores_[core].tlb;
+}
+
+std::uint64_t System::llc_occupancy_lines(std::uint32_t owner) const {
+  if (llc_slices_.empty()) return llc_.occupancy_lines(owner);
+  std::uint64_t total = 0;
+  for (const auto& slice : llc_slices_) total += slice->occupancy_lines(owner);
+  return total;
+}
+
+std::uint64_t System::llc_size_bytes() const noexcept {
+  if (llc_slices_.empty()) return llc_.size_bytes();
+  std::uint64_t total = 0;
+  for (const auto& slice : llc_slices_) total += slice->size_bytes();
+  return total;
 }
 
 void System::advance_time(util::SimNs delta) noexcept { now_ += delta; }
@@ -54,6 +102,20 @@ mem::Pid System::add_process(workloads::WorkloadPtr workload, double weight) {
   processes_.push_back(std::make_unique<Process>(pid, std::move(workload),
                                                  weight));
   rebuild_schedule();
+  if (phys_.arenas() > 1) {
+    // Re-carve the per-core arenas to match the processes each core will
+    // actually serve: an equal split starves workloads whose processes
+    // cluster on few cores (a single process would get 1/cores of every
+    // tier). The weights depend only on the process list, never on thread
+    // count, so the carve — and thus every PFN — stays deterministic.
+    // Once allocation has begun rebalance_arenas refuses and we keep the
+    // carve processes have been faulting into.
+    std::vector<std::uint64_t> per_core(config_.cores, 0);
+    for (const auto& proc : processes_) {
+      ++per_core[static_cast<std::uint32_t>(proc->pid()) % config_.cores];
+    }
+    phys_.rebalance_arenas(per_core);
+  }
   return pid;
 }
 
@@ -129,18 +191,112 @@ util::SimNs System::step(std::uint64_t ops) {
   return now_ - start;
 }
 
-util::SimNs System::instruction_fetch(Process& proc, Core& core,
-                                      pmu::PmuCore& pmu_core,
-                                      std::uint32_t ip) {
+util::SimNs System::step_parallel(std::uint64_t ops, util::ThreadPool* pool) {
+  TMPROF_EXPECTS(config_.sharded_engine);
+  TMPROF_EXPECTS(!processes_.empty());
+  // Hook-based managers (swap-style, AutoNUMA emulation) mutate cross-shard
+  // state inside the access path; they need the serial engine.
+  TMPROF_EXPECTS(!fault_hook_);
+  const util::SimNs start = now_;
+  const std::uint32_t n_cores = config_.cores;
+
+  // Resolve every observer once per core: either it hands back a sink whose
+  // callbacks are safe on that core's worker thread, or the engine buffers
+  // the core's events and replays them at the barrier below.
+  std::vector<std::vector<monitors::AccessObserver*>> direct(n_cores);
+  std::vector<monitors::AccessObserver*> buffered;
+  for (monitors::AccessObserver* obs : observers_) {
+    bool needs_buffering = false;
+    for (std::uint32_t c = 0; c < n_cores; ++c) {
+      if (monitors::AccessObserver* sink = obs->shard_sink(c)) {
+        direct[c].push_back(sink);
+      } else {
+        needs_buffering = true;
+      }
+    }
+    if (needs_buffering) buffered.push_back(obs);
+  }
+
+  struct Shard {
+    util::SimNs elapsed = 0;
+    std::uint64_t executed = 0;
+    std::vector<std::pair<monitors::MemOpEvent, bool>> log;
+  };
+  std::vector<Shard> shards(n_cores);
+  const std::size_t len = schedule_.size();
+
+  // Every shard scans the same `ops` schedule positions and executes only
+  // its own processes' slots, so the global op interleaving — and with it
+  // each shard's reference stream — is a pure function of the schedule,
+  // never of thread timing.
+  auto run_shard = [&](std::uint32_t s) {
+    Shard& shard = shards[s];
+    ExecContext ctx;
+    ctx.core_idx = s;
+    ctx.core = &cores_[s];
+    ctx.pmu = &pmu_.core(s);
+    ctx.now = start;
+    ctx.arena = s;
+    ctx.total_ops = &shard.executed;
+    ctx.direct = &direct[s];
+    ctx.log = buffered.empty() ? nullptr : &shard.log;
+    std::size_t cursor = schedule_cursor_;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const std::uint32_t proc_idx = schedule_[cursor];
+      cursor = cursor + 1 == len ? 0 : cursor + 1;
+      Process& proc = *processes_[proc_idx];
+      if (static_cast<std::uint32_t>(proc.pid()) % n_cores != s) continue;
+      const workloads::MemRef ref = proc.workload().next();
+      access_impl(proc, proc.vaddr_of(ref.offset), ref.is_store, ref.ip, ctx);
+    }
+    shard.elapsed = ctx.now - start;
+  };
+
+  if (pool != nullptr) {
+    for (std::uint32_t s = 0; s < n_cores; ++s) {
+      pool->submit(s, [&run_shard, s] { run_shard(s); });
+    }
+    pool->wait_idle();
+  } else {
+    for (std::uint32_t s = 0; s < n_cores; ++s) run_shard(s);
+  }
+
+  // ---- epoch barrier: merge shard state in ascending core order ----------
+  for (const Shard& shard : shards) {
+    for (const auto& [event, dirty] : shard.log) {
+      for (monitors::AccessObserver* obs : buffered) {
+        obs->on_retire(event.core, config_.uops_per_op, event.time);
+        obs->on_mem_op(event);
+        if (dirty) obs->on_dirty_set(event);
+      }
+    }
+  }
+  for (monitors::AccessObserver* obs : observers_) obs->merge_shards();
+
+  util::SimNs max_elapsed = 0;
+  for (const Shard& shard : shards) {
+    max_elapsed = std::max(max_elapsed, shard.elapsed);
+    total_ops_ += shard.executed;
+  }
+  schedule_cursor_ = (schedule_cursor_ + ops) % len;
+  // Cores ran concurrently: wall-clock advances by the slowest shard. Each
+  // core's event stream stays monotone because its next epoch starts at or
+  // after its own elapsed time.
+  now_ = start + max_elapsed;
+  return max_elapsed;
+}
+
+util::SimNs System::instruction_fetch(Process& proc, std::uint32_t ip,
+                                      ExecContext& ctx) {
   // Map the workload's synthetic code location (its phase id) to a spot in
   // the process's code region; distinct phases land on distinct pages.
   std::uint64_t mix = ip;
   const mem::VirtAddr code_va =
       kCodeBase + (util::splitmix64(mix) % config_.code_bytes_per_process);
-  if (core.tlb.lookup(proc.pid(), code_va).level != mem::TlbHit::Miss) {
+  if (ctx.core->tlb.lookup(proc.pid(), code_va).level != mem::TlbHit::Miss) {
     return 0;  // fetch translation cached: free
   }
-  pmu_core.record(Event::ItlbWalk, now_);
+  ctx.pmu->record(Event::ItlbWalk, ctx.now);
   util::SimNs latency = 0;
   mem::WalkResult walk =
       mem::PageTableWalker::walk(proc.page_table(), code_va, false);
@@ -148,39 +304,41 @@ util::SimNs System::instruction_fetch(Process& proc, Core& core,
     // Demand-map the code page (text is always 4 KiB-mapped).
     const mem::VirtAddr page_va = mem::page_base(code_va, mem::PageSize::k4K);
     const auto pfn = phys_.alloc(first_touch_tier_, proc.pid(), page_va,
-                                 mem::PageSize::k4K);
+                                 mem::PageSize::k4K, ctx.arena);
     TMPROF_ASSERT(pfn.has_value());
     proc.page_table().map(page_va, *pfn, mem::PageSize::k4K);
     proc.note_mapped_page(mem::PageSize::k4K);
-    pmu_core.record(Event::PageFault, now_);
+    ctx.pmu->record(Event::PageFault, ctx.now);
     latency += config_.page_fault_ns;
     walk = mem::PageTableWalker::walk(proc.page_table(), code_va, false);
   } else if (walk.status == mem::WalkResult::Status::Poisoned) {
     // Code pages can be poisoned too (AutoNUMA-style protection covers
     // every VMA); the fetch takes the same protection fault as a load.
-    pmu_core.record(Event::ProtectionFault, now_);
+    ctx.pmu->record(Event::ProtectionFault, ctx.now);
     if (fault_hook_) {
       latency += fault_hook_(proc, code_va, false);
     } else {
       TMPROF_ASSERT(badgertrap_ != nullptr);
       latency += badgertrap_->handle_fault(proc.pid(), proc.page_table(),
-                                           core.tlb, code_va, false);
+                                           ctx.core->tlb, code_va, false);
     }
     walk = mem::PageTableWalker::walk(proc.page_table(), code_va, false,
                                       /*honor_poison=*/false);
   }
   TMPROF_ASSERT(walk.status == mem::WalkResult::Status::Ok);
-  if (walk.set_accessed) pmu_core.record(Event::PtwAbitSet, now_);
-  core.tlb.fill(proc.pid(), walk.page_va, walk.size, walk.pte,
-                walk.pte->dirty());
+  if (walk.set_accessed) ctx.pmu->record(Event::PtwAbitSet, ctx.now);
+  ctx.core->tlb.fill(proc.pid(), walk.page_va, walk.size, walk.pte,
+                     walk.pte->dirty());
   latency += walk.levels * config_.walk_level_ns;
   return latency;
 }
 
-Process& System::handle_page_fault(Process& proc, mem::VirtAddr vaddr) {
+Process& System::handle_page_fault(Process& proc, mem::VirtAddr vaddr,
+                                   std::uint32_t arena) {
   const mem::PageSize size = proc.workload().page_size();
   const mem::VirtAddr page_va = mem::page_base(vaddr, size);
-  const auto pfn = phys_.alloc(first_touch_tier_, proc.pid(), page_va, size);
+  const auto pfn =
+      phys_.alloc(first_touch_tier_, proc.pid(), page_va, size, arena);
   TMPROF_ASSERT(pfn.has_value());  // experiments size tiers to fit
   proc.page_table().map(page_va, *pfn, size);
   proc.note_mapped_page(size);
@@ -191,18 +349,37 @@ AccessResult System::access(Process& proc, mem::VirtAddr vaddr, bool is_store,
                             std::uint32_t ip) {
   const std::uint32_t core_idx =
       static_cast<std::uint32_t>(proc.pid()) % config_.cores;
-  Core& core = cores_[core_idx];
-  pmu::PmuCore& pmu_core = pmu_.core(core_idx);
+  ExecContext ctx;
+  ctx.core_idx = core_idx;
+  ctx.core = &cores_[core_idx];
+  ctx.pmu = &pmu_.core(core_idx);
+  ctx.now = now_;
+  // With per-core arenas (sharded config), single accesses allocate from
+  // the same arena a parallel step would — the two paths stay bit-equal.
+  ctx.arena = phys_.arenas() > 1 ? core_idx : 0;
+  ctx.total_ops = &total_ops_;
+  ctx.direct = &observers_;
+  const AccessResult result = access_impl(proc, vaddr, is_store, ip, ctx);
+  now_ = ctx.now;
+  return result;
+}
+
+AccessResult System::access_impl(Process& proc, mem::VirtAddr vaddr,
+                                 bool is_store, std::uint32_t ip,
+                                 ExecContext& ctx) {
+  Core& core = *ctx.core;
+  pmu::PmuCore& pmu_core = *ctx.pmu;
   AccessResult result;
   util::SimNs latency = config_.base_op_ns;
 
   proc.charge_ops(1);
-  ++total_ops_;
-  pmu_core.record(Event::RetiredUops, now_, config_.uops_per_op);
-  pmu_core.record(is_store ? Event::RetiredStores : Event::RetiredLoads, now_);
+  ++*ctx.total_ops;
+  pmu_core.record(Event::RetiredUops, ctx.now, config_.uops_per_op);
+  pmu_core.record(is_store ? Event::RetiredStores : Event::RetiredLoads,
+                  ctx.now);
 
   if (config_.instruction_fetch) {
-    latency += instruction_fetch(proc, core, pmu_core, ip);
+    latency += instruction_fetch(proc, ip, ctx);
   }
 
   // ---- address translation -------------------------------------------------
@@ -215,7 +392,7 @@ AccessResult System::access(Process& proc, mem::VirtAddr vaddr, bool is_store,
   if (hit.level != mem::TlbHit::Miss) {
     result.tlb = hit.level;
     if (hit.level == mem::TlbHit::L2) {
-      pmu_core.record(Event::DtlbL1Miss, now_);
+      pmu_core.record(Event::DtlbL1Miss, ctx.now);
     }
     pte = hit.entry->pte;
     page_size = hit.size;
@@ -227,26 +404,26 @@ AccessResult System::access(Process& proc, mem::VirtAddr vaddr, bool is_store,
       if (!pte->dirty()) {
         pte->set_dirty(true);
         dirty_transition = true;
-        pmu_core.record(Event::PtwDbitSet, now_);
+        pmu_core.record(Event::PtwDbitSet, ctx.now);
       }
     }
   } else {
     result.tlb = mem::TlbHit::Miss;
-    pmu_core.record(Event::DtlbL1Miss, now_);
-    pmu_core.record(Event::DtlbWalk, now_);
+    pmu_core.record(Event::DtlbL1Miss, ctx.now);
+    pmu_core.record(Event::DtlbWalk, ctx.now);
     mem::WalkResult walk =
         mem::PageTableWalker::walk(proc.page_table(), vaddr, is_store);
     if (walk.status == mem::WalkResult::Status::NotPresent) {
       // First touch: allocate and map, then redo the walk.
       result.page_fault = true;
-      pmu_core.record(Event::PageFault, now_);
+      pmu_core.record(Event::PageFault, ctx.now);
       latency += config_.page_fault_ns;
-      handle_page_fault(proc, vaddr);
+      handle_page_fault(proc, vaddr, ctx.arena);
       walk = mem::PageTableWalker::walk(proc.page_table(), vaddr, is_store);
       TMPROF_ASSERT(walk.status == mem::WalkResult::Status::Ok);
     } else if (walk.status == mem::WalkResult::Status::Poisoned) {
       result.protection_fault = true;
-      pmu_core.record(Event::ProtectionFault, now_);
+      pmu_core.record(Event::ProtectionFault, ctx.now);
       if (fault_hook_) {
         latency += fault_hook_(proc, vaddr, is_store);
       } else {
@@ -261,10 +438,10 @@ AccessResult System::access(Process& proc, mem::VirtAddr vaddr, bool is_store,
       TMPROF_ASSERT(walk.status == mem::WalkResult::Status::Ok);
     }
     latency += walk.levels * config_.walk_level_ns;
-    if (walk.set_accessed) pmu_core.record(Event::PtwAbitSet, now_);
+    if (walk.set_accessed) pmu_core.record(Event::PtwAbitSet, ctx.now);
     if (walk.set_dirty) {
       dirty_transition = true;
-      pmu_core.record(Event::PtwDbitSet, now_);
+      pmu_core.record(Event::PtwDbitSet, ctx.now);
     }
     pte = walk.pte;
     page_size = walk.size;
@@ -286,42 +463,42 @@ AccessResult System::access(Process& proc, mem::VirtAddr vaddr, bool is_store,
       break;
     case mem::DataSource::L2:
       latency += config_.l2_hit_ns;
-      pmu_core.record(Event::L1DMiss, now_);
+      pmu_core.record(Event::L1DMiss, ctx.now);
       break;
     case mem::DataSource::LLC:
       latency += config_.llc_hit_ns;
-      pmu_core.record(Event::L1DMiss, now_);
-      pmu_core.record(Event::L2Miss, now_);
-      pmu_core.record(Event::LlcAccess, now_);
+      pmu_core.record(Event::L1DMiss, ctx.now);
+      pmu_core.record(Event::L2Miss, ctx.now);
+      pmu_core.record(Event::LlcAccess, ctx.now);
       break;
     default: {
-      pmu_core.record(Event::L1DMiss, now_);
-      pmu_core.record(Event::L2Miss, now_);
-      pmu_core.record(Event::LlcAccess, now_);
-      pmu_core.record(Event::LlcMiss, now_);
+      pmu_core.record(Event::L1DMiss, ctx.now);
+      pmu_core.record(Event::L2Miss, ctx.now);
+      pmu_core.record(Event::LlcAccess, ctx.now);
+      pmu_core.record(Event::LlcMiss, ctx.now);
       const mem::TierId tier = phys_.tier_of(mem::pfn_of(paddr));
       const mem::TierSpec& spec = phys_.tier(tier);
       latency += is_store ? spec.write_latency_ns : spec.read_latency_ns;
       proc.note_mem_fill(tier);
       if (tier == 0) {
         result.source = mem::DataSource::MemTier1;
-        pmu_core.record(Event::MemReadTier1, now_);
+        pmu_core.record(Event::MemReadTier1, ctx.now);
       } else {
         result.source = mem::DataSource::MemTier2;
-        pmu_core.record(Event::MemReadTier2, now_);
+        pmu_core.record(Event::MemReadTier2, ctx.now);
       }
-      if (cache.prefetch_issued) pmu_core.record(Event::PrefetchFill, now_);
+      if (cache.prefetch_issued) pmu_core.record(Event::PrefetchFill, ctx.now);
       break;
     }
   }
 
-  now_ += latency;
+  ctx.now += latency;
   result.latency_ns = latency;
 
   // ---- publish hardware events to monitors ------------------------------
   monitors::MemOpEvent event;
-  event.time = now_;
-  event.core = core_idx;
+  event.time = ctx.now;
+  event.core = ctx.core_idx;
   event.pid = proc.pid();
   event.ip = ip;
   event.vaddr = vaddr;
@@ -330,11 +507,12 @@ AccessResult System::access(Process& proc, mem::VirtAddr vaddr, bool is_store,
   event.source = result.source;
   event.tlb = result.tlb;
   event.page_size = page_size;
-  for (monitors::AccessObserver* obs : observers_) {
-    obs->on_retire(core_idx, config_.uops_per_op, now_);
+  for (monitors::AccessObserver* obs : *ctx.direct) {
+    obs->on_retire(ctx.core_idx, config_.uops_per_op, ctx.now);
     obs->on_mem_op(event);
     if (dirty_transition) obs->on_dirty_set(event);
   }
+  if (ctx.log != nullptr) ctx.log->emplace_back(event, dirty_transition);
   return result;
 }
 
@@ -355,7 +533,11 @@ bool System::migrate_page(mem::Pid pid, mem::VirtAddr page_va,
   TMPROF_EXPECTS(ref && ref.page_va == page_va);
   const mem::Pfn old_pfn = ref.pte->pfn();
   if (phys_.tier_of(old_pfn) == target) return true;  // already there
-  const auto new_pfn = phys_.alloc_exact(target, pid, page_va, ref.size);
+  const std::uint32_t arena =
+      phys_.arenas() > 1
+          ? static_cast<std::uint32_t>(pid) % phys_.arenas()
+          : 0;
+  const auto new_pfn = phys_.alloc_exact(target, pid, page_va, ref.size, arena);
   if (!new_pfn) return false;
   ref.pte->set_pfn(*new_pfn);
   phys_.free(old_pfn);

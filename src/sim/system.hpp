@@ -20,6 +20,10 @@
 #include "sim/process.hpp"
 #include "util/time.hpp"
 
+namespace tmprof::util {
+class ThreadPool;
+}
+
 namespace tmprof::sim {
 
 /// Outcome of one simulated access (returned for tests/instrumentation).
@@ -41,8 +45,14 @@ class System {
   [[nodiscard]] mem::PhysMemory& phys() noexcept { return phys_; }
   [[nodiscard]] pmu::Pmu& pmu() noexcept { return pmu_; }
   [[nodiscard]] mem::Tlb& tlb(std::uint32_t core);
-  /// The shared last-level cache (resource-monitoring reads occupancy).
+  /// The shared last-level cache (legacy engine; with `sharded_engine` the
+  /// LLC is sliced per core — use the aggregate accessors below).
   [[nodiscard]] const mem::CacheLevel& llc() const noexcept { return llc_; }
+  /// LLC occupancy-monitoring view that works for both engines: resident
+  /// lines tagged `owner`, summed over slices in sharded mode.
+  [[nodiscard]] std::uint64_t llc_occupancy_lines(std::uint32_t owner) const;
+  /// Monitored LLC capacity (sum of slice capacities in sharded mode).
+  [[nodiscard]] std::uint64_t llc_size_bytes() const noexcept;
   [[nodiscard]] util::SimNs now() const noexcept { return now_; }
 
   /// Advance the clock without executing ops (daemon/driver work, stalls).
@@ -71,6 +81,16 @@ class System {
   /// Execute `ops` memory operations, scheduling processes by weight with
   /// fixed core affinity (pid → core round-robin). Returns sim time spent.
   util::SimNs step(std::uint64_t ops);
+
+  /// Sharded-engine epoch step: every simulated core replays its own
+  /// processes' slice of the same `ops` schedule positions against
+  /// core-private TLB/L1/L2/LLC-slice/arena/PMU state, then shard results
+  /// merge at an epoch barrier in ascending core order. Requires
+  /// `config().sharded_engine` and no fault hook (BadgerTrap is fine). If
+  /// `pool` is null the shards run inline on the calling thread — results
+  /// are bitwise identical either way. Returns sim time spent (max over
+  /// shards, since cores run concurrently).
+  util::SimNs step_parallel(std::uint64_t ops, util::ThreadPool* pool);
 
   /// Execute one access for a specific process (tests / custom drivers).
   AccessResult access(Process& proc, mem::VirtAddr vaddr, bool is_store,
@@ -104,15 +124,38 @@ class System {
     mem::CacheHierarchy caches;
   };
 
+  /// Everything one access needs that is per-shard in parallel mode: the
+  /// serial engine binds it to the global clock and the full observer list,
+  /// a shard binds it to its own clock, arena, and resolved sinks.
+  struct ExecContext {
+    std::uint32_t core_idx = 0;
+    Core* core = nullptr;
+    pmu::PmuCore* pmu = nullptr;
+    util::SimNs now = 0;
+    std::uint32_t arena = 0;
+    std::uint64_t* total_ops = nullptr;
+    /// Observers whose callbacks may run on this shard's thread.
+    const std::vector<monitors::AccessObserver*>* direct = nullptr;
+    /// Event log for observers without a shard sink (replayed at the
+    /// barrier in core order); null on the serial path.
+    std::vector<std::pair<monitors::MemOpEvent, bool>>* log = nullptr;
+  };
+
   void rebuild_schedule();
-  Process& handle_page_fault(Process& proc, mem::VirtAddr vaddr);
-  util::SimNs instruction_fetch(Process& proc, Core& core,
-                                pmu::PmuCore& pmu_core, std::uint32_t ip);
+  Process& handle_page_fault(Process& proc, mem::VirtAddr vaddr,
+                             std::uint32_t arena);
+  util::SimNs instruction_fetch(Process& proc, std::uint32_t ip,
+                                ExecContext& ctx);
+  AccessResult access_impl(Process& proc, mem::VirtAddr vaddr, bool is_store,
+                           std::uint32_t ip, ExecContext& ctx);
 
   SimConfig config_;
   mem::PhysMemory phys_;
   pmu::Pmu pmu_;
   mem::CacheLevel llc_;
+  /// Per-core LLC slices (sharded engine only; empty otherwise). Slices
+  /// keep the total way count and a power-of-two fraction of the sets.
+  std::vector<std::unique_ptr<mem::CacheLevel>> llc_slices_;
   std::vector<Core> cores_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<monitors::AccessObserver*> observers_;

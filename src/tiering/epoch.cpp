@@ -1,10 +1,17 @@
 #include "tiering/epoch.hpp"
 
+#include <memory>
+
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tmprof::tiering {
 
-TruthCollector::TruthCollector(sim::System& system) : system_(system) {}
+TruthCollector::TruthCollector(sim::System& system) : system_(system) {
+  if (system.config().sharded_engine) {
+    shards_.resize(system.config().cores);
+  }
+}
 
 void TruthCollector::on_mem_op(const monitors::MemOpEvent& event) {
   const mem::VirtAddr page_va = mem::page_base(event.vaddr, event.page_size);
@@ -15,6 +22,41 @@ void TruthCollector::on_mem_op(const monitors::MemOpEvent& event) {
   }
   if (mem::is_memory(event.source)) {
     truth_[key] += 1;
+  }
+}
+
+void TruthCollector::Shard::on_mem_op(const monitors::MemOpEvent& event) {
+  const mem::VirtAddr page_va = mem::page_base(event.vaddr, event.page_size);
+  const PageKey key{event.pid, page_va};
+  if (seen.insert(key).second) {
+    new_pages.emplace_back(key, event.page_size);
+  }
+  if (mem::is_memory(event.source)) {
+    truth[key] += 1;
+  }
+}
+
+monitors::AccessObserver* TruthCollector::shard_sink(std::uint32_t core) {
+  if (shards_.empty()) return nullptr;
+  TMPROF_ASSERT(core < shards_.size());
+  return &shards_[core];
+}
+
+void TruthCollector::merge_shards() {
+  // Shards hold disjoint key spaces (a page belongs to one pid, a pid to
+  // one core); folding them in ascending core order makes the merged maps'
+  // contents — and their insertion-driven iteration order — a pure function
+  // of the simulation, not of thread timing.
+  for (Shard& shard : shards_) {
+    for (const auto& [key, size] : shard.new_pages) {
+      new_pages_.push_back(key);
+      page_sizes_[key] = size;
+    }
+    shard.new_pages.clear();
+    for (const auto& [key, count] : shard.truth) {
+      truth_[key] += count;
+    }
+    shard.truth.clear();
   }
 }
 
@@ -56,7 +98,9 @@ EpochSeries collect_series(const WorkloadFactory& factory,
                            const sim::SimConfig& sim_config,
                            const CollectOptions& options) {
   TMPROF_EXPECTS(options.n_epochs >= 1);
-  sim::System system(sim_config);
+  sim::SimConfig config = sim_config;
+  if (options.n_threads >= 1) config.sharded_engine = true;
+  sim::System system(config);
   for (auto& generator : factory(options.seed)) {
     system.add_process(std::move(generator));
   }
@@ -65,10 +109,19 @@ EpochSeries collect_series(const WorkloadFactory& factory,
   system.add_observer(&truth);
   core::TmpDaemon daemon(system, options.daemon);
 
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options.n_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(options.n_threads);
+  }
+
   EpochSeries series;
   series.epochs.reserve(options.n_epochs);
   for (std::uint32_t e = 0; e < options.n_epochs; ++e) {
-    system.step(options.ops_per_epoch);
+    if (config.sharded_engine) {
+      system.step_parallel(options.ops_per_epoch, pool.get());
+    } else {
+      system.step(options.ops_per_epoch);
+    }
     core::ProfileSnapshot snapshot = daemon.tick();
     EpochData data;
     data.epoch = e;

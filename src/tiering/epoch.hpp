@@ -23,11 +23,19 @@ namespace tmprof::tiering {
 
 /// Ground-truth observer: counts beyond-LLC accesses per page and records
 /// first-touch order (the order pages would be allocated).
+///
+/// Under the sharded engine the collector shards natively: each core gets a
+/// private sub-collector (pages are pid-owned and pids are core-affine, so
+/// the key spaces are disjoint) whose state folds into the global view at
+/// the epoch barrier in ascending core order.
 class TruthCollector final : public monitors::AccessObserver {
  public:
   explicit TruthCollector(sim::System& system);
 
   void on_mem_op(const monitors::MemOpEvent& event) override;
+
+  monitors::AccessObserver* shard_sink(std::uint32_t core) override;
+  void merge_shards() override;
 
   /// Swap out this epoch's truth counts and newly-seen pages.
   void end_epoch(
@@ -39,11 +47,20 @@ class TruthCollector final : public monitors::AccessObserver {
   }
 
  private:
+  struct Shard final : monitors::AccessObserver {
+    void on_mem_op(const monitors::MemOpEvent& event) override;
+
+    std::unordered_map<PageKey, std::uint64_t, PageKeyHash> truth;
+    std::unordered_set<PageKey, PageKeyHash> seen;  ///< persists across epochs
+    std::vector<std::pair<PageKey, mem::PageSize>> new_pages;
+  };
+
   sim::System& system_;
   std::unordered_map<PageKey, std::uint64_t, PageKeyHash> truth_;
   std::unordered_set<PageKey, PageKeyHash> seen_;
   std::vector<PageKey> new_pages_;
   PageSizeMap page_sizes_;
+  std::vector<Shard> shards_;  ///< one per core when the engine is sharded
 };
 
 /// One epoch's record.
@@ -69,6 +86,10 @@ struct CollectOptions {
   std::uint64_t ops_per_epoch = 1'000'000;
   std::uint64_t seed = 42;
   core::DaemonConfig daemon;
+  /// 0 (default) = legacy serial engine, bit-exact historical behavior.
+  /// >= 1 = deterministic sharded engine; 1 runs the shards inline, > 1
+  /// uses a worker pool. All values >= 1 produce identical results.
+  std::uint32_t n_threads = 0;
 };
 
 /// Produces the processes' workload generators for one run. Must be

@@ -1,11 +1,13 @@
 #include "tiering/runner.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "pmu/events.hpp"
 #include "tiering/epoch.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tmprof::tiering {
 
@@ -51,6 +53,7 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
     config.tier2_read_ns = config.tier1_read_ns;
     config.tier2_write_ns = config.tier1_write_ns;
   }
+  if (options.n_threads >= 1) config.sharded_engine = true;
   sim::System system(config);
   for (auto& generator : factory(options.seed)) {
     system.add_process(std::move(generator));
@@ -82,6 +85,7 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
     collect.ops_per_epoch = options.ops_per_epoch;
     collect.seed = options.seed;
     collect.daemon = options.daemon;
+    collect.n_threads = options.n_threads;
     const EpochSeries series = collect_series(factory, config, collect);
     for (const EpochData& data : series.epochs) {
       std::vector<core::PageRank> ranking;
@@ -101,9 +105,18 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
     }
   }
 
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options.n_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(options.n_threads);
+  }
+
   RunnerResult result;
   for (std::uint32_t e = 0; e < options.n_epochs; ++e) {
-    system.step(options.ops_per_epoch);
+    if (config.sharded_engine) {
+      system.step_parallel(options.ops_per_epoch, pool.get());
+    } else {
+      system.step(options.ops_per_epoch);
+    }
     core::ProfileSnapshot snapshot = daemon.tick();
     if (migrate && oracle) {
       // Oracle places for the *coming* epoch using its truth.

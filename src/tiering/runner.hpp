@@ -38,6 +38,10 @@ struct RunnerOptions {
   MoverConfig mover;                      ///< migration cost + thresholds
   monitors::BadgerTrapConfig badgertrap;  ///< used in emulation mode
   core::DaemonConfig daemon;
+  /// 0 (default) = legacy serial engine, bit-exact historical behavior.
+  /// >= 1 = deterministic sharded engine; 1 runs the shards inline, > 1
+  /// uses a worker pool. All values >= 1 produce identical RunnerResults.
+  std::uint32_t n_threads = 0;
 };
 
 struct RunnerResult {
