@@ -226,7 +226,8 @@ bench/CMakeFiles/fig3_heatmap_ibs.dir/fig3_heatmap_ibs.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/system.hpp \
  /root/repo/src/mem/tiers.hpp /usr/include/c++/12/optional \
- /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/mem/page_table.hpp /root/repo/src/mem/ptw.hpp \
  /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \

@@ -224,7 +224,7 @@ bench/CMakeFiles/profiler_compare.dir/profiler_compare.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/core/autonuma.hpp /root/repo/src/core/ranking.hpp \
  /root/repo/src/core/page_key.hpp /root/repo/src/monitors/badgertrap.hpp \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/atomic /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/mem/page_table.hpp /root/repo/src/mem/ptw.hpp \
  /root/repo/src/sim/system.hpp /root/repo/src/mem/tiers.hpp \

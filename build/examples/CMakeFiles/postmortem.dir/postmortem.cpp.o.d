@@ -222,12 +222,12 @@ examples/CMakeFiles/postmortem.dir/postmortem.cpp.o: \
  /usr/include/c++/12/source_location /root/repo/src/monitors/pebs.hpp \
  /root/repo/src/monitors/pml.hpp /root/repo/src/sim/system.hpp \
  /root/repo/src/mem/tiers.hpp /usr/include/c++/12/optional \
- /root/repo/src/monitors/badgertrap.hpp /root/repo/src/mem/ptw.hpp \
- /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \
- /root/repo/src/sim/config.hpp /root/repo/src/sim/process.hpp \
- /root/repo/src/workloads/workload.hpp /root/repo/src/core/numa_maps.hpp \
- /root/repo/src/sim/trace_io.hpp /usr/include/c++/12/fstream \
- /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/mem/ptw.hpp /root/repo/src/pmu/counters.hpp \
+ /root/repo/src/pmu/events.hpp /root/repo/src/sim/config.hpp \
+ /root/repo/src/sim/process.hpp /root/repo/src/workloads/workload.hpp \
+ /root/repo/src/core/numa_maps.hpp /root/repo/src/sim/trace_io.hpp \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/util/table.hpp \

@@ -221,7 +221,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/source_location /root/repo/src/monitors/pebs.hpp \
  /root/repo/src/monitors/pml.hpp /root/repo/src/sim/system.hpp \
  /root/repo/src/mem/tiers.hpp /root/repo/src/monitors/badgertrap.hpp \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/atomic /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/ptw.hpp \
  /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \
  /root/repo/src/sim/config.hpp /root/repo/src/sim/process.hpp \

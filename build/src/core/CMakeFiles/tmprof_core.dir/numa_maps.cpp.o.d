@@ -215,7 +215,7 @@ src/core/CMakeFiles/tmprof_core.dir/numa_maps.cpp.o: \
  /root/repo/src/mem/tiers.hpp /usr/include/c++/12/optional \
  /root/repo/src/util/time.hpp /root/repo/src/mem/tlb.hpp \
  /root/repo/src/mem/pte.hpp /root/repo/src/monitors/badgertrap.hpp \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/atomic /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/mem/page_table.hpp /root/repo/src/mem/ptw.hpp \
  /root/repo/src/monitors/event.hpp /root/repo/src/pmu/counters.hpp \

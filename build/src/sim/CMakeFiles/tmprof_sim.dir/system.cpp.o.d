@@ -211,7 +211,8 @@ src/sim/CMakeFiles/tmprof_sim.dir/system.cpp.o: \
  /root/repo/src/mem/addr.hpp /root/repo/src/mem/tiers.hpp \
  /usr/include/c++/12/optional /root/repo/src/util/time.hpp \
  /root/repo/src/mem/tlb.hpp /root/repo/src/mem/pte.hpp \
- /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/mem/page_table.hpp /root/repo/src/mem/ptw.hpp \
  /root/repo/src/monitors/event.hpp /root/repo/src/pmu/counters.hpp \
@@ -243,4 +244,18 @@ src/sim/CMakeFiles/tmprof_sim.dir/system.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread

@@ -222,8 +222,22 @@ src/tiering/CMakeFiles/tmprof_tiering.dir/epoch.cpp.o: \
  /usr/include/c++/12/source_location /root/repo/src/monitors/pebs.hpp \
  /root/repo/src/monitors/pml.hpp /root/repo/src/sim/system.hpp \
  /root/repo/src/mem/tiers.hpp /root/repo/src/monitors/badgertrap.hpp \
- /root/repo/src/mem/ptw.hpp /root/repo/src/pmu/counters.hpp \
- /root/repo/src/pmu/events.hpp /root/repo/src/sim/config.hpp \
- /root/repo/src/sim/process.hpp /root/repo/src/workloads/workload.hpp \
- /root/repo/src/core/gating.hpp /root/repo/src/core/pid_filter.hpp \
- /root/repo/src/tiering/policy.hpp /root/repo/src/workloads/registry.hpp
+ /usr/include/c++/12/atomic /root/repo/src/mem/ptw.hpp \
+ /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \
+ /root/repo/src/sim/config.hpp /root/repo/src/sim/process.hpp \
+ /root/repo/src/workloads/workload.hpp /root/repo/src/core/gating.hpp \
+ /root/repo/src/core/pid_filter.hpp /root/repo/src/tiering/policy.hpp \
+ /root/repo/src/workloads/registry.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread

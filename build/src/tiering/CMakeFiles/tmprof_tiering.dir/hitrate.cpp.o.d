@@ -223,9 +223,9 @@ src/tiering/CMakeFiles/tmprof_tiering.dir/hitrate.cpp.o: \
  /root/repo/src/util/assert.hpp /usr/include/c++/12/source_location \
  /root/repo/src/monitors/pebs.hpp /root/repo/src/monitors/pml.hpp \
  /root/repo/src/sim/system.hpp /root/repo/src/mem/tiers.hpp \
- /root/repo/src/monitors/badgertrap.hpp /root/repo/src/mem/ptw.hpp \
- /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \
- /root/repo/src/sim/config.hpp /root/repo/src/sim/process.hpp \
- /root/repo/src/workloads/workload.hpp /root/repo/src/core/gating.hpp \
- /root/repo/src/core/pid_filter.hpp /root/repo/src/tiering/policy.hpp \
- /root/repo/src/workloads/registry.hpp
+ /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/mem/ptw.hpp /root/repo/src/pmu/counters.hpp \
+ /root/repo/src/pmu/events.hpp /root/repo/src/sim/config.hpp \
+ /root/repo/src/sim/process.hpp /root/repo/src/workloads/workload.hpp \
+ /root/repo/src/core/gating.hpp /root/repo/src/core/pid_filter.hpp \
+ /root/repo/src/tiering/policy.hpp /root/repo/src/workloads/registry.hpp

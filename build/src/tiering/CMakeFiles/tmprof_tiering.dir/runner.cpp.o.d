@@ -220,7 +220,7 @@ src/tiering/CMakeFiles/tmprof_tiering.dir/runner.cpp.o: \
  /usr/include/c++/12/source_location /root/repo/src/monitors/pebs.hpp \
  /root/repo/src/monitors/pml.hpp /root/repo/src/sim/system.hpp \
  /root/repo/src/mem/tiers.hpp /root/repo/src/monitors/badgertrap.hpp \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/atomic /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/ptw.hpp \
  /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \
  /root/repo/src/sim/config.hpp /root/repo/src/sim/process.hpp \
@@ -230,4 +230,17 @@ src/tiering/CMakeFiles/tmprof_tiering.dir/runner.cpp.o: \
  /root/repo/src/tiering/mover.hpp /root/repo/src/tiering/policies.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread

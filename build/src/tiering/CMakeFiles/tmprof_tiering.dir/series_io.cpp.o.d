@@ -224,13 +224,14 @@ src/tiering/CMakeFiles/tmprof_tiering.dir/series_io.cpp.o: \
  /usr/include/c++/12/source_location /root/repo/src/monitors/pebs.hpp \
  /root/repo/src/monitors/pml.hpp /root/repo/src/sim/system.hpp \
  /root/repo/src/mem/tiers.hpp /root/repo/src/monitors/badgertrap.hpp \
- /root/repo/src/mem/ptw.hpp /root/repo/src/pmu/counters.hpp \
- /root/repo/src/pmu/events.hpp /root/repo/src/sim/config.hpp \
- /root/repo/src/sim/process.hpp /root/repo/src/workloads/workload.hpp \
- /root/repo/src/core/gating.hpp /root/repo/src/core/pid_filter.hpp \
- /root/repo/src/tiering/policy.hpp /root/repo/src/workloads/registry.hpp \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/atomic /root/repo/src/mem/ptw.hpp \
+ /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \
+ /root/repo/src/sim/config.hpp /root/repo/src/sim/process.hpp \
+ /root/repo/src/workloads/workload.hpp /root/repo/src/core/gating.hpp \
+ /root/repo/src/core/pid_filter.hpp /root/repo/src/tiering/policy.hpp \
+ /root/repo/src/workloads/registry.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \

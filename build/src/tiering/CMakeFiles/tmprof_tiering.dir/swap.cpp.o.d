@@ -216,9 +216,10 @@ src/tiering/CMakeFiles/tmprof_tiering.dir/swap.cpp.o: \
  /root/repo/src/mem/tiers.hpp /usr/include/c++/12/optional \
  /root/repo/src/util/time.hpp /root/repo/src/mem/tlb.hpp \
  /root/repo/src/mem/pte.hpp /root/repo/src/monitors/badgertrap.hpp \
- /root/repo/src/mem/page_table.hpp /root/repo/src/mem/ptw.hpp \
- /root/repo/src/monitors/event.hpp /root/repo/src/pmu/counters.hpp \
- /root/repo/src/pmu/events.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/sim/config.hpp /root/repo/src/sim/process.hpp \
- /root/repo/src/workloads/workload.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/util/assert.hpp /usr/include/c++/12/source_location
+ /usr/include/c++/12/atomic /root/repo/src/mem/page_table.hpp \
+ /root/repo/src/mem/ptw.hpp /root/repo/src/monitors/event.hpp \
+ /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/sim/config.hpp \
+ /root/repo/src/sim/process.hpp /root/repo/src/workloads/workload.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/util/assert.hpp \
+ /usr/include/c++/12/source_location

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/tmprof_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/tmprof_util.dir/log.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/tmprof_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/tmprof_util.dir/stats.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/tmprof_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/tmprof_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/tmprof_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/tmprof_util.dir/thread_pool.cpp.o.d"
   "/root/repo/src/util/zipf.cpp" "src/util/CMakeFiles/tmprof_util.dir/zipf.cpp.o" "gcc" "src/util/CMakeFiles/tmprof_util.dir/zipf.cpp.o.d"
   )
 

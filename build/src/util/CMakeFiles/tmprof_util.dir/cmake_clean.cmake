@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tmprof_util.dir/stats.cpp.o.d"
   "CMakeFiles/tmprof_util.dir/table.cpp.o"
   "CMakeFiles/tmprof_util.dir/table.cpp.o.d"
+  "CMakeFiles/tmprof_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/tmprof_util.dir/thread_pool.cpp.o.d"
   "CMakeFiles/tmprof_util.dir/zipf.cpp.o"
   "CMakeFiles/tmprof_util.dir/zipf.cpp.o.d"
   "libtmprof_util.a"

@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_epoch.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_epoch.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_epoch.cpp.o.d"
   "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_fuzz.cpp.o.d"
   "/root/repo/tests/test_gating.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_gating.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_gating.cpp.o.d"
+  "/root/repo/tests/test_golden_figures.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_golden_figures.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_golden_figures.cpp.o.d"
   "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_histogram.cpp.o.d"
   "/root/repo/tests/test_hitrate.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_hitrate.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_hitrate.cpp.o.d"
   "/root/repo/tests/test_ibs.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_ibs.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_ibs.cpp.o.d"
@@ -31,6 +32,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_numa_maps.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_numa_maps.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_numa_maps.cpp.o.d"
   "/root/repo/tests/test_page_stats.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_page_stats.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_page_stats.cpp.o.d"
   "/root/repo/tests/test_page_table.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_page_table.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_page_table.cpp.o.d"
+  "/root/repo/tests/test_parallel_determinism.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_parallel_determinism.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_parallel_determinism.cpp.o.d"
   "/root/repo/tests/test_pebs.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_pebs.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_pebs.cpp.o.d"
   "/root/repo/tests/test_pid_filter.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_pid_filter.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_pid_filter.cpp.o.d"
   "/root/repo/tests/test_pml.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_pml.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_pml.cpp.o.d"
@@ -46,6 +48,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_system.cpp.o.d"
   "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_table.cpp.o.d"
   "/root/repo/tests/test_thermostat.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_thermostat.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_thermostat.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_thread_pool.cpp.o.d"
   "/root/repo/tests/test_tiers.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_tiers.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_tiers.cpp.o.d"
   "/root/repo/tests/test_tlb.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_tlb.cpp.o.d"
   "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/tmprof_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/tmprof_tests.dir/test_trace_io.cpp.o.d"

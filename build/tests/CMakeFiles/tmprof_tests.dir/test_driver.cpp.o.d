@@ -220,7 +220,8 @@ tests/CMakeFiles/tmprof_tests.dir/test_driver.cpp.o: \
  /usr/include/c++/12/source_location /root/repo/src/monitors/pebs.hpp \
  /root/repo/src/monitors/pml.hpp /root/repo/src/sim/system.hpp \
  /root/repo/src/mem/tiers.hpp /usr/include/c++/12/optional \
- /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/ptw.hpp \
  /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \
  /root/repo/src/sim/config.hpp /root/repo/src/sim/process.hpp \
@@ -296,7 +297,6 @@ tests/CMakeFiles/tmprof_tests.dir/test_driver.cpp.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \

@@ -223,12 +223,12 @@ tests/CMakeFiles/tmprof_tests.dir/test_hitrate.cpp.o: \
  /root/repo/src/util/assert.hpp /usr/include/c++/12/source_location \
  /root/repo/src/monitors/pebs.hpp /root/repo/src/monitors/pml.hpp \
  /root/repo/src/sim/system.hpp /root/repo/src/mem/tiers.hpp \
- /root/repo/src/monitors/badgertrap.hpp /root/repo/src/mem/ptw.hpp \
- /root/repo/src/pmu/counters.hpp /root/repo/src/pmu/events.hpp \
- /root/repo/src/sim/config.hpp /root/repo/src/sim/process.hpp \
- /root/repo/src/workloads/workload.hpp /root/repo/src/core/gating.hpp \
- /root/repo/src/core/pid_filter.hpp /root/repo/src/tiering/policy.hpp \
- /root/repo/src/workloads/registry.hpp \
+ /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/mem/ptw.hpp /root/repo/src/pmu/counters.hpp \
+ /root/repo/src/pmu/events.hpp /root/repo/src/sim/config.hpp \
+ /root/repo/src/sim/process.hpp /root/repo/src/workloads/workload.hpp \
+ /root/repo/src/core/gating.hpp /root/repo/src/core/pid_filter.hpp \
+ /root/repo/src/tiering/policy.hpp /root/repo/src/workloads/registry.hpp \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -300,7 +300,6 @@ tests/CMakeFiles/tmprof_tests.dir/test_hitrate.cpp.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \

@@ -211,7 +211,8 @@ tests/CMakeFiles/tmprof_tests.dir/test_system.cpp.o: \
  /root/repo/src/mem/addr.hpp /root/repo/src/mem/tiers.hpp \
  /usr/include/c++/12/optional /root/repo/src/util/time.hpp \
  /root/repo/src/mem/tlb.hpp /root/repo/src/mem/pte.hpp \
- /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/monitors/badgertrap.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/mem/page_table.hpp /root/repo/src/mem/ptw.hpp \
  /root/repo/src/monitors/event.hpp /root/repo/src/pmu/counters.hpp \
@@ -290,7 +291,6 @@ tests/CMakeFiles/tmprof_tests.dir/test_system.cpp.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
