@@ -14,6 +14,7 @@
 #include "monitors/ibs.hpp"
 #include "sim/config.hpp"
 #include "util/cli.hpp"
+#include "util/fault.hpp"
 #include "workloads/registry.hpp"
 
 namespace tmprof::bench {
@@ -64,6 +65,22 @@ inline std::vector<workloads::WorkloadSpec> selected_specs(
 /// sharded engine with N workers (results are identical for every N >= 1).
 inline std::uint32_t selected_threads(const util::ArgParser& args) {
   return static_cast<std::uint32_t>(args.get_u64("threads", 0));
+}
+
+/// Fault-injection selection shared by the benches (docs/ROBUSTNESS.md):
+///   --fault-rate=F      probability per fault site in [0, 1] (default 0)
+///   --fault-seed=N      schedule seed, independent of the workload seed
+///   --fault-sites=a,b   restrict to named sites (e.g. "migration,
+///                       trace-overflow"); default all sites at F
+/// Rejects negative/out-of-range rates and unknown site names.
+inline util::FaultConfig fault_from_args(const util::ArgParser& args) {
+  util::FaultConfig fault;
+  fault.rate = args.get_rate("fault-rate", 0.0);
+  fault.seed = args.get_u64("fault-seed", fault.seed);
+  if (args.has("fault-sites")) {
+    fault.restrict_to(util::parse_fault_sites(args.get("fault-sites", "")));
+  }
+  return fault;
 }
 
 }  // namespace tmprof::bench

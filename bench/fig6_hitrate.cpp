@@ -12,7 +12,8 @@
 ///
 /// Usage: fig6_hitrate [--workload=<name>] [--scale=F] [--epochs=N]
 ///        [--ops-per-epoch=N] [--fusion=sum|max|weighted]
-///        [--trace-weight=F] [--csv=0|1]
+///        [--trace-weight=F] [--csv=0|1] [--fault-rate=F] [--fault-seed=N]
+///        [--fault-sites=a,b]
 
 #include <array>
 #include <fstream>
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
   const double trace_weight = args.get_double("trace-weight", 1.0);
   const bool write_csv = args.get_bool("csv", true);
   const std::uint32_t threads = bench::selected_threads(args);
+  const util::FaultConfig fault = bench::fault_from_args(args);
 
   std::cout << "Fig. 6: tier-1 hitrate, Oracle & History x profiling source\n"
             << "(epoch = " << ops_per_epoch << " ops, " << epochs
@@ -70,7 +72,8 @@ int main(int argc, char** argv) {
   std::ofstream csv;
   if (write_csv) {
     csv.open("fig6_hitrate.csv");
-    csv << "workload,ratio,policy,source,hitrate\n";
+    csv << "workload,ratio,policy,source,hitrate,trace_dropped,"
+           "scans_aborted\n";
   }
 
   // Collection dominates the wall clock; the replay below is cheap. With
@@ -94,6 +97,7 @@ int main(int argc, char** argv) {
       collect.daemon.driver.backend = core::TraceBackend::Pebs;
       collect.daemon.driver.pebs.sample_after = 16;
     }
+    collect.daemon.fault = fault;
     collect.n_threads = outer_parallel ? 1 : threads;
     collected[i] = tiering::collect_series(
         specs[i], bench::testbed_config(specs[i].total_bytes), collect);
@@ -140,7 +144,9 @@ int main(int argc, char** argv) {
         row.push_back(util::TextTable::percent(rates[c]));
         if (write_csv) {
           csv << spec.name << ",1/" << div << ',' << cases[c].policy << ','
-              << cases[c].source << ',' << rates[c] << '\n';
+              << cases[c].source << ',' << rates[c] << ','
+              << series.degrade.trace_dropped << ','
+              << series.degrade.scans_aborted << '\n';
         }
       }
       table.add_row(row);

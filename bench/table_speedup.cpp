@@ -20,13 +20,16 @@
 ///
 /// Usage: table_speedup [--workload=<name>] [--scale=F] [--epochs=N]
 ///        [--ops-per-epoch=N] [--model=native|badgertrap] [--with-oracle]
-///        [--time-scale=F]
+///        [--time-scale=F] [--fault-rate=F] [--fault-seed=N]
+///        [--fault-sites=a,b] [--csv=0|1]
 
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "common.hpp"
 #include "tiering/runner.hpp"
+#include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -40,6 +43,8 @@ int main(int argc, char** argv) {
   const std::string model = args.get("model", "native");
   const bool with_oracle = args.get_bool("with-oracle", false);
   const double time_scale = args.get_double("time-scale", 20.0);
+  const util::FaultConfig fault = bench::fault_from_args(args);
+  const bool write_csv = args.get_bool("csv", true);
 
   const tiering::SlowMemoryModel slow_model =
       model == "badgertrap" ? tiering::SlowMemoryModel::BadgerTrapEmulation
@@ -54,7 +59,15 @@ int main(int argc, char** argv) {
             << "timescale / " << time_scale << ")\n\n";
   util::TextTable table({"workload", "baseline_ms", "tmp_ms", "speedup",
                          "hitrate_base", "hitrate_tmp", "migrations",
+                         "retried", "deferred",
                          with_oracle ? "oracle_speedup" : "-"});
+  std::unique_ptr<util::CsvWriter> csv;
+  if (write_csv) {
+    csv = std::make_unique<util::CsvWriter>("table_speedup.csv");
+    csv->write_row({"workload", "baseline_ms", "tmp_ms", "speedup",
+                    "hitrate_base", "hitrate_tmp", "migrations", "retried",
+                    "deferred", "aborted", "no_room"});
+  }
 
   std::vector<double> speedups;
   for (const auto& spec : bench::selected_specs(args)) {
@@ -76,6 +89,7 @@ int main(int argc, char** argv) {
     opt.badgertrap.hot_extra_latency_ns = scaled_ns(13.0);
     opt.badgertrap.handler_cost_ns = scaled_ns(1.0);
     opt.n_threads = bench::selected_threads(args);
+    opt.fault = fault;
 
     opt.policy = "first-touch";
     const tiering::RunnerResult base =
@@ -103,7 +117,22 @@ int main(int argc, char** argv) {
                    util::TextTable::fixed(speedup, 3),
                    util::TextTable::percent(base.tier1_hitrate),
                    util::TextTable::percent(tmp.tier1_hitrate),
-                   util::TextTable::num(tmp.migrations), oracle_cell});
+                   util::TextTable::num(tmp.migrations),
+                   util::TextTable::num(tmp.moves.retried),
+                   util::TextTable::num(tmp.moves.deferred), oracle_cell});
+    if (csv) {
+      csv->write_row(
+          {spec.name,
+           std::to_string(base.runtime_ns / util::kMillisecond),
+           std::to_string(tmp.runtime_ns / util::kMillisecond),
+           util::TextTable::fixed(speedup, 4),
+           util::TextTable::fixed(base.tier1_hitrate, 4),
+           util::TextTable::fixed(tmp.tier1_hitrate, 4),
+           std::to_string(tmp.migrations), std::to_string(tmp.moves.retried),
+           std::to_string(tmp.moves.deferred),
+           std::to_string(tmp.moves.aborted),
+           std::to_string(tmp.moves.no_room)});
+    }
   }
   table.print(std::cout);
   double best = 0.0;
@@ -112,5 +141,6 @@ int main(int argc, char** argv) {
             << util::TextTable::fixed(util::geomean(speedups), 3)
             << "x  best: " << util::TextTable::fixed(best, 3)
             << "x  (paper: average 1.04x, optimal 1.13x)\n";
+  if (csv) std::cout << "Rows written to table_speedup.csv\n";
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "pmu/events.hpp"
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace tmprof::core {
 
@@ -13,21 +14,54 @@ TmpDaemon::TmpDaemon(sim::System& system, const DaemonConfig& config)
       driver_(system, config.driver),
       abit_gate_(config.gate_threshold),
       trace_gate_(config.gate_threshold),
-      pid_filter_(config.pid_filter) {
+      pid_filter_(config.pid_filter),
+      fault_(config.fault) {
   // Program the cheap always-on counters the daemon polls. These fit in the
   // PMU's registers, so no multiplexing distortion affects the gates.
   system_.pmu().program_all(
       {pmu::Event::LlcMiss, pmu::Event::DtlbWalk, pmu::Event::RetiredUops});
+  // The driver consults the daemon's injector for its own fault sites
+  // (trace-buffer overflow, scan abort), so one seed covers both layers.
+  driver_.set_fault_injector(&fault_);
 }
 
 ProfileSnapshot TmpDaemon::tick() {
+  const std::uint64_t seq = tick_seq_++;
+
   // 1. Read the HWPC miss counters accumulated over the elapsed period.
-  const std::uint64_t llc_miss = system_.pmu().read_total(pmu::Event::LlcMiss);
-  const std::uint64_t tlb_walk = system_.pmu().read_total(pmu::Event::DtlbWalk);
-  const std::uint64_t llc_delta = llc_miss - last_llc_miss_;
-  const std::uint64_t tlb_delta = tlb_walk - last_tlb_walk_;
-  last_llc_miss_ = llc_miss;
-  last_tlb_walk_ = tlb_walk;
+  // Injected wraps truncate the cumulative reading to its low bits, the way
+  // a narrow hardware counter overflows between polls.
+  std::uint64_t llc_miss = system_.pmu().read_total(pmu::Event::LlcMiss);
+  std::uint64_t tlb_walk = system_.pmu().read_total(pmu::Event::DtlbWalk);
+  if (fault_.enabled(util::FaultSite::HwpcWrap)) {
+    if (fault_.fire(util::FaultSite::HwpcWrap, util::fault_key(0x11c, seq))) {
+      llc_miss &= 0xfff;
+    }
+    if (fault_.fire(util::FaultSite::HwpcWrap, util::fault_key(0x71b, seq))) {
+      tlb_walk &= 0xfff;
+    }
+  }
+  // A reading below the previous one can only be a wrap: hold the previous
+  // delta (the gates keep their last sane view) and leave `last` untouched
+  // so the next honest reading resynchronizes.
+  const auto delta_of = [this](std::uint64_t reading, std::uint64_t& last,
+                               std::uint64_t& prev_delta, const char* name) {
+    if (reading < last) {
+      ++degrade_.hwpc_wraps;
+      TMPROF_LOG_WARN << "tmp-daemon: " << name << " counter wrapped ("
+                      << reading << " < " << last
+                      << "); holding previous delta";
+      return prev_delta;
+    }
+    const std::uint64_t delta = reading - last;
+    last = reading;
+    prev_delta = delta;
+    return delta;
+  };
+  const std::uint64_t llc_delta =
+      delta_of(llc_miss, last_llc_miss_, prev_llc_delta_, "llc-miss");
+  const std::uint64_t tlb_delta =
+      delta_of(tlb_walk, last_tlb_walk_, prev_tlb_delta_, "dtlb-walk");
 
   // 2. Gate each expensive mechanism on its cheap proxy counter.
   bool run_abit = true;
@@ -67,10 +101,76 @@ ProfileSnapshot TmpDaemon::tick() {
   ProfileSnapshot snapshot;
   snapshot.observation = driver_.end_epoch();
   snapshot.epoch = snapshot.observation.epoch;
-  snapshot.ranking =
-      build_ranking(snapshot.observation, config_.fusion, config_.trace_weight);
   snapshot.abit_ran = run_abit;
   snapshot.trace_ran = run_trace;
+  snapshot.abit_aborted = scan.aborted;
+  degrade_.scans_aborted = driver_.scans_aborted();
+  degrade_.trace_dropped = driver_.trace_samples_dropped();
+
+  // 5. Degradation ladder for trace-sample loss: a little loss rescales the
+  //    surviving samples (they remain an unbiased subsample); heavy loss
+  //    abandons the trace source for this epoch and ranks on A bits alone.
+  {
+    const std::uint64_t kept = driver_.trace_samples_kept();
+    const std::uint64_t dropped = driver_.trace_samples_dropped();
+    const std::uint64_t kept_delta = kept - last_trace_kept_;
+    const std::uint64_t dropped_delta = dropped - last_trace_dropped_;
+    last_trace_kept_ = kept;
+    last_trace_dropped_ = dropped;
+    const std::uint64_t total = kept_delta + dropped_delta;
+    const double loss =
+        total == 0 ? 0.0
+                   : static_cast<double>(dropped_delta) /
+                         static_cast<double>(total);
+    snapshot.trace_loss = loss;
+    snapshot.trace_dropped = dropped_delta;
+
+    FusionMode fusion = config_.fusion;
+    double weight = config_.trace_weight;
+    if (loss >= config_.trace_fallback_threshold &&
+        fusion != FusionMode::AbitOnly) {
+      fusion = FusionMode::AbitOnly;
+      snapshot.trace_fallback = true;
+      ++degrade_.fallback_epochs;
+      TMPROF_LOG_WARN << "tmp-daemon: epoch " << snapshot.epoch << " lost "
+                      << dropped_delta << "/" << total
+                      << " trace samples; falling back to abit-only fusion";
+    } else if (loss > config_.trace_rescale_threshold &&
+               (fusion == FusionMode::Sum || fusion == FusionMode::Weighted)) {
+      // Rescaling only changes a *mixed* ranking; Max and TraceOnly orders
+      // are invariant under a constant trace factor, so they either ride
+      // out the loss or (above) fall back.
+      weight = (fusion == FusionMode::Sum ? 1.0 : weight) / (1.0 - loss);
+      fusion = FusionMode::Weighted;
+      ++degrade_.rescaled_epochs;
+    }
+    snapshot.ranking = build_ranking(snapshot.observation, fusion, weight);
+  }
+
+  // 6. Watchdog: consecutive aborted/empty scans mean the A-bit view has
+  //    gone dark. Serve the last good ranking (pinned, logged) rather than
+  //    an empty or badly degraded one; recovery is automatic on the next
+  //    good scan.
+  const bool bad_scan =
+      snapshot.abit_aborted || (run_abit && snapshot.observation.abit.empty());
+  if (bad_scan) {
+    ++bad_scans_;
+  } else if (run_abit) {
+    bad_scans_ = 0;
+  }
+  const bool good = !snapshot.abit_aborted && !snapshot.ranking.empty();
+  if (good) {
+    last_good_ranking_ = snapshot.ranking;
+  } else if (config_.watchdog_threshold != 0 &&
+             bad_scans_ >= config_.watchdog_threshold &&
+             !last_good_ranking_.empty()) {
+    snapshot.ranking = last_good_ranking_;
+    snapshot.pinned = true;
+    ++degrade_.pinned_epochs;
+    TMPROF_LOG_WARN << "tmp-daemon: " << bad_scans_
+                    << " consecutive bad scans; pinning ranking from last "
+                       "good epoch";
+  }
   return snapshot;
 }
 

@@ -36,6 +36,28 @@ struct DaemonConfig {
   /// Charge modeled profiling overhead to the system clock (on for
   /// end-to-end experiments, off for pure visibility studies).
   bool charge_overhead = false;
+  /// Deterministic fault injection for the daemon-side sites (trace-buffer
+  /// overflow, A-bit scan abort, HWPC counter wrap). Disabled by default.
+  util::FaultConfig fault{};
+  /// Trace-loss ladder (docs/ROBUSTNESS.md): epochs losing more than this
+  /// fraction of trace samples rescale the surviving samples' weight.
+  double trace_rescale_threshold = 0.02;
+  /// Epochs losing at least this fraction abandon the trace source and fall
+  /// back to A-bit-only fusion (the scan evidence is still trustworthy).
+  double trace_fallback_threshold = 0.5;
+  /// Pin the last good ranking after this many consecutive bad scans
+  /// (aborted or empty). 0 disables the watchdog.
+  std::uint32_t watchdog_threshold = 3;
+};
+
+/// Cumulative degradation tallies (how often each fallback engaged).
+struct DegradeStats {
+  std::uint64_t hwpc_wraps = 0;       ///< counter wraps detected (delta held)
+  std::uint64_t scans_aborted = 0;    ///< A-bit walks cut short
+  std::uint64_t trace_dropped = 0;    ///< trace samples lost to overflow
+  std::uint64_t rescaled_epochs = 0;  ///< epochs that rescaled trace weight
+  std::uint64_t fallback_epochs = 0;  ///< epochs that fell back to A-bit-only
+  std::uint64_t pinned_epochs = 0;    ///< epochs served the pinned ranking
 };
 
 /// One published profile (Step 1 output: pages ranked by hotness).
@@ -45,6 +67,11 @@ struct ProfileSnapshot {
   EpochObservation observation;        ///< raw per-source counts
   bool abit_ran = false;               ///< scan executed (not gated off)
   bool trace_ran = false;              ///< trace collection was live
+  bool abit_aborted = false;           ///< scan was cut short mid-walk
+  bool pinned = false;                 ///< watchdog served last good ranking
+  bool trace_fallback = false;         ///< ladder fell back to A-bit-only
+  double trace_loss = 0.0;             ///< fraction of trace samples lost
+  std::uint64_t trace_dropped = 0;     ///< trace samples lost this epoch
 };
 
 class TmpDaemon {
@@ -68,6 +95,16 @@ class TmpDaemon {
   [[nodiscard]] const std::vector<mem::Pid>& tracked_pids() const noexcept {
     return tracked_pids_;
   }
+  /// Cumulative degradation tallies (all zero under fault-free operation,
+  /// except pinned_epochs which the watchdog can raise on genuinely empty
+  /// scans too).
+  [[nodiscard]] const DegradeStats& degrade_stats() const noexcept {
+    return degrade_;
+  }
+  /// Injection tallies for the daemon-side fault sites.
+  [[nodiscard]] const util::FaultStats& fault_stats() const noexcept {
+    return fault_.stats();
+  }
 
   /// numa_maps-style dump of a snapshot's top pages.
   [[nodiscard]] static std::string dump(const ProfileSnapshot& snapshot,
@@ -81,8 +118,17 @@ class TmpDaemon {
   ActivityGate trace_gate_;
   PidFilter pid_filter_;
   std::vector<mem::Pid> tracked_pids_;
+  util::FaultInjector fault_;
+  DegradeStats degrade_;
   std::uint64_t last_llc_miss_ = 0;
   std::uint64_t last_tlb_walk_ = 0;
+  std::uint64_t prev_llc_delta_ = 0;   ///< held when a wrap is detected
+  std::uint64_t prev_tlb_delta_ = 0;
+  std::uint64_t last_trace_kept_ = 0;
+  std::uint64_t last_trace_dropped_ = 0;
+  std::uint32_t bad_scans_ = 0;        ///< consecutive aborted/empty scans
+  std::vector<PageRank> last_good_ranking_;
+  std::uint64_t tick_seq_ = 0;
   bool filter_ever_ran_ = false;
   util::SimNs last_filter_eval_ = 0;
 };

@@ -66,6 +66,18 @@ void TmpDriver::on_trace(std::span<const monitors::TraceSample> samples) {
     if (!frame.allocated) continue;  // raced with a free; drop
     // phys_to_page(): aggregate into the mapping's descriptor.
     const PageKey key{frame.pid, frame.page_va};
+    if (fault_ != nullptr && fault_->enabled(util::FaultSite::TraceOverflow)) {
+      // Keyed on (epoch, page, occurrence): whether the k-th sample of a
+      // page is dropped this epoch does not depend on when lanes drain.
+      const std::uint32_t occ = ++overflow_seen_[key];
+      const std::uint64_t fkey = util::fault_key(
+          epoch_ | (static_cast<std::uint64_t>(occ) << 32), key.page_va,
+          key.pid);
+      if (fault_->fire(util::FaultSite::TraceOverflow, fkey)) {
+        ++trace_samples_dropped_;
+        continue;
+      }
+    }
     current_.trace[key] += 1;
     store_.record_trace(pfn, epoch_);
     cumulative_trace_4k_[pfn] += 1;
@@ -76,7 +88,17 @@ void TmpDriver::on_trace(std::span<const monitors::TraceSample> samples) {
 monitors::AbitScanResult TmpDriver::scan_processes(
     const std::vector<mem::Pid>& pids) {
   monitors::AbitScanResult total;
-  for (const mem::Pid pid : pids) {
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    const mem::Pid pid = pids[i];
+    if (fault_ != nullptr &&
+        fault_->fire(util::FaultSite::AbitAbort,
+                     util::fault_key(0xab17, epoch_, i))) {
+      // Mid-walk abort: this and later processes keep their A bits set and
+      // are picked up (with inflated counts) by the next successful scan.
+      total.aborted = true;
+      ++scans_aborted_;
+      break;
+    }
     sim::Process& proc = system_.process(pid);
     const monitors::AbitScanResult r = scanner_.scan(
         pid, proc.page_table(), [&](const monitors::AbitSample& sample) {
@@ -111,6 +133,7 @@ EpochObservation TmpDriver::end_epoch() {
   closed.epoch = epoch_;
   current_ = EpochObservation{};
   current_.epoch = ++epoch_;
+  overflow_seen_.clear();
   return closed;
 }
 

@@ -22,6 +22,7 @@
 #include "monitors/pebs.hpp"
 #include "monitors/pml.hpp"
 #include "sim/system.hpp"
+#include "util/fault.hpp"
 
 namespace tmprof::core {
 
@@ -86,6 +87,20 @@ class TmpDriver {
   [[nodiscard]] std::uint64_t trace_samples_kept() const noexcept {
     return trace_samples_kept_;
   }
+  /// Trace samples lost to injected buffer overflows (docs/ROBUSTNESS.md).
+  [[nodiscard]] std::uint64_t trace_samples_dropped() const noexcept {
+    return trace_samples_dropped_;
+  }
+  /// A-bit scan passes cut short by an injected mid-walk abort.
+  [[nodiscard]] std::uint64_t scans_aborted() const noexcept {
+    return scans_aborted_;
+  }
+
+  /// Wire the daemon's fault injector into the driver's fault sites
+  /// (trace-buffer overflow, A-bit scan abort). Null disables injection.
+  void set_fault_injector(util::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
 
  private:
   void on_trace(std::span<const monitors::TraceSample> samples);
@@ -102,6 +117,12 @@ class TmpDriver {
   std::uint32_t epoch_ = 0;
   bool trace_enabled_ = false;
   std::uint64_t trace_samples_kept_ = 0;
+  util::FaultInjector* fault_ = nullptr;  ///< not owned; may be null
+  std::uint64_t trace_samples_dropped_ = 0;
+  std::uint64_t scans_aborted_ = 0;
+  /// Per-epoch occurrence index per page, so overflow-drop decisions are a
+  /// pure function of (epoch, page, occurrence) — invariant to drain order.
+  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> overflow_seen_;
   std::unordered_map<mem::Pfn, std::uint32_t> cumulative_trace_4k_;
   std::unordered_map<PageKey, std::uint32_t, PageKeyHash> cumulative_abit_;
 };

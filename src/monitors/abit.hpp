@@ -44,6 +44,9 @@ struct AbitScanResult {
   std::uint64_t pages_accessed = 0;   ///< A bits found set (and cleared)
   std::uint64_t shootdowns = 0;
   util::SimNs cost_ns = 0;
+  /// The walk gave up mid-scan (injected fault): remaining processes were
+  /// not scanned this epoch, so their A bits stay set for the next pass.
+  bool aborted = false;
 };
 
 /// The A-bit driver.

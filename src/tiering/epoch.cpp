@@ -134,6 +134,7 @@ EpochSeries collect_series(const WorkloadFactory& factory,
   for (const auto& [key, size] : series.page_sizes) {
     series.footprint_frames += mem::pages_in(size);
   }
+  series.degrade = daemon.degrade_stats();
   return series;
 }
 

@@ -79,6 +79,9 @@ struct EpochSeries {
   std::vector<EpochData> epochs;
   PageSizeMap page_sizes;
   std::uint64_t footprint_frames = 0;  ///< frames of all pages ever seen
+  /// Daemon degradation tallies over the collection run (all zero unless
+  /// CollectOptions::daemon.fault enabled sites).
+  core::DegradeStats degrade{};
 };
 
 struct CollectOptions {

@@ -1,6 +1,7 @@
 #include "tiering/mover.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 #include "util/assert.hpp"
@@ -8,7 +9,7 @@
 namespace tmprof::tiering {
 
 PageMover::PageMover(sim::System& system, const MoverConfig& config)
-    : system_(system), config_(config) {}
+    : system_(system), config_(config), fault_(config.fault) {}
 
 std::vector<std::pair<PageKey, mem::PageSize>> PageMover::residents(
     mem::TierId tier) {
@@ -23,6 +24,100 @@ std::vector<std::pair<PageKey, mem::PageSize>> PageMover::residents(
         });
   }
   return pages;
+}
+
+std::uint64_t PageMover::budget_for_apply() const noexcept {
+  return config_.retry_budget == 0
+             ? std::numeric_limits<std::uint64_t>::max()
+             : config_.retry_budget;
+}
+
+PageMover::MoveOutcome PageMover::try_move(const PageKey& key, mem::TierId dest,
+                                           MoveStats& stats,
+                                           std::uint64_t& budget) {
+  ++move_seq_;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    if (fault_.enabled()) {
+      const std::uint64_t fkey = util::fault_key(
+          (static_cast<std::uint64_t>(key.pid) << 8) | dest, key.page_va,
+          (move_seq_ << 8) | attempt);
+      if (fault_.fire(util::FaultSite::MigrationBusy, fkey)) {
+        // Transient -EBUSY: the page was pinned or its mapcount raced.
+        // Back off (exponentially, in simulated time) and retry while the
+        // per-move and per-epoch budgets allow.
+        if (attempt >= config_.max_retries || budget == 0) {
+          ++stats.aborted;
+          return MoveOutcome::Aborted;
+        }
+        ++attempt;
+        ++stats.retried;
+        --budget;
+        stats.backoff_ns += config_.retry_backoff_ns << (attempt - 1);
+        continue;
+      }
+      if (fault_.fire(util::FaultSite::MigrationNoMem, fkey)) {
+        // -ENOMEM: the destination looked full to the allocator. Retrying
+        // immediately cannot help; the caller defers or drops the move.
+        ++stats.no_room;
+        return MoveOutcome::NoRoom;
+      }
+    }
+    if (!system_.migrate_page(key.pid, key.page_va, dest)) {
+      ++stats.no_room;
+      return MoveOutcome::NoRoom;
+    }
+    return MoveOutcome::Moved;
+  }
+}
+
+void PageMover::defer_promotion(const PageKey& key, mem::TierId dest,
+                                MoveStats& stats) {
+  if (deferred_.size() >= config_.max_deferred) return;  // queue full: drop
+  if (!deferred_set_.insert(key).second) return;         // already queued
+  deferred_.push_back(DeferredMove{key, dest});
+  ++stats.deferred;
+}
+
+void PageMover::drain_deferred(MoveStats& stats, std::uint64_t& budget) {
+  if (deferred_.empty()) return;
+  std::vector<DeferredMove> keep;
+  for (const DeferredMove& d : deferred_) {
+    if (config_.max_promotions != 0 &&
+        stats.promoted >= config_.max_promotions) {
+      keep.push_back(d);
+      continue;
+    }
+    sim::Process& proc = system_.process(d.key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(d.key.page_va);
+    if (!ref) {  // page vanished while queued
+      deferred_set_.erase(d.key);
+      continue;
+    }
+    if (system_.phys().tier_of(ref.pte->pfn()) <= d.dest) {
+      // Already fast enough (another path promoted it).
+      deferred_set_.erase(d.key);
+      continue;
+    }
+    if (mem::pages_in(ref.size) > system_.phys().free_frames(d.dest)) {
+      keep.push_back(d);  // still no room; stays queued (not re-counted)
+      continue;
+    }
+    switch (try_move(d.key, d.dest, stats, budget)) {
+      case MoveOutcome::Moved:
+        ++stats.promoted;
+        stats.cost_ns += config_.per_page_cost_ns;
+        deferred_set_.erase(d.key);
+        break;
+      case MoveOutcome::NoRoom:
+        keep.push_back(d);
+        break;
+      case MoveOutcome::Aborted:
+        deferred_set_.erase(d.key);
+        break;
+    }
+  }
+  deferred_ = std::move(keep);
 }
 
 MoveStats PageMover::apply(const std::vector<core::PageRank>& ranking,
@@ -56,6 +151,7 @@ MoveStats PageMover::apply_placement(
 MoveStats PageMover::reconcile(const PlacementSet& desired,
                                const std::vector<core::PageRank>& ranking) {
   MoveStats stats;
+  std::uint64_t budget = budget_for_apply();
 
   // Demote cold tier-1 residents so promotions have room — *coldest first*,
   // so a hot resident that merely escaped this epoch's sparse sample is the
@@ -87,36 +183,45 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
   for (const auto& [key, size] : t1_pages) {
     if (need_frames <= free_t1) break;
     if (desired.count(key) != 0) continue;
-    if (system_.migrate_page(key.pid, key.page_va, 1)) {
+    if (try_move(key, 1, stats, budget) == MoveOutcome::Moved) {
       ++stats.demoted;
       stats.cost_ns += config_.per_page_cost_ns;
       free_t1 += mem::pages_in(size);
-    } else {
-      ++stats.failed;
     }
+    // Failed demotions are not deferred: the resident stays in tier 1 and
+    // is naturally reconsidered next epoch.
   }
 
   // Promote the desired pages that still live in tier 2, hottest first.
+  auto promote = [&](const PageKey& key) {
+    sim::Process& proc = system_.process(key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(key.page_va);
+    if (!ref) return;
+    if (system_.phys().tier_of(ref.pte->pfn()) == 0) return;
+    if (mem::pages_in(ref.size) > system_.phys().free_frames(0)) {
+      ++stats.no_room;
+      defer_promotion(key, 0, stats);
+      return;
+    }
+    switch (try_move(key, 0, stats, budget)) {
+      case MoveOutcome::Moved:
+        ++stats.promoted;
+        stats.cost_ns += config_.per_page_cost_ns;
+        break;
+      case MoveOutcome::NoRoom:
+        defer_promotion(key, 0, stats);
+        break;
+      case MoveOutcome::Aborted:
+        break;  // retry budget exhausted: dropped for this epoch
+    }
+  };
   for (const core::PageRank& pr : ranking) {
     if (config_.max_promotions != 0 &&
         stats.promoted >= config_.max_promotions) {
       break;
     }
     if (desired.count(pr.key) == 0) continue;
-    sim::Process& proc = system_.process(pr.key.pid);
-    const mem::PteRef ref = proc.page_table().resolve(pr.key.page_va);
-    if (!ref) continue;
-    if (system_.phys().tier_of(ref.pte->pfn()) == 0) continue;
-    if (mem::pages_in(ref.size) > system_.phys().free_frames(0)) {
-      ++stats.failed;
-      continue;
-    }
-    if (system_.migrate_page(pr.key.pid, pr.key.page_va, 0)) {
-      ++stats.promoted;
-      stats.cost_ns += config_.per_page_cost_ns;
-    } else {
-      ++stats.failed;
-    }
+    promote(pr.key);
   }
   // Desired pages the ranking never mentioned (e.g., a sticky policy's
   // carried-over residents) are promoted last, in set order.
@@ -125,23 +230,11 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
         stats.promoted >= config_.max_promotions) {
       break;
     }
-    sim::Process& proc = system_.process(key.pid);
-    const mem::PteRef ref = proc.page_table().resolve(key.page_va);
-    if (!ref) continue;
-    if (system_.phys().tier_of(ref.pte->pfn()) == 0) continue;
-    if (mem::pages_in(ref.size) > system_.phys().free_frames(0)) {
-      ++stats.failed;
-      continue;
-    }
-    if (system_.migrate_page(key.pid, key.page_va, 0)) {
-      ++stats.promoted;
-      stats.cost_ns += config_.per_page_cost_ns;
-    } else {
-      ++stats.failed;
-    }
+    promote(key);
   }
 
-  system_.advance_time(stats.cost_ns);
+  drain_deferred(stats, budget);
+  system_.advance_time(stats.cost_ns + stats.backoff_ns);
   return stats;
 }
 
@@ -151,6 +244,7 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
   TMPROF_EXPECTS(capacities.size() + 1 <= system_.phys().tier_count());
   MoveStats stats;
   if (ranking.empty()) return stats;
+  std::uint64_t budget = budget_for_apply();
   const auto bottom = static_cast<mem::TierId>(capacities.size());
 
   // Assign each ranked page a target tier in rank order: hottest pages
@@ -196,12 +290,10 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
       const auto it = target.find(key);
       if (it != target.end() && it->second <= tier) continue;
       const mem::TierId dest = it == target.end() ? bottom : it->second;
-      if (system_.migrate_page(key.pid, key.page_va, dest)) {
+      if (try_move(key, dest, stats, budget) == MoveOutcome::Moved) {
         ++stats.demoted;
         stats.cost_ns += config_.per_page_cost_ns;
         free_frames += mem::pages_in(size);
-      } else {
-        ++stats.failed;
       }
     }
   }
@@ -214,17 +306,24 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
     const mem::TierId current = system_.phys().tier_of(ref.pte->pfn());
     if (current <= it->second) continue;  // already fast enough
     if (mem::pages_in(ref.size) > system_.phys().free_frames(it->second)) {
-      ++stats.failed;
+      ++stats.no_room;
+      defer_promotion(pr.key, it->second, stats);
       continue;
     }
-    if (system_.migrate_page(pr.key.pid, pr.key.page_va, it->second)) {
-      ++stats.promoted;
-      stats.cost_ns += config_.per_page_cost_ns;
-    } else {
-      ++stats.failed;
+    switch (try_move(pr.key, it->second, stats, budget)) {
+      case MoveOutcome::Moved:
+        ++stats.promoted;
+        stats.cost_ns += config_.per_page_cost_ns;
+        break;
+      case MoveOutcome::NoRoom:
+        defer_promotion(pr.key, it->second, stats);
+        break;
+      case MoveOutcome::Aborted:
+        break;
     }
   }
-  system_.advance_time(stats.cost_ns);
+  drain_deferred(stats, budget);
+  system_.advance_time(stats.cost_ns + stats.backoff_ns);
   return stats;
 }
 

@@ -5,20 +5,49 @@
 /// then promotions fill it; each page move performs the remap + shootdown
 /// through the System and charges the configured per-page migration cost
 /// (the paper's emulation uses 50 µs per page).
+///
+/// Robustness layer (docs/ROBUSTNESS.md): migrations can fail the way
+/// `move_pages()` fails on real kernels. Transient -EBUSY-style failures
+/// are retried with exponential backoff in simulated time under a per-epoch
+/// retry budget; -ENOMEM-style failures (destination tier full) park the
+/// promotion on a deferred queue that is re-attempted in later epochs, so
+/// profiler intent survives a temporarily full fast tier.
 
 #include <cstdint>
+#include <unordered_set>
+#include <vector>
 
 #include "core/ranking.hpp"
 #include "sim/system.hpp"
 #include "tiering/policy.hpp"
+#include "util/fault.hpp"
 
 namespace tmprof::tiering {
 
 struct MoveStats {
-  std::uint64_t promoted = 0;   ///< pages moved tier2 → tier1
-  std::uint64_t demoted = 0;    ///< pages moved tier1 → tier2
-  std::uint64_t failed = 0;     ///< moves that found no room
-  util::SimNs cost_ns = 0;
+  std::uint64_t promoted = 0;  ///< pages moved to a faster tier
+  std::uint64_t demoted = 0;   ///< pages moved to a slower tier
+  std::uint64_t retried = 0;   ///< re-attempts after transient (EBUSY) failures
+  std::uint64_t deferred = 0;  ///< promotions parked on the deferred queue
+  std::uint64_t aborted = 0;   ///< moves dropped after the retry budget ran out
+  std::uint64_t no_room = 0;   ///< moves whose destination tier had no room
+  util::SimNs cost_ns = 0;     ///< migration cost charged to the clock
+  util::SimNs backoff_ns = 0;  ///< retry backoff charged to the clock
+
+  /// Legacy view: moves that did not land anywhere this epoch.
+  [[nodiscard]] std::uint64_t failed() const noexcept {
+    return aborted + no_room;
+  }
+  void merge(const MoveStats& other) noexcept {
+    promoted += other.promoted;
+    demoted += other.demoted;
+    retried += other.retried;
+    deferred += other.deferred;
+    aborted += other.aborted;
+    no_room += other.no_room;
+    cost_ns += other.cost_ns;
+    backoff_ns += other.backoff_ns;
+  }
 };
 
 struct MoverConfig {
@@ -32,6 +61,18 @@ struct MoverConfig {
   /// Upper bound on promotions per apply() (0 = unlimited); bounds the
   /// per-epoch migration burst on noisy profiles.
   std::uint64_t max_promotions = 0;
+  /// Retries allowed per move after a transient (EBUSY) failure.
+  std::uint32_t max_retries = 3;
+  /// Backoff charged before the first retry; doubles per further retry.
+  util::SimNs retry_backoff_ns = 5 * util::kMicrosecond;
+  /// Total retries allowed per apply call (0 = unlimited). When the budget
+  /// runs out, further transient failures abort instead of retrying.
+  std::uint64_t retry_budget = 128;
+  /// Bound on the deferred-promotion queue; overflow drops the coldest
+  /// (newest) entries rather than growing without limit.
+  std::size_t max_deferred = 4096;
+  /// Deterministic fault injection (disabled by default: rate 0).
+  util::FaultConfig fault{};
 };
 
 class PageMover {
@@ -62,8 +103,8 @@ class PageMover {
   /// Like real tiering kernels, reconciliation needs a few spare frames in
   /// the destination tiers to stage exchanges: if every tier is 100% full,
   /// demotions (and therefore the promotions waiting on them) fail
-  /// gracefully and are reported in MoveStats::failed. Keep capacities a
-  /// little below the physical tier sizes.
+  /// gracefully — reported in MoveStats::no_room — and the blocked
+  /// promotions are parked on the deferred queue for later epochs.
   MoveStats apply_tiers(const std::vector<core::PageRank>& ranking,
                         const std::vector<std::uint64_t>& capacities);
 
@@ -71,12 +112,41 @@ class PageMover {
   [[nodiscard]] std::vector<std::pair<PageKey, mem::PageSize>> residents(
       mem::TierId tier);
 
+  /// Promotions waiting on the deferred queue for a future epoch.
+  [[nodiscard]] std::size_t deferred_pending() const noexcept {
+    return deferred_.size();
+  }
+  /// Injection tallies (all zero unless MoverConfig::fault enables sites).
+  [[nodiscard]] const util::FaultStats& fault_stats() const noexcept {
+    return fault_.stats();
+  }
+
  private:
+  enum class MoveOutcome : std::uint8_t { Moved, NoRoom, Aborted };
+
   MoveStats reconcile(const PlacementSet& desired,
                       const std::vector<core::PageRank>& ranking);
+  /// One migration with retry/backoff; `budget` is the remaining per-apply
+  /// retry budget. Increments retried/aborted/no_room; the caller accounts
+  /// promoted/demoted and the per-page cost on Moved.
+  MoveOutcome try_move(const PageKey& key, mem::TierId dest, MoveStats& stats,
+                       std::uint64_t& budget);
+  void defer_promotion(const PageKey& key, mem::TierId dest, MoveStats& stats);
+  /// Re-attempt queued promotions whose destination has room again.
+  void drain_deferred(MoveStats& stats, std::uint64_t& budget);
+  [[nodiscard]] std::uint64_t budget_for_apply() const noexcept;
+
+  struct DeferredMove {
+    PageKey key;
+    mem::TierId dest = 0;
+  };
 
   sim::System& system_;
   MoverConfig config_;
+  util::FaultInjector fault_;
+  std::vector<DeferredMove> deferred_;  ///< FIFO, carried across epochs
+  std::unordered_set<PageKey, PageKeyHash> deferred_set_;
+  std::uint64_t move_seq_ = 0;  ///< distinguishes fault keys across epochs
 };
 
 }  // namespace tmprof::tiering

@@ -67,8 +67,11 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
   core::DaemonConfig daemon_config = options.daemon;
   daemon_config.fusion = options.fusion;
   daemon_config.charge_overhead = true;
+  daemon_config.fault = options.fault;
   core::TmpDaemon daemon(system, daemon_config);
-  PageMover mover(system, options.mover);
+  MoverConfig mover_config = options.mover;
+  mover_config.fault = options.fault;
+  PageMover mover(system, mover_config);
 
   const bool migrate = options.policy != "first-touch";
   const bool oracle = options.policy == "oracle";
@@ -85,6 +88,7 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
     collect.ops_per_epoch = options.ops_per_epoch;
     collect.seed = options.seed;
     collect.daemon = options.daemon;
+    collect.daemon.fault = options.fault;
     collect.n_threads = options.n_threads;
     const EpochSeries series = collect_series(factory, config, collect);
     for (const EpochData& data : series.epochs) {
@@ -126,6 +130,7 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
                                         : &snapshot.ranking;
       const MoveStats moved = mover.apply(*ranking, config.tier1_frames);
       result.migrations += moved.promoted + moved.demoted;
+      result.moves.merge(moved);
     } else if (migrate) {
       // Every other policy decides through the Policy interface, seeing
       // the epoch that just ended above the mover's noise floor (rank ties
@@ -153,6 +158,7 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
       const PlacementSet next = policy->choose(ctx);
       const MoveStats moved = mover.apply_placement(next, filtered);
       result.migrations += moved.promoted + moved.demoted;
+      result.moves.merge(moved);
     }
     if (options.slow_model == SlowMemoryModel::BadgerTrapEmulation) {
       // The emulation framework refreshes protection each period. Hot =
@@ -170,6 +176,7 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
                      : static_cast<double>(t1) / static_cast<double>(t1 + t2);
   result.protection_faults = trap.total_faults();
   result.profiling_overhead_ns = daemon.driver().overhead_ns();
+  result.degrade = daemon.degrade_stats();
   // Trace-side overhead is not charged inline by the daemon (the driver's
   // interrupt handlers run on the profiled cores); add it here.
   result.runtime_ns = system.now() + daemon.driver().trace_overhead_ns();

@@ -42,6 +42,10 @@ struct RunnerOptions {
   /// >= 1 = deterministic sharded engine; 1 runs the shards inline, > 1
   /// uses a worker pool. All values >= 1 produce identical RunnerResults.
   std::uint32_t n_threads = 0;
+  /// Deterministic fault injection, shared by the mover and the daemon
+  /// (docs/ROBUSTNESS.md). Disabled by default; see --fault-rate,
+  /// --fault-seed and --fault-sites on the benches.
+  util::FaultConfig fault{};
 };
 
 struct RunnerResult {
@@ -50,6 +54,8 @@ struct RunnerResult {
   std::uint64_t migrations = 0;
   std::uint64_t protection_faults = 0; ///< emulation-mode faults taken
   util::SimNs profiling_overhead_ns = 0;
+  MoveStats moves;                     ///< mover tallies summed over epochs
+  core::DegradeStats degrade;          ///< daemon degradation tallies
 };
 
 class EndToEndRunner {

@@ -34,13 +34,50 @@ std::uint64_t ArgParser::get_u64(const std::string& key,
                                  std::uint64_t fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  return std::stoull(it->second);
+  const std::string& v = it->second;
+  // stoull accepts "-3" and wraps it silently; reject it explicitly.
+  if (v.empty() || v[0] == '-') {
+    throw std::invalid_argument("--" + key +
+                                " expects an unsigned integer, got '" + v +
+                                "'");
+  }
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t parsed = std::stoull(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key +
+                                " expects an unsigned integer, got '" + v +
+                                "'");
+  }
 }
 
 double ArgParser::get_double(const std::string& key, double fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  return std::stod(it->second);
+  const std::string& v = it->second;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" + v +
+                                "'");
+  }
+}
+
+double ArgParser::get_checked_double(const std::string& key, double fallback,
+                                     double lo, double hi) const {
+  const double value = get_double(key, fallback);
+  if (value < lo || value > hi) {
+    throw std::invalid_argument("--" + key + " must be in [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "], got " +
+                                std::to_string(value));
+  }
+  return value;
 }
 
 bool ArgParser::get_bool(const std::string& key, bool fallback) const {

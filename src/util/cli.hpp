@@ -18,10 +18,22 @@ class ArgParser {
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const;
+  /// Throws std::invalid_argument naming the flag on malformed or negative
+  /// input (std::stoull would silently wrap "-3" to a huge value).
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
                                       std::uint64_t fallback) const;
+  /// Throws std::invalid_argument naming the flag on malformed input.
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
+  /// get_double restricted to [lo, hi]; out-of-range values (e.g. a
+  /// negative --fault-rate) throw std::invalid_argument naming the flag.
+  [[nodiscard]] double get_checked_double(const std::string& key,
+                                          double fallback, double lo,
+                                          double hi) const;
+  /// Probability flag: a double in [0, 1].
+  [[nodiscard]] double get_rate(const std::string& key, double fallback) const {
+    return get_checked_double(key, fallback, 0.0, 1.0);
+  }
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {

@@ -1,0 +1,85 @@
+#include "util/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace tmprof::util {
+
+namespace {
+
+constexpr std::string_view kValidSites =
+    "migration-busy, migration-nomem, trace-overflow, abit-abort, hwpc-wrap "
+    "(aliases: migration, all)";
+
+}  // namespace
+
+FaultSite fault_site_from(std::string_view name) {
+  for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+    const auto site = static_cast<FaultSite>(s);
+    if (name == to_string(site)) return site;
+  }
+  throw std::invalid_argument("unknown fault site '" + std::string(name) +
+                              "'; valid sites: " + std::string(kValidSites));
+}
+
+std::vector<FaultSite> parse_fault_sites(std::string_view list) {
+  std::vector<FaultSite> sites;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    std::size_t end = list.find(',', begin);
+    if (end == std::string_view::npos) end = list.size();
+    const std::string_view token = list.substr(begin, end - begin);
+    begin = end + 1;
+    if (token.empty()) continue;
+    if (token == "all") {
+      for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+        sites.push_back(static_cast<FaultSite>(s));
+      }
+    } else if (token == "migration") {
+      sites.push_back(FaultSite::MigrationBusy);
+      sites.push_back(FaultSite::MigrationNoMem);
+    } else {
+      sites.push_back(fault_site_from(token));
+    }
+  }
+  if (sites.empty()) {
+    throw std::invalid_argument(
+        "empty fault-site list; valid sites: " + std::string(kValidSites));
+  }
+  return sites;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), enabled_(config.enabled()) {
+  for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+    const double rate = config_.rate_of(static_cast<FaultSite>(s));
+    TMPROF_EXPECTS(rate <= 1.0);
+  }
+}
+
+bool FaultInjector::fire(FaultSite site, std::uint64_t key) noexcept {
+  if (!enabled_) return false;
+  const double rate = config_.rate_of(site);
+  if (rate <= 0.0) return false;
+  const auto idx = static_cast<std::size_t>(site);
+  ++stats_.consulted[idx];
+  // Stateless decision: two splitmix64 rounds over (seed, site, key). The
+  // site stride keeps schedules of different sites uncorrelated even for
+  // identical keys.
+  std::uint64_t s = config_.seed +
+                    (static_cast<std::uint64_t>(site) + 1) *
+                        0x9e3779b97f4a7c15ULL;
+  s ^= key * 0xbf58476d1ce4e5b9ULL;
+  (void)splitmix64(s);
+  const double u =
+      static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+  if (u < rate) {
+    ++stats_.injected[idx];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tmprof::util

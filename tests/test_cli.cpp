@@ -57,5 +57,49 @@ TEST(Cli, DoubleParsing) {
   EXPECT_DOUBLE_EQ(p.get_double("theta", 0.0), 0.99);
 }
 
+TEST(Cli, NegativeU64Throws) {
+  // std::stoull would silently wrap "-3" to a huge value; the parser must
+  // reject it with a message naming the flag.
+  const auto p = parse({"--epochs=-3"});
+  try {
+    (void)p.get_u64("epochs", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--epochs"), std::string::npos);
+  }
+}
+
+TEST(Cli, GarbageU64Throws) {
+  const auto p = parse({"--epochs=12abc", "--ops="});
+  EXPECT_THROW((void)p.get_u64("epochs", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.get_u64("ops", 0), std::invalid_argument);
+}
+
+TEST(Cli, GarbageDoubleThrows) {
+  const auto p = parse({"--rate=0.5x"});
+  EXPECT_THROW((void)p.get_double("rate", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, RateRejectsOutOfRange) {
+  const auto neg = parse({"--fault-rate=-0.1"});
+  try {
+    (void)neg.get_rate("fault-rate", 0.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--fault-rate"), std::string::npos);
+  }
+  const auto big = parse({"--fault-rate=1.5"});
+  EXPECT_THROW((void)big.get_rate("fault-rate", 0.0), std::invalid_argument);
+  const auto ok = parse({"--fault-rate=0.25"});
+  EXPECT_DOUBLE_EQ(ok.get_rate("fault-rate", 0.0), 0.25);
+}
+
+TEST(Cli, CheckedDoubleBounds) {
+  const auto p = parse({"--w=2.0"});
+  EXPECT_DOUBLE_EQ(p.get_checked_double("w", 0.0, 0.0, 4.0), 2.0);
+  EXPECT_THROW((void)p.get_checked_double("w", 0.0, 0.0, 1.0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tmprof::util

@@ -102,7 +102,7 @@ TEST(Mover, EmptyRankingIsNoop) {
   touch_pages(sys, pid, 4);
   PageMover mover(sys);
   const MoveStats stats = mover.apply({}, 2);
-  EXPECT_EQ(stats.promoted + stats.demoted + stats.failed, 0U);
+  EXPECT_EQ(stats.promoted + stats.demoted + stats.failed(), 0U);
 }
 
 TEST(Mover, CapacitySmallerThanTierRespected) {
@@ -131,7 +131,43 @@ TEST(Mover, FailsGracefullyWhenTier2Full) {
   const auto ranking = rank_pages(sys, pid, {100, 101});
   const MoveStats stats = mover.apply(ranking, 2);
   // Demotions cannot find room (t2 full) -> promotions fail, no crash.
-  EXPECT_GT(stats.failed, 0U);
+  EXPECT_GT(stats.failed(), 0U);
+  EXPECT_GT(stats.no_room, 0U);
+  EXPECT_EQ(stats.aborted, 0U);  // no injected faults -> no retries/aborts
+  EXPECT_EQ(stats.retried, 0U);
+  // The blocked promotions wait on the deferred queue for a later epoch.
+  EXPECT_GT(mover.deferred_pending(), 0U);
+}
+
+TEST(MoverTiers, FullLadderFailsGracefullyAndDefers) {
+  // Every tier 100% full: demotions have no room anywhere, so promotions
+  // cannot be staged either. The mover must report no_room (not crash) and
+  // park the blocked promotions for later epochs.
+  sim::SimConfig cfg;
+  cfg.cores = 2;
+  cfg.llc_bytes = 1 << 18;
+  cfg.tier1_frames = 2;
+  cfg.tier2_frames = 4;
+  cfg.tier3_frames = 4;
+  sim::System sys(cfg);
+  const mem::Pid pid = sys.add_process(
+      std::make_unique<workloads::UniformWorkload>(1 << 20, 0.0, 1));
+  touch_pages(sys, pid, 10);  // 2 + 4 + 4: fills all three tiers exactly
+  PageMover mover(sys);
+  // The hottest pages live at the bottom: promotion pressure everywhere.
+  const auto ranking = rank_pages(sys, pid, {9, 8, 7, 6});
+  const MoveStats stats = mover.apply_tiers(ranking, {2, 4});
+  EXPECT_EQ(stats.promoted, 0U);
+  EXPECT_EQ(stats.demoted, 0U);
+  EXPECT_GT(stats.no_room, 0U);
+  EXPECT_GT(mover.deferred_pending(), 0U);
+  // Re-applying after space opens up drains the queue: free a bottom-tier
+  // page so the demotion ladder can stage exchanges again.
+  sim::Process& proc = sys.process(pid);
+  const mem::Pte freed = proc.page_table().unmap(proc.vaddr_of(0));
+  sys.phys().free(freed.pfn());
+  const MoveStats again = mover.apply_tiers(ranking, {2, 4});
+  EXPECT_GT(again.promoted + again.demoted, 0U);
 }
 
 }  // namespace
