@@ -13,6 +13,7 @@
 
 #include "monitors/ibs.hpp"
 #include "sim/config.hpp"
+#include "util/ckpt.hpp"
 #include "util/cli.hpp"
 #include "util/fault.hpp"
 #include "workloads/registry.hpp"
@@ -81,6 +82,36 @@ inline util::FaultConfig fault_from_args(const util::ArgParser& args) {
     fault.restrict_to(util::parse_fault_sites(args.get("fault-sites", "")));
   }
   return fault;
+}
+
+/// Checkpoint/resume selection shared by the benches (docs/RECOVERY.md):
+///   --checkpoint-every=N  write a checkpoint every N epochs (0 = off)
+///   --checkpoint-dir=D    checkpoint directory (required to enable)
+///   --resume-from=F       resume from an explicit checkpoint file
+///   --resume-latest=0|1   resume from the newest checkpoint in the dir
+///   --keep-last=K         retention: newest K checkpoints kept (default 3)
+/// Benches override `basename` per run so concurrent configurations in one
+/// directory never clobber each other.
+inline util::ckpt::Options checkpoint_from_args(const util::ArgParser& args) {
+  util::ckpt::Options ck;
+  ck.every = static_cast<std::uint32_t>(args.get_u64("checkpoint-every", 0));
+  ck.dir = args.get("checkpoint-dir", "");
+  ck.resume_from = args.get("resume-from", "");
+  ck.resume_latest = args.get_bool("resume-latest", false);
+  ck.keep_last = static_cast<std::uint32_t>(args.get_u64("keep-last", 3));
+  return ck;
+}
+
+/// The robustness bench's CSV schema, shared with the golden-schema test
+/// (tests/test_cli.cpp) so drift breaks the build's test tier, not a
+/// downstream plotting script.
+inline const std::vector<std::string>& robustness_csv_header() {
+  static const std::vector<std::string> header{
+      "workload",      "fault_rate",    "policy",       "runtime_ms",
+      "speedup",       "hitrate",       "migrations",   "retried",
+      "deferred",      "aborted",       "no_room",      "trace_dropped",
+      "scans_aborted", "hwpc_wraps",    "pinned_epochs", "fallback_epochs"};
+  return header;
 }
 
 }  // namespace tmprof::bench

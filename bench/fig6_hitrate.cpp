@@ -13,7 +13,8 @@
 /// Usage: fig6_hitrate [--workload=<name>] [--scale=F] [--epochs=N]
 ///        [--ops-per-epoch=N] [--fusion=sum|max|weighted]
 ///        [--trace-weight=F] [--csv=0|1] [--fault-rate=F] [--fault-seed=N]
-///        [--fault-sites=a,b]
+///        [--fault-sites=a,b] [--checkpoint-every=N] [--checkpoint-dir=D]
+///        [--resume-from=F] [--resume-latest=0|1] [--keep-last=K]
 
 #include <array>
 #include <fstream>
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
   const bool write_csv = args.get_bool("csv", true);
   const std::uint32_t threads = bench::selected_threads(args);
   const util::FaultConfig fault = bench::fault_from_args(args);
+  const util::ckpt::Options checkpoint = bench::checkpoint_from_args(args);
 
   std::cout << "Fig. 6: tier-1 hitrate, Oracle & History x profiling source\n"
             << "(epoch = " << ops_per_epoch << " ops, " << epochs
@@ -99,6 +101,8 @@ int main(int argc, char** argv) {
     }
     collect.daemon.fault = fault;
     collect.n_threads = outer_parallel ? 1 : threads;
+    collect.checkpoint = checkpoint;
+    collect.checkpoint.basename = specs[i].name + "-collect";
     collected[i] = tiering::collect_series(
         specs[i], bench::testbed_config(specs[i].total_bytes), collect);
   };

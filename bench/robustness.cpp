@@ -78,10 +78,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<util::CsvWriter> csv;
   if (write_csv) {
     csv = std::make_unique<util::CsvWriter>("robustness.csv");
-    csv->write_row({"workload", "fault_rate", "policy", "runtime_ms",
-                    "speedup", "hitrate", "migrations", "retried", "deferred",
-                    "aborted", "no_room", "trace_dropped", "scans_aborted",
-                    "hwpc_wraps", "pinned_epochs", "fallback_epochs"});
+    csv->write_row(bench::robustness_csv_header());
   }
 
   bool graceful = true;

@@ -21,7 +21,9 @@
 /// Usage: table_speedup [--workload=<name>] [--scale=F] [--epochs=N]
 ///        [--ops-per-epoch=N] [--model=native|badgertrap] [--with-oracle]
 ///        [--time-scale=F] [--fault-rate=F] [--fault-seed=N]
-///        [--fault-sites=a,b] [--csv=0|1]
+///        [--fault-sites=a,b] [--csv=0|1] [--checkpoint-every=N]
+///        [--checkpoint-dir=D] [--resume-from=F] [--resume-latest=0|1]
+///        [--keep-last=K]
 
 #include <iostream>
 #include <memory>
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
   const bool with_oracle = args.get_bool("with-oracle", false);
   const double time_scale = args.get_double("time-scale", 20.0);
   const util::FaultConfig fault = bench::fault_from_args(args);
+  const util::ckpt::Options checkpoint = bench::checkpoint_from_args(args);
   const bool write_csv = args.get_bool("csv", true);
 
   const tiering::SlowMemoryModel slow_model =
@@ -91,10 +94,15 @@ int main(int argc, char** argv) {
     opt.n_threads = bench::selected_threads(args);
     opt.fault = fault;
 
+    // One basename per (workload, policy) so every run in a shared
+    // checkpoint directory keeps its own checkpoint chain.
+    opt.checkpoint = checkpoint;
     opt.policy = "first-touch";
+    opt.checkpoint.basename = spec.name + "-first-touch";
     const tiering::RunnerResult base =
         tiering::EndToEndRunner::run(spec, cfg, opt);
     opt.policy = "history";
+    opt.checkpoint.basename = spec.name + "-history";
     const tiering::RunnerResult tmp =
         tiering::EndToEndRunner::run(spec, cfg, opt);
     const double speedup = static_cast<double>(base.runtime_ns) /
@@ -104,6 +112,7 @@ int main(int argc, char** argv) {
     std::string oracle_cell = "-";
     if (with_oracle) {
       opt.policy = "oracle";
+      opt.checkpoint.basename = spec.name + "-oracle";
       const tiering::RunnerResult oracle =
           tiering::EndToEndRunner::run(spec, cfg, opt);
       oracle_cell = util::TextTable::fixed(

@@ -4,6 +4,7 @@
 
 #include "pmu/events.hpp"
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 #include "util/log.hpp"
 
 namespace tmprof::core {
@@ -188,6 +189,64 @@ std::string TmpDaemon::dump(const ProfileSnapshot& snapshot,
        << " abit=" << pr.abit << " trace=" << pr.trace << '\n';
   }
   return os.str();
+}
+
+void TmpDaemon::save_state(util::ckpt::Writer& w) const {
+  driver_.save_state(w);
+  abit_gate_.save_state(w);
+  trace_gate_.save_state(w);
+  pid_filter_.save_state(w);
+  w.put_u64(tracked_pids_.size());
+  for (const mem::Pid pid : tracked_pids_) w.put_u64(pid);
+  fault_.save_state(w);
+  w.put_u64(degrade_.hwpc_wraps);
+  w.put_u64(degrade_.scans_aborted);
+  w.put_u64(degrade_.trace_dropped);
+  w.put_u64(degrade_.rescaled_epochs);
+  w.put_u64(degrade_.fallback_epochs);
+  w.put_u64(degrade_.pinned_epochs);
+  w.put_u64(last_llc_miss_);
+  w.put_u64(last_tlb_walk_);
+  w.put_u64(prev_llc_delta_);
+  w.put_u64(prev_tlb_delta_);
+  w.put_u64(last_trace_kept_);
+  w.put_u64(last_trace_dropped_);
+  w.put_u32(bad_scans_);
+  save_ranking(w, last_good_ranking_);
+  w.put_u64(tick_seq_);
+  w.put_bool(filter_ever_ran_);
+  w.put_u64(last_filter_eval_);
+}
+
+void TmpDaemon::load_state(util::ckpt::Reader& r) {
+  driver_.load_state(r);
+  abit_gate_.load_state(r);
+  trace_gate_.load_state(r);
+  pid_filter_.load_state(r);
+  tracked_pids_.clear();
+  const std::uint64_t tracked = r.get_u64();
+  tracked_pids_.reserve(tracked);
+  for (std::uint64_t i = 0; i < tracked; ++i) {
+    tracked_pids_.push_back(static_cast<mem::Pid>(r.get_u64()));
+  }
+  fault_.load_state(r);
+  degrade_.hwpc_wraps = r.get_u64();
+  degrade_.scans_aborted = r.get_u64();
+  degrade_.trace_dropped = r.get_u64();
+  degrade_.rescaled_epochs = r.get_u64();
+  degrade_.fallback_epochs = r.get_u64();
+  degrade_.pinned_epochs = r.get_u64();
+  last_llc_miss_ = r.get_u64();
+  last_tlb_walk_ = r.get_u64();
+  prev_llc_delta_ = r.get_u64();
+  prev_tlb_delta_ = r.get_u64();
+  last_trace_kept_ = r.get_u64();
+  last_trace_dropped_ = r.get_u64();
+  bad_scans_ = r.get_u32();
+  load_ranking(r, last_good_ranking_);
+  tick_seq_ = r.get_u64();
+  filter_ever_ran_ = r.get_bool();
+  last_filter_eval_ = r.get_u64();
 }
 
 }  // namespace tmprof::core

@@ -110,6 +110,11 @@ class TmpDaemon {
   [[nodiscard]] static std::string dump(const ProfileSnapshot& snapshot,
                                         std::size_t top_n = 20);
 
+  /// Checkpoint hooks: driver, gates, PID-filter baseline, degradation
+  /// ladder position and the watchdog's pinned ranking.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
+
  private:
   sim::System& system_;
   DaemonConfig config_;

@@ -1,6 +1,9 @@
 #include "core/driver.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::core {
 
@@ -145,6 +148,66 @@ util::SimNs TmpDriver::trace_overhead_ns() const noexcept {
 
 util::SimNs TmpDriver::overhead_ns() const noexcept {
   return trace_overhead_ns() + scanner_.overhead_ns();
+}
+
+void TmpDriver::save_state(util::ckpt::Writer& w) const {
+  w.put_u8(static_cast<std::uint8_t>(config_.backend));
+  w.put_bool(pml_ != nullptr);
+  if (ibs_) ibs_->save_state(w);
+  if (pebs_) pebs_->save_state(w);
+  if (pml_) pml_->save_state(w);
+  scanner_.save_state(w);
+  store_.save_state(w);
+  save_observation(w, current_);
+  w.put_u32(epoch_);
+  w.put_bool(trace_enabled_);
+  w.put_u64(trace_samples_kept_);
+  w.put_u64(trace_samples_dropped_);
+  w.put_u64(scans_aborted_);
+  save_page_counts(w, overflow_seen_);
+  std::vector<mem::Pfn> pfns;
+  pfns.reserve(cumulative_trace_4k_.size());
+  for (const auto& [pfn, count] : cumulative_trace_4k_) pfns.push_back(pfn);
+  std::sort(pfns.begin(), pfns.end());
+  w.put_u64(pfns.size());
+  for (const mem::Pfn pfn : pfns) {
+    w.put_u64(pfn);
+    w.put_u32(cumulative_trace_4k_.at(pfn));
+  }
+  save_page_counts(w, cumulative_abit_);
+}
+
+void TmpDriver::load_state(util::ckpt::Reader& r) {
+  const auto backend = static_cast<TraceBackend>(r.get_u8());
+  if (backend != config_.backend) {
+    throw util::ckpt::CkptError("driver", "trace backend mismatch");
+  }
+  const bool has_pml = r.get_bool();
+  if (has_pml != (pml_ != nullptr)) {
+    throw util::ckpt::CkptError("driver", "PML presence mismatch");
+  }
+  if (ibs_) ibs_->load_state(r);
+  if (pebs_) pebs_->load_state(r);
+  if (pml_) pml_->load_state(r);
+  scanner_.load_state(r);
+  store_.load_state(r);
+  load_observation(r, current_);
+  epoch_ = r.get_u32();
+  // Routed through the setter so observer registration tracks the flag.
+  set_trace_enabled(r.get_bool());
+  trace_samples_kept_ = r.get_u64();
+  trace_samples_dropped_ = r.get_u64();
+  scans_aborted_ = r.get_u64();
+  load_page_counts(r, overflow_seen_);
+  cumulative_trace_4k_.clear();
+  const std::uint64_t trace_entries = r.get_u64();
+  cumulative_trace_4k_.reserve(trace_entries);
+  for (std::uint64_t i = 0; i < trace_entries; ++i) {
+    const mem::Pfn pfn = r.get_u64();
+    const std::uint32_t count = r.get_u32();
+    cumulative_trace_4k_.emplace(pfn, count);
+  }
+  load_page_counts(r, cumulative_abit_);
 }
 
 }  // namespace tmprof::core

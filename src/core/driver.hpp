@@ -102,6 +102,12 @@ class TmpDriver {
     fault_ = injector;
   }
 
+  /// Checkpoint hooks: monitor state, the descriptor store, the open
+  /// epoch's observation maps, and the cumulative CDF inputs. The backend
+  /// configuration must match the constructed driver on load.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
+
  private:
   void on_trace(std::span<const monitors::TraceSample> samples);
   void on_pml(std::span<const mem::PhysAddr> addresses);

@@ -1,6 +1,7 @@
 #include "core/gating.hpp"
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::core {
 
@@ -21,6 +22,16 @@ bool ActivityGate::update(std::uint64_t period_count) {
 void ActivityGate::reset() {
   max_seen_ = 0;
   active_ = true;
+}
+
+void ActivityGate::save_state(util::ckpt::Writer& w) const {
+  w.put_u64(max_seen_);
+  w.put_bool(active_);
+}
+
+void ActivityGate::load_state(util::ckpt::Reader& r) {
+  max_seen_ = r.get_u64();
+  active_ = r.get_bool();
 }
 
 }  // namespace tmprof::core

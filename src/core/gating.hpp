@@ -9,6 +9,11 @@
 
 #include <cstdint>
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::core {
 
 class ActivityGate {
@@ -25,6 +30,10 @@ class ActivityGate {
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
 
   void reset();
+
+  /// Checkpoint hooks: the running maximum and the active flag.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
  private:
   double threshold_;

@@ -10,6 +10,11 @@
 
 #include "mem/addr.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::core {
 
 /// Extended page-descriptor fields.
@@ -54,6 +59,11 @@ class PageStatsStore {
   }
 
   void reset();
+
+  /// Checkpoint hooks: descriptors are saved sparsely (only frames with at
+  /// least one observation). Frame count must match on load.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
  private:
   std::vector<PageDesc> descs_;

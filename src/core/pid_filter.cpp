@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::core {
 
@@ -65,6 +66,25 @@ std::vector<mem::Pid> PidFilter::select(
   for (const Candidate& c : kept) pids.push_back(c.pid);
   std::sort(pids.begin(), pids.end());
   return pids;
+}
+
+void PidFilter::save_state(util::ckpt::Writer& w) const {
+  w.put_u64(last_ops_.size());
+  for (const auto& [pid, ops] : last_ops_) {
+    w.put_u64(pid);
+    w.put_u64(ops);
+  }
+}
+
+void PidFilter::load_state(util::ckpt::Reader& r) {
+  last_ops_.clear();
+  const std::uint64_t count = r.get_u64();
+  last_ops_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto pid = static_cast<mem::Pid>(r.get_u64());
+    const std::uint64_t ops = r.get_u64();
+    last_ops_.emplace_back(pid, ops);
+  }
 }
 
 }  // namespace tmprof::core

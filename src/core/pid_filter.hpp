@@ -11,6 +11,11 @@
 #include "mem/addr.hpp"
 #include "sim/process.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::core {
 
 struct PidFilterConfig {
@@ -33,6 +38,10 @@ class PidFilter {
   [[nodiscard]] const PidFilterConfig& config() const noexcept {
     return config_;
   }
+
+  /// Checkpoint hooks: the per-pid ops baseline used for CPU-share deltas.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
  private:
   PidFilterConfig config_;

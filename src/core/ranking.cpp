@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::core {
 
@@ -57,6 +58,78 @@ std::vector<PageRank> build_ranking(const EpochObservation& obs,
               return a.key < b.key;
             });
   return ranked;
+}
+
+void save_page_counts(
+    util::ckpt::Writer& w,
+    const std::unordered_map<PageKey, std::uint32_t, PageKeyHash>& counts) {
+  std::vector<PageKey> keys;
+  keys.reserve(counts.size());
+  for (const auto& [key, count] : counts) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.put_u64(keys.size());
+  for (const PageKey& key : keys) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+    w.put_u32(counts.at(key));
+  }
+}
+
+void load_page_counts(
+    util::ckpt::Reader& r,
+    std::unordered_map<PageKey, std::uint32_t, PageKeyHash>& counts) {
+  counts.clear();
+  const std::uint64_t n = r.get_u64();
+  counts.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PageKey key;
+    key.pid = static_cast<mem::Pid>(r.get_u64());
+    key.page_va = r.get_u64();
+    const std::uint32_t count = r.get_u32();
+    counts.emplace(key, count);
+  }
+}
+
+void save_observation(util::ckpt::Writer& w, const EpochObservation& obs) {
+  w.put_u32(obs.epoch);
+  save_page_counts(w, obs.abit);
+  save_page_counts(w, obs.trace);
+  save_page_counts(w, obs.writes);
+}
+
+void load_observation(util::ckpt::Reader& r, EpochObservation& obs) {
+  obs.epoch = r.get_u32();
+  load_page_counts(r, obs.abit);
+  load_page_counts(r, obs.trace);
+  load_page_counts(r, obs.writes);
+}
+
+void save_ranking(util::ckpt::Writer& w, const std::vector<PageRank>& ranking) {
+  w.put_u64(ranking.size());
+  for (const PageRank& pr : ranking) {
+    w.put_u64(pr.key.pid);
+    w.put_u64(pr.key.page_va);
+    w.put_u64(pr.rank);
+    w.put_u32(pr.abit);
+    w.put_u32(pr.trace);
+    w.put_u32(pr.writes);
+  }
+}
+
+void load_ranking(util::ckpt::Reader& r, std::vector<PageRank>& ranking) {
+  ranking.clear();
+  const std::uint64_t n = r.get_u64();
+  ranking.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PageRank pr;
+    pr.key.pid = static_cast<mem::Pid>(r.get_u64());
+    pr.key.page_va = r.get_u64();
+    pr.rank = r.get_u64();
+    pr.abit = r.get_u32();
+    pr.trace = r.get_u32();
+    pr.writes = r.get_u32();
+    ranking.push_back(pr);
+  }
 }
 
 }  // namespace tmprof::core

@@ -14,6 +14,11 @@
 #include "core/page_key.hpp"
 #include "mem/addr.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::core {
 
 /// Per-page observations of one epoch, as collected by the TMP driver.
@@ -69,5 +74,18 @@ struct PageRank {
 /// \param trace_weight  only used by FusionMode::Weighted.
 [[nodiscard]] std::vector<PageRank> build_ranking(
     const EpochObservation& obs, FusionMode mode, double trace_weight = 1.0);
+
+/// Checkpoint serialization helpers. Maps are written in ascending PageKey
+/// order so the byte stream is independent of unordered_map iteration.
+void save_page_counts(
+    util::ckpt::Writer& w,
+    const std::unordered_map<PageKey, std::uint32_t, PageKeyHash>& counts);
+void load_page_counts(
+    util::ckpt::Reader& r,
+    std::unordered_map<PageKey, std::uint32_t, PageKeyHash>& counts);
+void save_observation(util::ckpt::Writer& w, const EpochObservation& obs);
+void load_observation(util::ckpt::Reader& r, EpochObservation& obs);
+void save_ranking(util::ckpt::Writer& w, const std::vector<PageRank>& ranking);
+void load_ranking(util::ckpt::Reader& r, std::vector<PageRank>& ranking);
 
 }  // namespace tmprof::core

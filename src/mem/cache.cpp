@@ -1,6 +1,7 @@
 #include "mem/cache.hpp"
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::mem {
 
@@ -138,6 +139,58 @@ CacheAccess CacheHierarchy::access(PhysAddr paddr, bool is_store,
 void CacheHierarchy::flush() {
   l1_.flush();
   l2_.flush();
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void CacheLevel::save_state(util::ckpt::Writer& w) const {
+  w.put_u32(sets_);
+  w.put_u32(ways_);
+  w.put_u64(tick_);
+  w.put_u64(dirty_evictions_);
+  for (const Way& way : ways_storage_) {
+    w.put_u64(way.tag);
+    w.put_u64(way.lru);
+    w.put_u32(way.owner);
+    w.put_bool(way.valid);
+    w.put_bool(way.dirty);
+  }
+}
+
+void CacheLevel::load_state(util::ckpt::Reader& r) {
+  const std::uint32_t sets = r.get_u32();
+  const std::uint32_t ways = r.get_u32();
+  if (sets != sets_ || ways != ways_) {
+    throw util::ckpt::CkptError(
+        "cache", "geometry mismatch: checkpoint has " + std::to_string(sets) +
+                     "x" + std::to_string(ways) + ", configured " +
+                     std::to_string(sets_) + "x" + std::to_string(ways_));
+  }
+  tick_ = r.get_u64();
+  dirty_evictions_ = r.get_u64();
+  for (Way& way : ways_storage_) {
+    way.tag = r.get_u64();
+    way.lru = r.get_u64();
+    way.owner = r.get_u32();
+    way.valid = r.get_bool();
+    way.dirty = r.get_bool();
+  }
+}
+
+void CacheHierarchy::save_state(util::ckpt::Writer& w) const {
+  l1_.save_state(w);
+  l2_.save_state(w);
+  w.put_u64(prefetch_fills_);
+  w.put_u64(last_demand_line_);
+}
+
+void CacheHierarchy::load_state(util::ckpt::Reader& r) {
+  l1_.load_state(r);
+  l2_.load_state(r);
+  prefetch_fills_ = r.get_u64();
+  last_demand_line_ = r.get_u64();
 }
 
 }  // namespace tmprof::mem

@@ -10,6 +10,11 @@
 
 #include "mem/addr.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::mem {
 
 /// Where a load/store was serviced from.
@@ -51,6 +56,11 @@ class CacheLevel {
   [[nodiscard]] std::uint64_t occupancy_lines(std::uint32_t owner) const;
 
   void flush();
+
+  /// Checkpoint hooks (util/ckpt.hpp): geometry comes from config, so only
+  /// dynamic state (LRU clock, way contents) is serialized.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
   [[nodiscard]] std::uint64_t size_bytes() const noexcept {
     return static_cast<std::uint64_t>(sets_) * ways_ * kLineSize;
@@ -109,6 +119,11 @@ class CacheHierarchy {
   CacheAccess access(PhysAddr paddr, bool is_store, std::uint32_t owner = 0);
 
   void flush();
+
+  /// Checkpoint hooks. The shared LLC is serialized by its owner (System),
+  /// not here.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
   [[nodiscard]] std::uint64_t prefetch_fills() const noexcept {
     return prefetch_fills_;

@@ -1,6 +1,7 @@
 #include "mem/page_table.hpp"
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::mem {
 
@@ -104,6 +105,40 @@ void PageTable::walk_node(Node& node, unsigned level, VirtAddr base,
 
 void PageTable::walk(const PteVisitor& visit) {
   walk_node(*root_, 0, 0, visit);
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void PageTable::save_state(util::ckpt::Writer& w) {
+  w.put_u64(mapped_4k_ + mapped_2m_);
+  walk([&](VirtAddr page_va, PageSize size, Pte& pte) {
+    w.put_u64(page_va);
+    w.put_u8(static_cast<std::uint8_t>(size));
+    w.put_u64(pte.raw());
+  });
+}
+
+void PageTable::load_state(util::ckpt::Reader& r) {
+  root_ = std::make_unique<Node>();
+  nodes_ = 1;
+  mapped_4k_ = 0;
+  mapped_2m_ = 0;
+  const std::uint64_t leaves = r.get_u64();
+  for (std::uint64_t i = 0; i < leaves; ++i) {
+    const VirtAddr page_va = r.get_u64();
+    const auto size = static_cast<PageSize>(r.get_u8());
+    const std::uint64_t raw = r.get_u64();
+    Pte probe;
+    probe.set_raw(raw);
+    // map() establishes the leaf (and radix path); then the exact saved
+    // bits overwrite it so A/D/poison flags survive the round trip.
+    map(page_va, probe.pfn(), size, probe.writable());
+    const PteRef ref = resolve(page_va);
+    TMPROF_ASSERT(ref);
+    ref.pte->set_raw(raw);
+  }
 }
 
 }  // namespace tmprof::mem

@@ -13,6 +13,11 @@
 #include "mem/addr.hpp"
 #include "mem/pte.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::mem {
 
 /// Result of resolving a virtual address to its leaf PTE.
@@ -58,6 +63,12 @@ class PageTable {
   /// The callback may mutate flag bits but must not remap.
   using PteVisitor = std::function<void(VirtAddr page_va, PageSize, Pte&)>;
   void walk(const PteVisitor& visit);
+
+  /// Checkpoint hooks: leaves are saved as (page_va, size, raw bits) and
+  /// re-mapped on load, which rebuilds the identical minimal radix (unmap
+  /// prunes empty nodes, so live structure is always minimal).
+  void save_state(util::ckpt::Writer& w);
+  void load_state(util::ckpt::Reader& r);
 
   /// Number of radix nodes currently allocated (cost model for walks).
   [[nodiscard]] std::uint64_t node_count() const noexcept { return nodes_; }

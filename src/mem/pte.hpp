@@ -47,6 +47,9 @@ class Pte {
   }
 
   [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return bits_; }
+  /// Overwrite the whole word; checkpoint restore re-materialises saved
+  /// entries (A/D/poison bits and all) in one store.
+  constexpr void set_raw(std::uint64_t bits) noexcept { bits_ = bits; }
 
   [[nodiscard]] constexpr PageSize page_size() const noexcept {
     return huge() ? PageSize::k2M : PageSize::k4K;

@@ -1,6 +1,7 @@
 #include "mem/tiers.hpp"
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::mem {
 
@@ -185,6 +186,89 @@ std::uint64_t PhysMemory::used_frames(TierId tier) const {
   std::uint64_t used = 0;
   for (const ArenaState& arena : tiers_[tier].arenas) used += arena.used;
   return used;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void PhysMemory::save_state(util::ckpt::Writer& w) const {
+  w.put_u32(static_cast<std::uint32_t>(tiers_.size()));
+  w.put_u32(arenas_);
+  w.put_u64(total_frames_);
+  for (const TierState& tier : tiers_) {
+    w.put_u64(tier.base);
+    w.put_u32(static_cast<std::uint32_t>(tier.arenas.size()));
+    for (const ArenaState& arena : tier.arenas) {
+      w.put_u64(arena.base);
+      w.put_u64(arena.top);
+      w.put_u64(arena.low_bump);
+      w.put_u64(arena.high_bump);
+      w.put_u64(arena.used);
+      w.put_u64(arena.free_4k.size());
+      for (const Pfn pfn : arena.free_4k) w.put_u64(pfn);
+      w.put_u64(arena.free_2m.size());
+      for (const Pfn pfn : arena.free_2m) w.put_u64(pfn);
+    }
+  }
+  // Frame map, sparse: only allocated frames differ from the default.
+  std::uint64_t allocated = 0;
+  for (const FrameInfo& f : frames_) allocated += f.allocated ? 1 : 0;
+  w.put_u64(allocated);
+  for (std::size_t pfn = 0; pfn < frames_.size(); ++pfn) {
+    const FrameInfo& f = frames_[pfn];
+    if (!f.allocated) continue;
+    w.put_u64(pfn);
+    w.put_u64(f.pid);
+    w.put_u64(f.page_va);
+    w.put_u8(static_cast<std::uint8_t>(f.size));
+    w.put_bool(f.head);
+  }
+}
+
+void PhysMemory::load_state(util::ckpt::Reader& r) {
+  const std::uint32_t n_tiers = r.get_u32();
+  const std::uint32_t arenas = r.get_u32();
+  const std::uint64_t total = r.get_u64();
+  if (n_tiers != tiers_.size() || arenas != arenas_ ||
+      total != total_frames_) {
+    throw util::ckpt::CkptError(
+        "phys", "geometry mismatch: checkpoint has " + std::to_string(n_tiers) +
+                    " tiers / " + std::to_string(arenas) + " arenas / " +
+                    std::to_string(total) + " frames");
+  }
+  for (TierState& tier : tiers_) {
+    tier.base = r.get_u64();
+    const std::uint32_t n_arenas = r.get_u32();
+    if (n_arenas != tier.arenas.size()) {
+      throw util::ckpt::CkptError("phys", "arena count mismatch");
+    }
+    for (ArenaState& arena : tier.arenas) {
+      arena.base = r.get_u64();
+      arena.top = r.get_u64();
+      arena.low_bump = r.get_u64();
+      arena.high_bump = r.get_u64();
+      arena.used = r.get_u64();
+      arena.free_4k.resize(r.get_u64());
+      for (Pfn& pfn : arena.free_4k) pfn = r.get_u64();
+      arena.free_2m.resize(r.get_u64());
+      for (Pfn& pfn : arena.free_2m) pfn = r.get_u64();
+    }
+  }
+  for (FrameInfo& f : frames_) f = FrameInfo{};
+  const std::uint64_t allocated = r.get_u64();
+  for (std::uint64_t i = 0; i < allocated; ++i) {
+    const std::uint64_t pfn = r.get_u64();
+    if (pfn >= frames_.size()) {
+      throw util::ckpt::CkptError("phys", "frame index out of range");
+    }
+    FrameInfo& f = frames_[pfn];
+    f.pid = static_cast<Pid>(r.get_u64());
+    f.page_va = r.get_u64();
+    f.size = static_cast<PageSize>(r.get_u8());
+    f.allocated = true;
+    f.head = r.get_bool();
+  }
 }
 
 }  // namespace tmprof::mem

@@ -21,6 +21,11 @@
 #include "mem/addr.hpp"
 #include "util/time.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::mem {
 
 /// Index of a memory tier; 0 is the fastest.
@@ -98,6 +103,12 @@ class PhysMemory {
 
   [[nodiscard]] std::uint64_t free_frames(TierId tier) const;
   [[nodiscard]] std::uint64_t used_frames(TierId tier) const;
+
+  /// Checkpoint hooks: serializes arena boundaries, bump pointers, free
+  /// lists and the full frame ownership map. Tier/arena counts must match
+  /// the constructed geometry on load.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
  private:
   /// One independently bump-allocated frame range within a tier.

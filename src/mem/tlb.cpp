@@ -1,6 +1,7 @@
 #include "mem/tlb.hpp"
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::mem {
 
@@ -161,6 +162,67 @@ void Tlb::flush() {
 std::uint64_t Tlb::valid_entries() const noexcept {
   return l1_4k_.valid_entries() + l1_2m_.valid_entries() +
          l2_4k_.valid_entries() + l2_2m_.valid_entries();
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void TlbArray::save_state(util::ckpt::Writer& w) const {
+  w.put_u32(sets_);
+  w.put_u32(ways_);
+  w.put_u64(tick_);
+  for (const Entry& e : entries_) {
+    w.put_u64(e.pid);
+    w.put_u64(e.vpn);
+    w.put_bool(e.dirty_cached);
+    w.put_bool(e.valid);
+    w.put_u64(e.lru);
+  }
+}
+
+void TlbArray::load_state(util::ckpt::Reader& r, const PteResolver& resolve) {
+  const std::uint32_t sets = r.get_u32();
+  const std::uint32_t ways = r.get_u32();
+  if (sets != sets_ || ways != ways_) {
+    throw util::ckpt::CkptError(
+        "tlb", "geometry mismatch: checkpoint has " + std::to_string(sets) +
+                   "x" + std::to_string(ways) + ", configured " +
+                   std::to_string(sets_) + "x" + std::to_string(ways_));
+  }
+  tick_ = r.get_u64();
+  for (Entry& e : entries_) {
+    e.pid = static_cast<Pid>(r.get_u64());
+    e.vpn = r.get_u64();
+    e.dirty_cached = r.get_bool();
+    e.valid = r.get_bool();
+    e.lru = r.get_u64();
+    // Cached PTE pointers are process-local heap addresses; rebind against
+    // the freshly rebuilt page tables. A valid entry whose translation no
+    // longer exists would be a checkpoint/page-table inconsistency.
+    e.pte = e.valid ? resolve(e.pid, e.vpn, size_) : nullptr;
+    if (e.valid && e.pte == nullptr) {
+      throw util::ckpt::CkptError(
+          "tlb", "entry references unmapped page (pid " +
+                     std::to_string(e.pid) + ", vpn " + std::to_string(e.vpn) +
+                     ")");
+    }
+  }
+}
+
+void Tlb::save_state(util::ckpt::Writer& w) const {
+  l1_4k_.save_state(w);
+  l1_2m_.save_state(w);
+  l2_4k_.save_state(w);
+  l2_2m_.save_state(w);
+}
+
+void Tlb::load_state(util::ckpt::Reader& r,
+                     const TlbArray::PteResolver& resolve) {
+  l1_4k_.load_state(r, resolve);
+  l1_2m_.load_state(r, resolve);
+  l2_4k_.load_state(r, resolve);
+  l2_2m_.load_state(r, resolve);
 }
 
 }  // namespace tmprof::mem

@@ -11,10 +11,16 @@
 /// through invalidate_page()/flush(), exactly as real kernels must.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mem/addr.hpp"
 #include "mem/pte.hpp"
+
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
 
 namespace tmprof::mem {
 
@@ -46,6 +52,13 @@ class TlbArray {
   void invalidate_page(Pid pid, Vpn vpn);
   void invalidate_pid(Pid pid);
   void flush();
+
+  /// Rebinds an entry's cached PTE pointer on restore: entries are saved as
+  /// (pid, vpn) and must be re-resolved against the rebuilt page tables.
+  using PteResolver = std::function<Pte*(Pid, Vpn, PageSize)>;
+
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r, const PteResolver& resolve);
 
   [[nodiscard]] std::uint32_t capacity() const noexcept {
     return sets_ * ways_;
@@ -98,6 +111,9 @@ class Tlb {
   /// Shootdown of every translation of a process.
   void invalidate_pid(Pid pid);
   void flush();
+
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r, const TlbArray::PteResolver& resolve);
 
   [[nodiscard]] std::uint64_t valid_entries() const noexcept;
 

@@ -1,5 +1,7 @@
 #include "monitors/abit.hpp"
 
+#include "util/ckpt.hpp"
+
 namespace tmprof::monitors {
 
 AbitScanner::AbitScanner(const AbitConfig& config) : config_(config) {}
@@ -26,6 +28,22 @@ AbitScanResult AbitScanner::scan(mem::Pid pid, mem::PageTable& table,
   total_pages_accessed_ += result.pages_accessed;
   overhead_ns_ += result.cost_ns;
   return result;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void AbitScanner::save_state(util::ckpt::Writer& w) const {
+  w.put_u64(total_ptes_visited_);
+  w.put_u64(total_pages_accessed_);
+  w.put_u64(overhead_ns_);
+}
+
+void AbitScanner::load_state(util::ckpt::Reader& r) {
+  total_ptes_visited_ = r.get_u64();
+  total_pages_accessed_ = r.get_u64();
+  overhead_ns_ = r.get_u64();
 }
 
 }  // namespace tmprof::monitors

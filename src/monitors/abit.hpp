@@ -19,6 +19,11 @@
 #include "mem/page_table.hpp"
 #include "util/time.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::monitors {
 
 /// One page observed accessed since the previous scan.
@@ -77,6 +82,10 @@ class AbitScanner {
   [[nodiscard]] util::SimNs overhead_ns() const noexcept {
     return overhead_ns_;
   }
+
+  /// Checkpoint hooks (util/ckpt.hpp).
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
  private:
   AbitConfig config_;

@@ -1,5 +1,9 @@
 #include "monitors/badgertrap.hpp"
 
+#include <algorithm>
+
+#include "util/ckpt.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::monitors {
@@ -79,6 +83,46 @@ std::uint64_t BadgerTrap::fault_count(mem::Pid pid,
                                       mem::VirtAddr page_va) const {
   const auto it = pages_.find(PageKey{pid, page_va});
   return it == pages_.end() ? 0 : it->second.faults;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void BadgerTrap::save_state(util::ckpt::Writer& w) const {
+  std::vector<std::pair<PageKey, PageState>> sorted(pages_.begin(),
+                                                    pages_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.first.pid != b.first.pid) return a.first.pid < b.first.pid;
+    return a.first.page_va < b.first.page_va;
+  });
+  w.put_u64(sorted.size());
+  for (const auto& [key, state] : sorted) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+    w.put_bool(state.hot);
+    w.put_bool(state.armed);
+    w.put_u64(state.faults);
+  }
+  w.put_u64(total_faults_.load(std::memory_order_relaxed));
+  w.put_u64(injected_latency_ns_.load(std::memory_order_relaxed));
+}
+
+void BadgerTrap::load_state(util::ckpt::Reader& r) {
+  pages_.clear();
+  const std::uint64_t n = r.get_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PageKey key;
+    key.pid = static_cast<mem::Pid>(r.get_u64());
+    key.page_va = r.get_u64();
+    PageState state;
+    state.hot = r.get_bool();
+    state.armed = r.get_bool();
+    state.faults = r.get_u64();
+    pages_.emplace(key, state);
+  }
+  total_faults_.store(r.get_u64(), std::memory_order_relaxed);
+  injected_latency_ns_.store(r.get_u64(), std::memory_order_relaxed);
 }
 
 }  // namespace tmprof::monitors

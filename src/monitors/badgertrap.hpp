@@ -25,6 +25,11 @@
 #include "mem/tlb.hpp"
 #include "util/time.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::monitors {
 
 struct BadgerTrapConfig {
@@ -95,6 +100,10 @@ class BadgerTrap {
   [[nodiscard]] std::size_t poisoned_pages() const noexcept {
     return pages_.size();
   }
+
+  /// Checkpoint hooks (util/ckpt.hpp).
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
  private:
   struct PageState {

@@ -5,6 +5,7 @@
 /// the signals silicon exposes (retirement stream, load/store completion,
 /// D-bit transitions) — a monitor sees nothing else.
 
+#include "util/ckpt.hpp"
 #include <cstdint>
 
 #include "mem/addr.hpp"
@@ -82,5 +83,32 @@ struct TraceSample {
   mem::DataSource source = mem::DataSource::L1;
   bool tlb_miss = false;
 };
+
+/// Checkpoint round-trip for buffered samples (util/ckpt.hpp).
+inline void save_sample(util::ckpt::Writer& w, const TraceSample& s) {
+  w.put_u64(s.time);
+  w.put_u32(s.core);
+  w.put_u64(s.pid);
+  w.put_u64(s.ip);
+  w.put_u64(s.vaddr);
+  w.put_u64(s.paddr);
+  w.put_bool(s.is_store);
+  w.put_u8(static_cast<std::uint8_t>(s.source));
+  w.put_bool(s.tlb_miss);
+}
+
+inline TraceSample load_sample(util::ckpt::Reader& r) {
+  TraceSample s;
+  s.time = r.get_u64();
+  s.core = r.get_u32();
+  s.pid = static_cast<mem::Pid>(r.get_u64());
+  s.ip = r.get_u64();
+  s.vaddr = r.get_u64();
+  s.paddr = r.get_u64();
+  s.is_store = r.get_bool();
+  s.source = static_cast<mem::DataSource>(r.get_u8());
+  s.tlb_miss = r.get_bool();
+  return s;
+}
 
 }  // namespace tmprof::monitors

@@ -1,5 +1,7 @@
 #include "monitors/ibs.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::monitors {
@@ -134,6 +136,64 @@ std::uint64_t IbsMonitor::interrupts() const noexcept {
 util::SimNs IbsMonitor::overhead_ns() const noexcept {
   return samples_taken() * config_.cost_per_record_ns +
          interrupts() * config_.cost_per_interrupt_ns;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void IbsMonitor::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u32(static_cast<std::uint32_t>(countdown_.size()));
+  for (const std::int64_t c : countdown_) w.put_i64(c);
+  for (const std::uint8_t armed : tag_armed_) w.put_u8(armed);
+  w.put_u64(buffer_.size());
+  for (const TraceSample& s : buffer_) save_sample(w, s);
+  w.put_u64(samples_taken_);
+  w.put_u64(tags_lost_);
+  w.put_u64(interrupts_);
+  w.put_bool(sharded_);
+  w.put_u32(static_cast<std::uint32_t>(lanes_.size()));
+  for (const CoreLane& lane : lanes_) {
+    util::ckpt::save_rng(w, lane.rng);
+    w.put_u64(lane.buffer.size());
+    for (const TraceSample& s : lane.buffer) save_sample(w, s);
+    w.put_u64(lane.samples);
+    w.put_u64(lane.tags_lost);
+    w.put_u64(lane.interrupts);
+  }
+}
+
+void IbsMonitor::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  const std::uint32_t cores = r.get_u32();
+  if (cores != countdown_.size()) {
+    throw util::ckpt::CkptError("ibs", "core count mismatch");
+  }
+  for (std::int64_t& c : countdown_) c = r.get_i64();
+  for (std::uint8_t& armed : tag_armed_) armed = r.get_u8();
+  buffer_.resize(r.get_u64());
+  for (TraceSample& s : buffer_) s = load_sample(r);
+  samples_taken_ = r.get_u64();
+  tags_lost_ = r.get_u64();
+  interrupts_ = r.get_u64();
+  const bool sharded = r.get_bool();
+  if (sharded && !sharded_) enable_sharded();
+  if (sharded != sharded_) {
+    throw util::ckpt::CkptError("ibs", "sharded-mode mismatch");
+  }
+  const std::uint32_t lanes = r.get_u32();
+  if (lanes != lanes_.size()) {
+    throw util::ckpt::CkptError("ibs", "lane count mismatch");
+  }
+  for (CoreLane& lane : lanes_) {
+    util::ckpt::load_rng(r, lane.rng);
+    lane.buffer.resize(r.get_u64());
+    for (TraceSample& s : lane.buffer) s = load_sample(r);
+    lane.samples = r.get_u64();
+    lane.tags_lost = r.get_u64();
+    lane.interrupts = r.get_u64();
+  }
 }
 
 }  // namespace tmprof::monitors

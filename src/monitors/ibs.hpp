@@ -83,6 +83,10 @@ class IbsMonitor final : public AccessObserver {
   /// Modeled software overhead of collection so far.
   [[nodiscard]] util::SimNs overhead_ns() const noexcept;
 
+  /// Checkpoint hooks (util/ckpt.hpp).
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
+
  private:
   /// Per-core state that a shard's worker thread owns exclusively in
   /// sharded mode (padded out by vector element separation; no two cores

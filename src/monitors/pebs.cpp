@@ -1,5 +1,7 @@
 #include "monitors/pebs.hpp"
 
+#include "util/ckpt.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::monitors {
@@ -104,6 +106,58 @@ std::uint64_t PebsMonitor::interrupts() const noexcept {
 util::SimNs PebsMonitor::overhead_ns() const noexcept {
   return samples_taken() * config_.cost_per_record_ns +
          interrupts() * config_.cost_per_interrupt_ns;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void PebsMonitor::save_state(util::ckpt::Writer& w) const {
+  w.put_u32(static_cast<std::uint32_t>(counter_.size()));
+  for (const std::uint64_t c : counter_) w.put_u64(c);
+  w.put_u64(buffer_.size());
+  for (const TraceSample& s : buffer_) save_sample(w, s);
+  w.put_u64(samples_taken_);
+  w.put_u64(events_seen_);
+  w.put_u64(interrupts_);
+  w.put_bool(sharded_);
+  w.put_u32(static_cast<std::uint32_t>(lanes_.size()));
+  for (const CoreLane& lane : lanes_) {
+    w.put_u64(lane.buffer.size());
+    for (const TraceSample& s : lane.buffer) save_sample(w, s);
+    w.put_u64(lane.samples);
+    w.put_u64(lane.events);
+    w.put_u64(lane.interrupts);
+  }
+}
+
+void PebsMonitor::load_state(util::ckpt::Reader& r) {
+  const std::uint32_t cores = r.get_u32();
+  if (cores != counter_.size()) {
+    throw util::ckpt::CkptError("pebs", "core count mismatch");
+  }
+  for (std::uint64_t& c : counter_) c = r.get_u64();
+  buffer_.resize(r.get_u64());
+  for (TraceSample& s : buffer_) s = load_sample(r);
+  samples_taken_ = r.get_u64();
+  events_seen_ = r.get_u64();
+  interrupts_ = r.get_u64();
+  const bool sharded = r.get_bool();
+  if (sharded && !sharded_) enable_sharded();
+  if (sharded != sharded_) {
+    throw util::ckpt::CkptError("pebs", "sharded-mode mismatch");
+  }
+  const std::uint32_t lanes = r.get_u32();
+  if (lanes != lanes_.size()) {
+    throw util::ckpt::CkptError("pebs", "lane count mismatch");
+  }
+  for (CoreLane& lane : lanes_) {
+    lane.buffer.resize(r.get_u64());
+    for (TraceSample& s : lane.buffer) s = load_sample(r);
+    lane.samples = r.get_u64();
+    lane.events = r.get_u64();
+    lane.interrupts = r.get_u64();
+  }
 }
 
 }  // namespace tmprof::monitors

@@ -67,6 +67,10 @@ class PebsMonitor final : public AccessObserver {
   [[nodiscard]] std::uint64_t interrupts() const noexcept;
   [[nodiscard]] util::SimNs overhead_ns() const noexcept;
 
+  /// Checkpoint hooks (util/ckpt.hpp).
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
+
  private:
   struct CoreLane {
     std::vector<TraceSample> buffer;

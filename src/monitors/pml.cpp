@@ -1,5 +1,7 @@
 #include "monitors/pml.hpp"
 
+#include "util/ckpt.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::monitors {
@@ -23,6 +25,24 @@ void PmlMonitor::drain() {
   if (log_.empty()) return;
   if (drain_) drain_(std::span<const mem::PhysAddr>(log_));
   log_.clear();
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void PmlMonitor::save_state(util::ckpt::Writer& w) const {
+  w.put_u64(log_.size());
+  for (const mem::PhysAddr paddr : log_) w.put_u64(paddr);
+  w.put_u64(entries_logged_);
+  w.put_u64(notifications_);
+}
+
+void PmlMonitor::load_state(util::ckpt::Reader& r) {
+  log_.resize(r.get_u64());
+  for (mem::PhysAddr& paddr : log_) paddr = r.get_u64();
+  entries_logged_ = r.get_u64();
+  notifications_ = r.get_u64();
 }
 
 }  // namespace tmprof::monitors

@@ -39,6 +39,10 @@ class PmlMonitor final : public AccessObserver {
     return notifications_;
   }
 
+  /// Checkpoint hooks (util/ckpt.hpp).
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
+
  private:
   PmlConfig config_;
   DrainFn drain_;

@@ -1,6 +1,7 @@
 #include "pmu/counters.hpp"
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::pmu {
 
@@ -120,6 +121,59 @@ std::uint64_t Pmu::truth_total(Event e) const {
   std::uint64_t sum = 0;
   for (const auto& core : cores_) sum += core.truth(e);
   return sum;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void PmuCore::save_state(util::ckpt::Writer& w) const {
+  for (const std::uint64_t count : true_) w.put_u64(count);
+  w.put_u64(programmed_.size());
+  for (const Observation& obs : programmed_) {
+    w.put_u8(static_cast<std::uint8_t>(obs.event));
+    w.put_u64(obs.raw);
+    w.put_u64(obs.live_ns);
+    w.put_bool(obs.live);
+  }
+  w.put_u64(rotation_head_);
+  w.put_u64(slice_start_);
+  w.put_u64(observe_start_);
+  w.put_u64(last_now_);
+}
+
+void PmuCore::load_state(util::ckpt::Reader& r) {
+  for (std::uint64_t& count : true_) count = r.get_u64();
+  programmed_.resize(r.get_u64());
+  for (Observation& obs : programmed_) {
+    const std::uint8_t e = r.get_u8();
+    if (e >= kEventCount) {
+      throw util::ckpt::CkptError("pmu", "unknown event id " +
+                                             std::to_string(e));
+    }
+    obs.event = static_cast<Event>(e);
+    obs.raw = r.get_u64();
+    obs.live_ns = r.get_u64();
+    obs.live = r.get_bool();
+  }
+  rotation_head_ = r.get_u64();
+  slice_start_ = r.get_u64();
+  observe_start_ = r.get_u64();
+  last_now_ = r.get_u64();
+}
+
+void Pmu::save_state(util::ckpt::Writer& w) const {
+  w.put_u32(static_cast<std::uint32_t>(cores_.size()));
+  for (const PmuCore& core : cores_) core.save_state(w);
+}
+
+void Pmu::load_state(util::ckpt::Reader& r) {
+  const std::uint32_t n = r.get_u32();
+  if (n != cores_.size()) {
+    throw util::ckpt::CkptError("pmu", "core count mismatch: checkpoint has " +
+                                           std::to_string(n));
+  }
+  for (PmuCore& core : cores_) core.load_state(r);
 }
 
 }  // namespace tmprof::pmu

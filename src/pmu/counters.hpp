@@ -13,6 +13,11 @@
 #include "pmu/events.hpp"
 #include "util/time.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::pmu {
 
 /// One core's PMU.
@@ -50,6 +55,11 @@ class PmuCore {
 
   /// Length of one multiplexing slice.
   static constexpr util::SimNs kSliceNs = 4 * util::kMillisecond;
+
+  /// Checkpoint hooks: true counters, programmed set and multiplexing
+  /// rotation state all round-trip (util/ckpt.hpp).
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
  private:
   struct Observation {
@@ -89,6 +99,9 @@ class Pmu {
   [[nodiscard]] std::uint64_t read_total(Event e) const;
   /// Sum of true counts across cores.
   [[nodiscard]] std::uint64_t truth_total(Event e) const;
+
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
  private:
   std::vector<PmuCore> cores_;

@@ -1,5 +1,7 @@
 #include "sim/process.hpp"
 
+#include "util/ckpt.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::sim {
@@ -8,6 +10,28 @@ Process::Process(mem::Pid pid, workloads::WorkloadPtr workload, double weight)
     : pid_(pid), workload_(std::move(workload)), weight_(weight) {
   TMPROF_EXPECTS(workload_ != nullptr);
   TMPROF_EXPECTS(weight > 0.0);
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void Process::save_state(util::ckpt::Writer& w) {
+  table_.save_state(w);
+  workload_->save_state(w);
+  w.put_u64(ops_issued_);
+  w.put_u64(rss_pages_);
+  w.put_u64(mem_fills_);
+  w.put_u64(tier0_fills_);
+}
+
+void Process::load_state(util::ckpt::Reader& r) {
+  table_.load_state(r);
+  workload_->load_state(r);
+  ops_issued_ = r.get_u64();
+  rss_pages_ = r.get_u64();
+  mem_fills_ = r.get_u64();
+  tier0_fills_ = r.get_u64();
 }
 
 }  // namespace tmprof::sim

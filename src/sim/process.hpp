@@ -13,6 +13,11 @@
 #include "mem/tiers.hpp"
 #include "workloads/workload.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::sim {
 
 class Process {
@@ -64,6 +69,11 @@ class Process {
                            : static_cast<double>(tier0_fills_) /
                                  static_cast<double>(mem_fills_);
   }
+
+  /// Checkpoint hooks (util/ckpt.hpp): page table, workload generator and
+  /// accounting counters. Identity (pid, weight) comes from reconstruction.
+  void save_state(util::ckpt::Writer& w);
+  void load_state(util::ckpt::Reader& r);
 
  private:
   mem::Pid pid_;

@@ -1,5 +1,7 @@
 #include "sim/system.hpp"
 
+#include "util/ckpt.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <utility>
@@ -544,6 +546,90 @@ bool System::migrate_page(mem::Pid pid, mem::VirtAddr page_va,
   shootdown(pid, page_va, ref.size);
   pmu_.core(0).record(Event::PageMigration, now_);
   return true;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void System::save_state(util::ckpt::Writer& w) {
+  w.put_u64(now_);
+  w.put_u64(total_ops_);
+  w.put_u64(schedule_cursor_);
+  w.put_u8(first_touch_tier_);
+  w.put_u64(next_pid_);
+  w.put_u32(static_cast<std::uint32_t>(processes_.size()));
+  for (const auto& proc : processes_) {
+    w.put_u64(proc->pid());
+    proc->save_state(w);
+  }
+  phys_.save_state(w);
+  pmu_.save_state(w);
+  llc_.save_state(w);
+  w.put_u32(static_cast<std::uint32_t>(llc_slices_.size()));
+  for (const auto& slice : llc_slices_) slice->save_state(w);
+  w.put_u32(static_cast<std::uint32_t>(cores_.size()));
+  for (const Core& core : cores_) {
+    core.caches.save_state(w);
+    core.tlb.save_state(w);
+  }
+}
+
+void System::load_state(util::ckpt::Reader& r) {
+  now_ = r.get_u64();
+  total_ops_ = r.get_u64();
+  schedule_cursor_ = r.get_u64();
+  first_touch_tier_ = static_cast<mem::TierId>(r.get_u8());
+  const auto next_pid = static_cast<mem::Pid>(r.get_u64());
+  const std::uint32_t n_procs = r.get_u32();
+  if (n_procs != processes_.size() || next_pid != next_pid_) {
+    throw util::ckpt::CkptError(
+        "system", "process set mismatch: checkpoint has " +
+                      std::to_string(n_procs) + " processes (next pid " +
+                      std::to_string(next_pid) + "), system has " +
+                      std::to_string(processes_.size()));
+  }
+  for (const auto& proc : processes_) {
+    const auto pid = static_cast<mem::Pid>(r.get_u64());
+    if (pid != proc->pid()) {
+      throw util::ckpt::CkptError(
+          "system", "process order mismatch: expected pid " +
+                        std::to_string(proc->pid()) + ", checkpoint has " +
+                        std::to_string(pid));
+    }
+    proc->load_state(r);
+  }
+  phys_.load_state(r);
+  pmu_.load_state(r);
+  llc_.load_state(r);
+  const std::uint32_t n_slices = r.get_u32();
+  if (n_slices != llc_slices_.size()) {
+    throw util::ckpt::CkptError("system", "LLC slice count mismatch");
+  }
+  for (const auto& slice : llc_slices_) slice->load_state(r);
+  // Page tables are rebuilt above, so TLB entries can rebind their cached
+  // PTE pointers now.
+  const mem::TlbArray::PteResolver resolver =
+      [this](mem::Pid pid, mem::Vpn vpn, mem::PageSize size) -> mem::Pte* {
+    const unsigned shift =
+        size == mem::PageSize::k4K ? mem::kPageShift : mem::kHugePageShift;
+    const mem::VirtAddr va = vpn << shift;
+    for (const auto& proc : processes_) {
+      if (proc->pid() != pid) continue;
+      const mem::PteRef ref = proc->page_table().resolve(va);
+      if (!ref || ref.size != size || ref.page_va != va) return nullptr;
+      return ref.pte;
+    }
+    return nullptr;
+  };
+  const std::uint32_t n_cores = r.get_u32();
+  if (n_cores != cores_.size()) {
+    throw util::ckpt::CkptError("system", "core count mismatch");
+  }
+  for (Core& core : cores_) {
+    core.caches.load_state(r);
+    core.tlb.load_state(r, resolver);
+  }
 }
 
 }  // namespace tmprof::sim

@@ -24,6 +24,11 @@ namespace tmprof::util {
 class ThreadPool;
 }
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::sim {
 
 /// Outcome of one simulated access (returned for tests/instrumentation).
@@ -114,6 +119,15 @@ class System {
 
   // --- statistics -------------------------------------------------------
   [[nodiscard]] std::uint64_t total_ops() const noexcept { return total_ops_; }
+
+  // --- checkpoint -------------------------------------------------------
+  /// Serialize the full machine state (clock, processes incl. page tables
+  /// and workload cursors, physical memory, PMU, caches, TLBs). The System
+  /// must be *reconstructed* the same way (same config, same add_process
+  /// sequence) before load_state overwrites its dynamic state; TLB entries
+  /// rebind their PTE pointers against the reloaded page tables.
+  void save_state(util::ckpt::Writer& w);
+  void load_state(util::ckpt::Reader& r);
 
   /// Base VA of every process's code region (text segment analog).
   static constexpr mem::VirtAddr kCodeBase = 0x400000;

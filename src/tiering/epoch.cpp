@@ -1,11 +1,96 @@
 #include "tiering/epoch.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <memory>
 
 #include "util/assert.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tmprof::tiering {
+
+namespace {
+
+void save_key_set(util::ckpt::Writer& w,
+                  const std::unordered_set<PageKey, PageKeyHash>& set) {
+  std::vector<PageKey> keys(set.begin(), set.end());
+  std::sort(keys.begin(), keys.end());
+  w.put_u64(keys.size());
+  for (const PageKey& key : keys) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+  }
+}
+
+void load_key_set(util::ckpt::Reader& r,
+                  std::unordered_set<PageKey, PageKeyHash>& set) {
+  set.clear();
+  const std::uint64_t count = r.get_u64();
+  set.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PageKey key;
+    key.pid = static_cast<mem::Pid>(r.get_u64());
+    key.page_va = r.get_u64();
+    set.insert(key);
+  }
+}
+
+void save_truth_map(
+    util::ckpt::Writer& w,
+    const std::unordered_map<PageKey, std::uint64_t, PageKeyHash>& map) {
+  std::vector<PageKey> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, count] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.put_u64(keys.size());
+  for (const PageKey& key : keys) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+    w.put_u64(map.at(key));
+  }
+}
+
+void load_truth_map(
+    util::ckpt::Reader& r,
+    std::unordered_map<PageKey, std::uint64_t, PageKeyHash>& map) {
+  map.clear();
+  const std::uint64_t count = r.get_u64();
+  map.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PageKey key;
+    key.pid = static_cast<mem::Pid>(r.get_u64());
+    key.page_va = r.get_u64();
+    map.emplace(key, r.get_u64());
+  }
+}
+
+void save_size_map(util::ckpt::Writer& w, const PageSizeMap& map) {
+  std::vector<PageKey> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, size] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.put_u64(keys.size());
+  for (const PageKey& key : keys) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+    w.put_u8(static_cast<std::uint8_t>(map.at(key)));
+  }
+}
+
+void load_size_map(util::ckpt::Reader& r, PageSizeMap& map) {
+  map.clear();
+  const std::uint64_t count = r.get_u64();
+  map.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PageKey key;
+    key.pid = static_cast<mem::Pid>(r.get_u64());
+    key.page_va = r.get_u64();
+    map.emplace(key, static_cast<mem::PageSize>(r.get_u8()));
+  }
+}
+
+}  // namespace
 
 TruthCollector::TruthCollector(sim::System& system) : system_(system) {
   if (system.config().sharded_engine) {
@@ -60,6 +145,60 @@ void TruthCollector::merge_shards() {
   }
 }
 
+void TruthCollector::save_state(util::ckpt::Writer& w) const {
+  save_truth_map(w, truth_);
+  save_key_set(w, seen_);
+  w.put_u64(new_pages_.size());
+  for (const PageKey& key : new_pages_) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+  }
+  save_size_map(w, page_sizes_);
+  w.put_u64(shards_.size());
+  for (const Shard& shard : shards_) {
+    save_truth_map(w, shard.truth);
+    save_key_set(w, shard.seen);
+    w.put_u64(shard.new_pages.size());
+    for (const auto& [key, size] : shard.new_pages) {
+      w.put_u64(key.pid);
+      w.put_u64(key.page_va);
+      w.put_u8(static_cast<std::uint8_t>(size));
+    }
+  }
+}
+
+void TruthCollector::load_state(util::ckpt::Reader& r) {
+  load_truth_map(r, truth_);
+  load_key_set(r, seen_);
+  new_pages_.clear();
+  const std::uint64_t n_new = r.get_u64();
+  new_pages_.reserve(n_new);
+  for (std::uint64_t i = 0; i < n_new; ++i) {
+    PageKey key;
+    key.pid = static_cast<mem::Pid>(r.get_u64());
+    key.page_va = r.get_u64();
+    new_pages_.push_back(key);
+  }
+  load_size_map(r, page_sizes_);
+  const std::uint64_t n_shards = r.get_u64();
+  if (n_shards != shards_.size()) {
+    throw util::ckpt::CkptError("truth", "shard count mismatch");
+  }
+  for (Shard& shard : shards_) {
+    load_truth_map(r, shard.truth);
+    load_key_set(r, shard.seen);
+    shard.new_pages.clear();
+    const std::uint64_t n_shard_new = r.get_u64();
+    shard.new_pages.reserve(n_shard_new);
+    for (std::uint64_t i = 0; i < n_shard_new; ++i) {
+      PageKey key;
+      key.pid = static_cast<mem::Pid>(r.get_u64());
+      key.page_va = r.get_u64();
+      shard.new_pages.emplace_back(key, static_cast<mem::PageSize>(r.get_u8()));
+    }
+  }
+}
+
 void TruthCollector::end_epoch(
     std::unordered_map<PageKey, std::uint64_t, PageKeyHash>& truth_out,
     std::vector<PageKey>& new_pages_out) {
@@ -94,10 +233,79 @@ EpochSeries collect_series(const workloads::WorkloadSpec& spec,
   return collect_series(spec_factory(spec), sim_config, options);
 }
 
-EpochSeries collect_series(const WorkloadFactory& factory,
-                           const sim::SimConfig& sim_config,
-                           const CollectOptions& options) {
+void save_epoch_data(util::ckpt::Writer& w, const EpochData& data) {
+  w.put_u32(data.epoch);
+  save_truth_map(w, data.truth);
+  w.put_u64(data.truth_total);
+  core::save_observation(w, data.observed);
+  w.put_u64(data.new_pages.size());
+  for (const PageKey& key : data.new_pages) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+  }
+}
+
+void load_epoch_data(util::ckpt::Reader& r, EpochData& data) {
+  data.epoch = r.get_u32();
+  load_truth_map(r, data.truth);
+  data.truth_total = r.get_u64();
+  core::load_observation(r, data.observed);
+  data.new_pages.clear();
+  const std::uint64_t n_new = r.get_u64();
+  data.new_pages.reserve(n_new);
+  for (std::uint64_t i = 0; i < n_new; ++i) {
+    PageKey key;
+    key.pid = static_cast<mem::Pid>(r.get_u64());
+    key.page_va = r.get_u64();
+    data.new_pages.push_back(key);
+  }
+}
+
+void save_series(util::ckpt::Writer& w, const EpochSeries& series) {
+  w.put_u64(series.epochs.size());
+  for (const EpochData& data : series.epochs) save_epoch_data(w, data);
+  save_size_map(w, series.page_sizes);
+  w.put_u64(series.footprint_frames);
+  w.put_u64(series.degrade.hwpc_wraps);
+  w.put_u64(series.degrade.scans_aborted);
+  w.put_u64(series.degrade.trace_dropped);
+  w.put_u64(series.degrade.rescaled_epochs);
+  w.put_u64(series.degrade.fallback_epochs);
+  w.put_u64(series.degrade.pinned_epochs);
+}
+
+void load_series(util::ckpt::Reader& r, EpochSeries& series) {
+  series.epochs.clear();
+  const std::uint64_t n_epochs = r.get_u64();
+  series.epochs.reserve(n_epochs);
+  for (std::uint64_t i = 0; i < n_epochs; ++i) {
+    EpochData data;
+    load_epoch_data(r, data);
+    series.epochs.push_back(std::move(data));
+  }
+  load_size_map(r, series.page_sizes);
+  series.footprint_frames = r.get_u64();
+  series.degrade.hwpc_wraps = r.get_u64();
+  series.degrade.scans_aborted = r.get_u64();
+  series.degrade.trace_dropped = r.get_u64();
+  series.degrade.rescaled_epochs = r.get_u64();
+  series.degrade.fallback_epochs = r.get_u64();
+  series.degrade.pinned_epochs = r.get_u64();
+}
+
+namespace {
+
+EpochSeries collect_series_impl(const WorkloadFactory& factory,
+                                const sim::SimConfig& sim_config,
+                                const CollectOptions& options,
+                                const std::string& resume_path) {
   TMPROF_EXPECTS(options.n_epochs >= 1);
+  if (options.checkpoint.enabled()) {
+    // Best-effort mkdir -p; a dir that still can't be written to surfaces
+    // as a CkptError("<io>") from the first save_atomic.
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint.dir, ec);
+  }
   sim::SimConfig config = sim_config;
   if (options.n_threads >= 1) config.sharded_engine = true;
   sim::System system(config);
@@ -109,14 +317,56 @@ EpochSeries collect_series(const WorkloadFactory& factory,
   system.add_observer(&truth);
   core::TmpDaemon daemon(system, options.daemon);
 
+  EpochSeries series;
+  series.epochs.reserve(options.n_epochs);
+  std::uint32_t start_epoch = 0;
+
+  if (!resume_path.empty()) {
+    util::ckpt::Reader r = util::ckpt::Reader::from_file(resume_path);
+    r.enter_section("meta");
+    if (r.get_str() != "collect") {
+      throw util::ckpt::CkptError("meta", "checkpoint kind is not 'collect'");
+    }
+    if (r.get_u64() != options.seed) {
+      throw util::ckpt::CkptError("meta", "seed mismatch");
+    }
+    if (r.get_u32() != options.n_epochs) {
+      throw util::ckpt::CkptError("meta", "epoch count mismatch");
+    }
+    if (r.get_u64() != options.ops_per_epoch) {
+      throw util::ckpt::CkptError("meta", "ops-per-epoch mismatch");
+    }
+    if (r.get_bool() != config.sharded_engine) {
+      throw util::ckpt::CkptError("meta", "engine mode mismatch");
+    }
+    start_epoch = r.get_u32();
+    if (start_epoch == 0 || start_epoch >= options.n_epochs) {
+      throw util::ckpt::CkptError("meta", "resume epoch out of range");
+    }
+    r.end_section();
+    r.enter_section("system");
+    system.load_state(r);
+    r.end_section();
+    r.enter_section("daemon");
+    daemon.load_state(r);
+    r.end_section();
+    r.enter_section("truth");
+    truth.load_state(r);
+    r.end_section();
+    r.enter_section("series");
+    load_series(r, series);
+    r.end_section();
+    if (series.epochs.size() != start_epoch) {
+      throw util::ckpt::CkptError("series", "epoch record count mismatch");
+    }
+  }
+
   std::unique_ptr<util::ThreadPool> pool;
   if (options.n_threads > 1) {
     pool = std::make_unique<util::ThreadPool>(options.n_threads);
   }
 
-  EpochSeries series;
-  series.epochs.reserve(options.n_epochs);
-  for (std::uint32_t e = 0; e < options.n_epochs; ++e) {
+  for (std::uint32_t e = start_epoch; e < options.n_epochs; ++e) {
     if (config.sharded_engine) {
       system.step_parallel(options.ops_per_epoch, pool.get());
     } else {
@@ -129,13 +379,68 @@ EpochSeries collect_series(const WorkloadFactory& factory,
     for (const auto& [key, count] : data.truth) data.truth_total += count;
     data.observed = std::move(snapshot.observation);
     series.epochs.push_back(std::move(data));
+    if (options.checkpoint.enabled() &&
+        (e + 1) % options.checkpoint.every == 0) {
+      util::ckpt::Writer w;
+      w.begin_section("meta");
+      w.put_str("collect");
+      w.put_u64(options.seed);
+      w.put_u32(options.n_epochs);
+      w.put_u64(options.ops_per_epoch);
+      w.put_bool(config.sharded_engine);
+      w.put_u32(e + 1);
+      w.end_section();
+      w.begin_section("system");
+      system.save_state(w);
+      w.end_section();
+      w.begin_section("daemon");
+      daemon.save_state(w);
+      w.end_section();
+      w.begin_section("truth");
+      truth.save_state(w);
+      w.end_section();
+      w.begin_section("series");
+      save_series(w, series);
+      w.end_section();
+      util::ckpt::Writer::save_atomic(
+          util::ckpt::checkpoint_path(options.checkpoint.dir,
+                                      options.checkpoint.basename, e + 1),
+          w.finish());
+      util::ckpt::prune(options.checkpoint.dir, options.checkpoint.basename,
+                        options.checkpoint.keep_last);
+    }
+    if (options.on_epoch) options.on_epoch(e);
   }
   series.page_sizes = truth.page_sizes();
+  series.footprint_frames = 0;
   for (const auto& [key, size] : series.page_sizes) {
     series.footprint_frames += mem::pages_in(size);
   }
   series.degrade = daemon.degrade_stats();
   return series;
+}
+
+}  // namespace
+
+EpochSeries collect_series(const WorkloadFactory& factory,
+                           const sim::SimConfig& sim_config,
+                           const CollectOptions& options) {
+  std::string resume = options.checkpoint.resume_from;
+  if (resume.empty() && options.checkpoint.resume_latest &&
+      !options.checkpoint.dir.empty()) {
+    resume = util::ckpt::latest_in(options.checkpoint.dir,
+                                   options.checkpoint.basename);
+  }
+  if (!resume.empty()) {
+    try {
+      return collect_series_impl(factory, sim_config, options, resume);
+    } catch (const util::ckpt::CkptError& err) {
+      TMPROF_LOG_WARN << "collect: checkpoint '" << resume
+                      << "' rejected in section '" << err.section()
+                      << "': " << err.what() << "; starting cold";
+    }
+  }
+  return collect_series_impl(factory, sim_config, options, "");
 }
 
 }  // namespace tmprof::tiering

@@ -17,6 +17,7 @@
 #include "monitors/event.hpp"
 #include "sim/system.hpp"
 #include "tiering/policy.hpp"
+#include "util/ckpt.hpp"
 #include "workloads/registry.hpp"
 
 namespace tmprof::tiering {
@@ -45,6 +46,11 @@ class TruthCollector final : public monitors::AccessObserver {
   [[nodiscard]] const PageSizeMap& page_sizes() const noexcept {
     return page_sizes_;
   }
+
+  /// Checkpoint hooks: the cross-epoch `seen` sets (global and per-shard)
+  /// and the page-size map. Shard count must match on load.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
 
  private:
   struct Shard final : monitors::AccessObserver {
@@ -93,6 +99,11 @@ struct CollectOptions {
   /// >= 1 = deterministic sharded engine; 1 runs the shards inline, > 1
   /// uses a worker pool. All values >= 1 produce identical results.
   std::uint32_t n_threads = 0;
+  /// Periodic checkpointing and resume (docs/RECOVERY.md). A rejected
+  /// resume file logs the bad section and falls back to a cold start.
+  util::ckpt::Options checkpoint{};
+  /// Called after each completed epoch (chaos harness kill hook).
+  std::function<void(std::uint32_t)> on_epoch;
 };
 
 /// Produces the processes' workload generators for one run. Must be
@@ -116,5 +127,12 @@ using WorkloadFactory =
 void add_spec_processes(sim::System& system,
                         const workloads::WorkloadSpec& spec,
                         std::uint64_t seed);
+
+/// Checkpoint serialization of collected epoch records (maps are written in
+/// ascending key order; see core::save_page_counts).
+void save_epoch_data(util::ckpt::Writer& w, const EpochData& data);
+void load_epoch_data(util::ckpt::Reader& r, EpochData& data);
+void save_series(util::ckpt::Writer& w, const EpochSeries& series);
+void load_series(util::ckpt::Reader& r, EpochSeries& series);
 
 }  // namespace tmprof::tiering

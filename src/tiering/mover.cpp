@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::tiering {
 
@@ -325,6 +326,34 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
   drain_deferred(stats, budget);
   system_.advance_time(stats.cost_ns + stats.backoff_ns);
   return stats;
+}
+
+void PageMover::save_state(util::ckpt::Writer& w) const {
+  fault_.save_state(w);
+  w.put_u64(deferred_.size());
+  for (const DeferredMove& dm : deferred_) {
+    w.put_u64(dm.key.pid);
+    w.put_u64(dm.key.page_va);
+    w.put_u8(dm.dest);
+  }
+  w.put_u64(move_seq_);
+}
+
+void PageMover::load_state(util::ckpt::Reader& r) {
+  fault_.load_state(r);
+  deferred_.clear();
+  deferred_set_.clear();
+  const std::uint64_t count = r.get_u64();
+  deferred_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DeferredMove dm;
+    dm.key.pid = static_cast<mem::Pid>(r.get_u64());
+    dm.key.page_va = r.get_u64();
+    dm.dest = static_cast<mem::TierId>(r.get_u8());
+    deferred_set_.insert(dm.key);
+    deferred_.push_back(dm);
+  }
+  move_seq_ = r.get_u64();
 }
 
 }  // namespace tmprof::tiering

@@ -121,6 +121,11 @@ class PageMover {
     return fault_.stats();
   }
 
+  /// Checkpoint hooks: the deferred queue, the move sequence counter (fault
+  /// keys must not repeat across a resume) and the injector tallies.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
+
  private:
   enum class MoveOutcome : std::uint8_t { Moved, NoRoom, Aborted };
 

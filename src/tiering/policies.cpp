@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::tiering {
 
@@ -129,6 +131,55 @@ std::unique_ptr<Policy> make_policy(const std::string& name) {
   if (name == "freq-decay") return std::make_unique<FrequencyDecayPolicy>();
   if (name == "write-history") return std::make_unique<WriteHistoryPolicy>();
   throw std::invalid_argument("unknown policy: " + name);
+}
+
+void FirstTouchPolicy::save_state(util::ckpt::Writer& w) const {
+  std::vector<PageKey> keys(placement_.begin(), placement_.end());
+  std::sort(keys.begin(), keys.end());
+  w.put_u64(keys.size());
+  for (const PageKey& key : keys) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+  }
+  w.put_u64(used_frames_);
+}
+
+void FirstTouchPolicy::load_state(util::ckpt::Reader& r) {
+  placement_.clear();
+  const std::uint64_t count = r.get_u64();
+  placement_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PageKey key;
+    key.pid = static_cast<mem::Pid>(r.get_u64());
+    key.page_va = r.get_u64();
+    placement_.insert(key);
+  }
+  used_frames_ = r.get_u64();
+}
+
+void FrequencyDecayPolicy::save_state(util::ckpt::Writer& w) const {
+  std::vector<PageKey> keys;
+  keys.reserve(score_.size());
+  for (const auto& [key, score] : score_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.put_u64(keys.size());
+  for (const PageKey& key : keys) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+    w.put_f64(score_.at(key));
+  }
+}
+
+void FrequencyDecayPolicy::load_state(util::ckpt::Reader& r) {
+  score_.clear();
+  const std::uint64_t count = r.get_u64();
+  score_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PageKey key;
+    key.pid = static_cast<mem::Pid>(r.get_u64());
+    key.page_va = r.get_u64();
+    score_.emplace(key, r.get_f64());
+  }
 }
 
 }  // namespace tmprof::tiering

@@ -20,6 +20,9 @@ class FirstTouchPolicy final : public Policy {
     return "first-touch";
   }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   PlacementSet placement_;  ///< sticky across epochs
   std::uint64_t used_frames_ = 0;
@@ -63,6 +66,9 @@ class FrequencyDecayPolicy final : public Policy {
 
   PlacementSet choose(const PolicyContext& ctx) override;
   [[nodiscard]] std::string_view name() const override { return "freq-decay"; }
+
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
 
  private:
   double decay_;

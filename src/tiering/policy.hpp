@@ -16,6 +16,11 @@
 #include "core/ranking.hpp"
 #include "mem/addr.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::tiering {
 
 using core::PageKey;
@@ -55,6 +60,11 @@ class Policy {
   [[nodiscard]] virtual PlacementSet choose(const PolicyContext& ctx) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Checkpoint hooks. Stateless policies (History, Oracle, WriteHistory)
+  /// keep the no-op defaults; stateful ones override both.
+  virtual void save_state(util::ckpt::Writer& w) const { (void)w; }
+  virtual void load_state(util::ckpt::Reader& r) { (void)r; }
 
  protected:
   Policy() = default;

@@ -1,12 +1,15 @@
 #include "tiering/runner.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <unordered_map>
 
 #include "pmu/events.hpp"
 #include "tiering/epoch.hpp"
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tmprof::tiering {
@@ -44,9 +47,40 @@ RunnerResult EndToEndRunner::run(const workloads::WorkloadSpec& spec,
   return run(spec_factory(spec), sim_config, options);
 }
 
-RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
-                                 const sim::SimConfig& sim_config,
-                                 const RunnerOptions& options) {
+namespace {
+
+void save_move_stats(util::ckpt::Writer& w, const MoveStats& stats) {
+  w.put_u64(stats.promoted);
+  w.put_u64(stats.demoted);
+  w.put_u64(stats.retried);
+  w.put_u64(stats.deferred);
+  w.put_u64(stats.aborted);
+  w.put_u64(stats.no_room);
+  w.put_u64(stats.cost_ns);
+  w.put_u64(stats.backoff_ns);
+}
+
+void load_move_stats(util::ckpt::Reader& r, MoveStats& stats) {
+  stats.promoted = r.get_u64();
+  stats.demoted = r.get_u64();
+  stats.retried = r.get_u64();
+  stats.deferred = r.get_u64();
+  stats.aborted = r.get_u64();
+  stats.no_room = r.get_u64();
+  stats.cost_ns = r.get_u64();
+  stats.backoff_ns = r.get_u64();
+}
+
+RunnerResult run_impl(const WorkloadFactory& factory,
+                      const sim::SimConfig& sim_config,
+                      const RunnerOptions& options,
+                      const std::string& resume_path) {
+  if (options.checkpoint.enabled()) {
+    // Best-effort mkdir -p; a dir that still can't be written to surfaces
+    // as a CkptError("<io>") from the first save_atomic.
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint.dir, ec);
+  }
   sim::SimConfig config = sim_config;
   if (options.slow_model == SlowMemoryModel::BadgerTrapEmulation) {
     // Both tiers are physically DRAM; slowness comes from injected faults.
@@ -75,14 +109,93 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
 
   const bool migrate = options.policy != "first-touch";
   const bool oracle = options.policy == "oracle";
+  const bool emulation =
+      options.slow_model == SlowMemoryModel::BadgerTrapEmulation;
   std::unique_ptr<Policy> policy;
   if (migrate && !oracle) policy = make_policy(options.policy);
 
+  std::vector<std::vector<core::PageRank>> oracle_rankings;
+  std::uint32_t start_epoch = 0;
+  RunnerResult result;
+
+  if (!resume_path.empty()) {
+    util::ckpt::Reader r = util::ckpt::Reader::from_file(resume_path);
+    r.enter_section("meta");
+    if (r.get_str() != "runner") {
+      throw util::ckpt::CkptError("meta", "checkpoint kind is not 'runner'");
+    }
+    if (r.get_u64() != options.seed) {
+      throw util::ckpt::CkptError("meta", "seed mismatch");
+    }
+    if (r.get_str() != options.policy) {
+      throw util::ckpt::CkptError("meta", "policy mismatch");
+    }
+    if (r.get_u8() != static_cast<std::uint8_t>(options.fusion)) {
+      throw util::ckpt::CkptError("meta", "fusion mode mismatch");
+    }
+    if (r.get_u32() != options.n_epochs) {
+      throw util::ckpt::CkptError("meta", "epoch count mismatch");
+    }
+    if (r.get_u64() != options.ops_per_epoch) {
+      throw util::ckpt::CkptError("meta", "ops-per-epoch mismatch");
+    }
+    if (r.get_u8() != static_cast<std::uint8_t>(options.slow_model)) {
+      throw util::ckpt::CkptError("meta", "slow-memory model mismatch");
+    }
+    if (r.get_bool() != config.sharded_engine) {
+      throw util::ckpt::CkptError("meta", "engine mode mismatch");
+    }
+    start_epoch = r.get_u32();
+    if (start_epoch == 0 || start_epoch >= options.n_epochs) {
+      throw util::ckpt::CkptError("meta", "resume epoch out of range");
+    }
+    r.end_section();
+    r.enter_section("system");
+    system.load_state(r);
+    r.end_section();
+    r.enter_section("daemon");
+    daemon.load_state(r);
+    r.end_section();
+    r.enter_section("mover");
+    mover.load_state(r);
+    r.end_section();
+    r.enter_section("policy");
+    if (r.get_bool() != (policy != nullptr)) {
+      throw util::ckpt::CkptError("policy", "policy presence mismatch");
+    }
+    if (policy) policy->load_state(r);
+    r.end_section();
+    r.enter_section("trap");
+    if (r.get_bool() != emulation) {
+      throw util::ckpt::CkptError("trap", "emulation mode mismatch");
+    }
+    if (emulation) trap.load_state(r);
+    r.end_section();
+    r.enter_section("oracle");
+    if (r.get_bool() != oracle) {
+      throw util::ckpt::CkptError("oracle", "oracle mode mismatch");
+    }
+    if (oracle) {
+      const std::uint64_t n_rankings = r.get_u64();
+      oracle_rankings.reserve(n_rankings);
+      for (std::uint64_t i = 0; i < n_rankings; ++i) {
+        std::vector<core::PageRank> ranking;
+        core::load_ranking(r, ranking);
+        oracle_rankings.push_back(std::move(ranking));
+      }
+    }
+    r.end_section();
+    r.enter_section("runner");
+    result.migrations = r.get_u64();
+    load_move_stats(r, result.moves);
+    r.end_section();
+  }
+
   // Oracle pre-pass: record each epoch's true hottest pages on an identical
   // shadow run (workload streams are deterministic, so the shadow sees the
-  // same references the main run will).
-  std::vector<std::vector<core::PageRank>> oracle_rankings;
-  if (oracle) {
+  // same references the main run will). A resumed run restores the rankings
+  // from the checkpoint instead of repeating the shadow run.
+  if (oracle && resume_path.empty()) {
     CollectOptions collect;
     collect.n_epochs = options.n_epochs;
     collect.ops_per_epoch = options.ops_per_epoch;
@@ -114,8 +227,7 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
     pool = std::make_unique<util::ThreadPool>(options.n_threads);
   }
 
-  RunnerResult result;
-  for (std::uint32_t e = 0; e < options.n_epochs; ++e) {
+  for (std::uint32_t e = start_epoch; e < options.n_epochs; ++e) {
     if (config.sharded_engine) {
       system.step_parallel(options.ops_per_epoch, pool.get());
     } else {
@@ -167,6 +279,58 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
       for (const core::PageRank& pr : snapshot.ranking) hot.insert(pr.key);
       sync_poison(system, trap, hot);
     }
+    if (options.checkpoint.enabled() &&
+        (e + 1) % options.checkpoint.every == 0) {
+      util::ckpt::Writer w;
+      w.begin_section("meta");
+      w.put_str("runner");
+      w.put_u64(options.seed);
+      w.put_str(options.policy);
+      w.put_u8(static_cast<std::uint8_t>(options.fusion));
+      w.put_u32(options.n_epochs);
+      w.put_u64(options.ops_per_epoch);
+      w.put_u8(static_cast<std::uint8_t>(options.slow_model));
+      w.put_bool(config.sharded_engine);
+      w.put_u32(e + 1);
+      w.end_section();
+      w.begin_section("system");
+      system.save_state(w);
+      w.end_section();
+      w.begin_section("daemon");
+      daemon.save_state(w);
+      w.end_section();
+      w.begin_section("mover");
+      mover.save_state(w);
+      w.end_section();
+      w.begin_section("policy");
+      w.put_bool(policy != nullptr);
+      if (policy) policy->save_state(w);
+      w.end_section();
+      w.begin_section("trap");
+      w.put_bool(emulation);
+      if (emulation) trap.save_state(w);
+      w.end_section();
+      w.begin_section("oracle");
+      w.put_bool(oracle);
+      if (oracle) {
+        w.put_u64(oracle_rankings.size());
+        for (const std::vector<core::PageRank>& ranking : oracle_rankings) {
+          core::save_ranking(w, ranking);
+        }
+      }
+      w.end_section();
+      w.begin_section("runner");
+      w.put_u64(result.migrations);
+      save_move_stats(w, result.moves);
+      w.end_section();
+      util::ckpt::Writer::save_atomic(
+          util::ckpt::checkpoint_path(options.checkpoint.dir,
+                                      options.checkpoint.basename, e + 1),
+          w.finish());
+      util::ckpt::prune(options.checkpoint.dir, options.checkpoint.basename,
+                        options.checkpoint.keep_last);
+    }
+    if (options.on_epoch) options.on_epoch(e);
   }
 
   const std::uint64_t t1 = system.pmu().truth_total(pmu::Event::MemReadTier1);
@@ -181,6 +345,29 @@ RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
   // interrupt handlers run on the profiled cores); add it here.
   result.runtime_ns = system.now() + daemon.driver().trace_overhead_ns();
   return result;
+}
+
+}  // namespace
+
+RunnerResult EndToEndRunner::run(const WorkloadFactory& factory,
+                                 const sim::SimConfig& sim_config,
+                                 const RunnerOptions& options) {
+  std::string resume = options.checkpoint.resume_from;
+  if (resume.empty() && options.checkpoint.resume_latest &&
+      !options.checkpoint.dir.empty()) {
+    resume = util::ckpt::latest_in(options.checkpoint.dir,
+                                   options.checkpoint.basename);
+  }
+  if (!resume.empty()) {
+    try {
+      return run_impl(factory, sim_config, options, resume);
+    } catch (const util::ckpt::CkptError& err) {
+      TMPROF_LOG_WARN << "runner: checkpoint '" << resume
+                      << "' rejected in section '" << err.section()
+                      << "': " << err.what() << "; starting cold";
+    }
+  }
+  return run_impl(factory, sim_config, options, "");
 }
 
 }  // namespace tmprof::tiering

@@ -14,6 +14,7 @@
 ///                 This reproduces the paper's emulation framework exactly.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/daemon.hpp"
@@ -46,6 +47,11 @@ struct RunnerOptions {
   /// (docs/ROBUSTNESS.md). Disabled by default; see --fault-rate,
   /// --fault-seed and --fault-sites on the benches.
   util::FaultConfig fault{};
+  /// Periodic checkpointing and resume (docs/RECOVERY.md). A rejected
+  /// resume file logs the bad section and falls back to a cold start.
+  util::ckpt::Options checkpoint{};
+  /// Called after each completed epoch (chaos harness kill hook).
+  std::function<void(std::uint32_t)> on_epoch;
 };
 
 struct RunnerResult {

@@ -1,0 +1,23 @@
+#pragma once
+/// \file ckpt_io.hpp
+/// Small serialization helpers layered on util/ckpt.hpp for types the core
+/// format deliberately knows nothing about (keeps ckpt.hpp dependency-free).
+
+#include "util/ckpt.hpp"
+#include "util/rng.hpp"
+
+namespace tmprof::util::ckpt {
+
+inline void save_rng(Writer& w, const Rng& rng) {
+  for (std::size_t i = 0; i < Rng::kStateWords; ++i) {
+    w.put_u64(rng.state_word(i));
+  }
+}
+
+inline void load_rng(Reader& r, Rng& rng) {
+  for (std::size_t i = 0; i < Rng::kStateWords; ++i) {
+    rng.set_state_word(i, r.get_u64());
+  }
+}
+
+}  // namespace tmprof::util::ckpt

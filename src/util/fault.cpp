@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/assert.hpp"
+#include "util/ckpt.hpp"
 
 namespace tmprof::util {
 
@@ -80,6 +81,16 @@ bool FaultInjector::fire(FaultSite site, std::uint64_t key) noexcept {
     return true;
   }
   return false;
+}
+
+void FaultInjector::save_state(ckpt::Writer& w) const {
+  for (const std::uint64_t n : stats_.consulted) w.put_u64(n);
+  for (const std::uint64_t n : stats_.injected) w.put_u64(n);
+}
+
+void FaultInjector::load_state(ckpt::Reader& r) {
+  for (std::uint64_t& n : stats_.consulted) n = r.get_u64();
+  for (std::uint64_t& n : stats_.injected) n = r.get_u64();
 }
 
 }  // namespace tmprof::util

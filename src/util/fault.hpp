@@ -22,6 +22,11 @@
 
 #include "util/rng.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::util {
 
 /// Where a fault may be injected. Sites model specific kernel failure
@@ -141,6 +146,11 @@ class FaultInjector {
 
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// Checkpoint hooks: only the tallies travel — the decision function is
+  /// stateless and the config comes from reconstruction.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(ckpt::Reader& r);
 
  private:
   FaultConfig config_{};

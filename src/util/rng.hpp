@@ -82,6 +82,18 @@ class Rng {
     return Rng(splitmix64(s));
   }
 
+  /// Raw state access for checkpoint/restore (util/ckpt.hpp): a resumed
+  /// run must continue the exact stream the interrupted run was drawing.
+  static constexpr std::size_t kStateWords = 4;
+  [[nodiscard]] constexpr std::uint64_t state_word(std::size_t i) const noexcept {
+    TMPROF_ASSERT(i < kStateWords);
+    return state_[i];
+  }
+  constexpr void set_state_word(std::size_t i, std::uint64_t v) noexcept {
+    TMPROF_ASSERT(i < kStateWords);
+    state_[i] = v;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,5 +1,7 @@
 #include "workloads/data_analytics.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::workloads {
@@ -43,6 +45,23 @@ MemRef DataAnalyticsWorkload::next() {
     shuffling_ = false;
   }
   return ref;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void DataAnalyticsWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(scan_cursor_);
+  w.put_u64(refs_in_phase_);
+  w.put_bool(shuffling_);
+}
+void DataAnalyticsWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  scan_cursor_ = r.get_u64();
+  refs_in_phase_ = r.get_u64();
+  shuffling_ = r.get_bool();
 }
 
 }  // namespace tmprof::workloads

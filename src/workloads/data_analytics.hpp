@@ -26,6 +26,9 @@ class DataAnalyticsWorkload final : public Workload {
     return "data_analytics";
   }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   /// References per map phase before switching to shuffle, and vice versa.
   static constexpr std::uint64_t kMapRefs = 1 << 14;

@@ -1,5 +1,7 @@
 #include "workloads/data_caching.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::workloads {
@@ -49,6 +51,29 @@ MemRef DataCachingWorkload::next() {
   ++line_cursor_;
   --lines_left_;
   return ref;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void DataCachingWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(current_value_);
+  w.put_u64(lines_left_);
+  w.put_u64(line_cursor_);
+  w.put_bool(current_is_set_);
+  w.put_u64(refs_);
+  w.put_u64(churn_offset_);
+}
+void DataCachingWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  current_value_ = r.get_u64();
+  lines_left_ = r.get_u64();
+  line_cursor_ = r.get_u64();
+  current_is_set_ = r.get_bool();
+  refs_ = r.get_u64();
+  churn_offset_ = r.get_u64();
 }
 
 }  // namespace tmprof::workloads

@@ -23,6 +23,9 @@ class DataCachingWorkload final : public Workload {
     return "data_caching";
   }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   static constexpr double kSetFraction = 0.05;  // CloudSuite default GET:SET
   /// Popularity churn: every this many references the Zipf rank → key

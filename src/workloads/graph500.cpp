@@ -1,5 +1,7 @@
 #include "workloads/graph500.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::workloads {
@@ -70,6 +72,27 @@ MemRef Graph500Workload::next() {
   }
   TMPROF_ASSERT(false);
   return ref;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void Graph500Workload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u8(static_cast<std::uint8_t>(phase_));
+  w.put_u64(vertex_);
+  w.put_u64(edge_cursor_);
+  w.put_u64(edges_left_);
+  w.put_u64(neighbor_probe_left_);
+}
+void Graph500Workload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  phase_ = static_cast<Phase>(r.get_u8());
+  vertex_ = r.get_u64();
+  edge_cursor_ = r.get_u64();
+  edges_left_ = r.get_u64();
+  neighbor_probe_left_ = r.get_u64();
 }
 
 }  // namespace tmprof::workloads

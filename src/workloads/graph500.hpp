@@ -25,6 +25,9 @@ class Graph500Workload final : public Workload {
     return mem::PageSize::k2M;
   }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   static constexpr std::uint64_t kEdgeFactor = 16;
   static constexpr std::uint64_t kOffsetBytes = 8;

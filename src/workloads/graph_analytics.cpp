@@ -1,5 +1,7 @@
 #include "workloads/graph_analytics.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::workloads {
@@ -43,6 +45,23 @@ MemRef GraphAnalyticsWorkload::next() {
     flip_ = !flip_;  // next superstep reads what we just wrote
   }
   return ref;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void GraphAnalyticsWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(sweep_cursor_);
+  w.put_u32(phase_);
+  w.put_bool(flip_);
+}
+void GraphAnalyticsWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  sweep_cursor_ = r.get_u64();
+  phase_ = r.get_u32();
+  flip_ = r.get_bool();
 }
 
 }  // namespace tmprof::workloads

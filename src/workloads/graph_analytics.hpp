@@ -22,6 +22,9 @@ class GraphAnalyticsWorkload final : public Workload {
     return "graph_analytics";
   }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   static constexpr std::uint64_t kRankBytes = 8;
   static constexpr std::uint32_t kGathersPerVertex = 6;

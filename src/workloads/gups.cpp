@@ -1,5 +1,7 @@
 #include "workloads/gups.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::workloads {
@@ -25,6 +27,21 @@ MemRef GupsWorkload::next() {
   pending_store_offset_ = ref.offset;
   store_pending_ = true;
   return ref;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void GupsWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(pending_store_offset_);
+  w.put_bool(store_pending_);
+}
+void GupsWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  pending_store_offset_ = r.get_u64();
+  store_pending_ = r.get_bool();
 }
 
 }  // namespace tmprof::workloads

@@ -25,6 +25,9 @@ class GupsWorkload final : public Workload {
     return mem::PageSize::k2M;  // THP-backed anonymous table
   }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   std::uint64_t table_bytes_;
   util::Rng rng_;

@@ -1,5 +1,7 @@
 #include "workloads/lulesh.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::workloads {
@@ -60,6 +62,23 @@ MemRef LuleshWorkload::next() {
     }
   }
   return ref;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void LuleshWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(cursor_);
+  w.put_u32(phase_);
+  w.put_u32(ref_in_elem_);
+}
+void LuleshWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  cursor_ = r.get_u64();
+  phase_ = r.get_u32();
+  ref_in_elem_ = r.get_u32();
 }
 
 }  // namespace tmprof::workloads

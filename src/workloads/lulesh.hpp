@@ -25,6 +25,9 @@ class LuleshWorkload final : public Workload {
     return mem::PageSize::k2M;
   }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   static constexpr std::uint32_t kArrays = 8;   ///< field arrays in the domain
   static constexpr std::uint64_t kElemBytes = 8;

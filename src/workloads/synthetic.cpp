@@ -1,5 +1,7 @@
 #include "workloads/synthetic.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include <algorithm>
 
 #include "util/assert.hpp"
@@ -117,6 +119,49 @@ MemRef InitThenServeWorkload::next() {
   ref.is_store = rng_.chance(0.05);
   ref.ip = 2;
   return ref;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void UniformWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+}
+void UniformWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+}
+
+void SequentialWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(cursor_);
+}
+void SequentialWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  cursor_ = r.get_u64();
+}
+
+void ZipfWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);  // zipf_ is const after construction
+}
+void ZipfWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+}
+
+void HotColdWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);  // dist_ is const after construction
+}
+void HotColdWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+}
+
+void InitThenServeWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(cursor_);
+}
+void InitThenServeWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  cursor_ = r.get_u64();
 }
 
 }  // namespace tmprof::workloads

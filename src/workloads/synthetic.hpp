@@ -22,6 +22,9 @@ class UniformWorkload final : public Workload {
   }
   [[nodiscard]] std::string_view name() const override { return "uniform"; }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   std::uint64_t footprint_;
   double store_fraction_;
@@ -39,6 +42,9 @@ class SequentialWorkload final : public Workload {
     return footprint_;
   }
   [[nodiscard]] std::string_view name() const override { return "sequential"; }
+
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
 
  private:
   std::uint64_t footprint_;
@@ -60,6 +66,9 @@ class ZipfWorkload final : public Workload {
   }
   [[nodiscard]] std::string_view name() const override { return "zipf"; }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   std::uint64_t footprint_;
   std::uint64_t record_bytes_;
@@ -80,6 +89,9 @@ class HotColdWorkload final : public Workload {
     return footprint_;
   }
   [[nodiscard]] std::string_view name() const override { return "hotcold"; }
+
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
 
  private:
   std::uint64_t footprint_;
@@ -108,6 +120,9 @@ class InitThenServeWorkload final : public Workload {
   }
 
   [[nodiscard]] bool serving() const noexcept { return cursor_ >= cold_bytes_; }
+
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
 
  private:
   std::uint64_t cold_bytes_;

@@ -1,5 +1,7 @@
 #include "workloads/web_serving.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::workloads {
@@ -30,6 +32,27 @@ MemRef WebServingWorkload::next() {
   ref.ip = burst_store_ ? 2 : 1;
   --burst_left_;
   return ref;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void WebServingWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(burst_base_);
+  w.put_u64(burst_left_);
+  w.put_bool(burst_store_);
+  w.put_u64(refs_);
+  w.put_u64(churn_offset_);
+}
+void WebServingWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  burst_base_ = r.get_u64();
+  burst_left_ = r.get_u64();
+  burst_store_ = r.get_bool();
+  refs_ = r.get_u64();
+  churn_offset_ = r.get_u64();
 }
 
 }  // namespace tmprof::workloads

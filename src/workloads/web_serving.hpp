@@ -25,6 +25,9 @@ class WebServingWorkload final : public Workload {
     return "web_serving";
   }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   static constexpr double kHotWeight = 0.85;
   /// Consecutive lines touched per request step (template rendering).

@@ -12,6 +12,11 @@
 #include "mem/addr.hpp"
 #include "util/rng.hpp"
 
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
 namespace tmprof::workloads {
 
 /// One memory reference emitted by a generator.
@@ -44,6 +49,13 @@ class Workload {
   [[nodiscard]] virtual mem::PageSize page_size() const {
     return mem::PageSize::k4K;
   }
+
+  /// Checkpoint hooks (util/ckpt.hpp): a resumed run must continue the
+  /// exact reference stream, so every generator serializes its RNG and
+  /// cursors. Pure virtual — forgetting to implement these in a new
+  /// generator breaks the build, not a restored run.
+  virtual void save_state(util::ckpt::Writer& w) const = 0;
+  virtual void load_state(util::ckpt::Reader& r) = 0;
 
  protected:
   Workload() = default;

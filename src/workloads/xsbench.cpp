@@ -1,5 +1,7 @@
 #include "workloads/xsbench.hpp"
 
+#include "util/ckpt_io.hpp"
+
 #include "util/assert.hpp"
 
 namespace tmprof::workloads {
@@ -43,6 +45,21 @@ MemRef XsbenchWorkload::next() {
   ref.ip = 2;
   ++phase_;
   return ref;
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void XsbenchWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u32(phase_);
+  w.put_u64(gather_row_);
+}
+void XsbenchWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  phase_ = r.get_u32();
+  gather_row_ = r.get_u64();
 }
 
 }  // namespace tmprof::workloads

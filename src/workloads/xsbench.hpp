@@ -26,6 +26,9 @@ class XsbenchWorkload final : public Workload {
     return mem::PageSize::k2M;
   }
 
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
  private:
   /// Cross-section gathers per lookup (one per interacting nuclide).
   static constexpr std::uint32_t kGathersPerLookup = 5;

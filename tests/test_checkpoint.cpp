@@ -1,0 +1,680 @@
+#include "util/ckpt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "tiering/epoch.hpp"
+#include "tiering/runner.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace tmprof::util::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty directory under the gtest temp root.
+fs::path temp_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("tmprof-" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Format primitives.
+
+TEST(CkptFormat, PrimitivesRoundTrip) {
+  Writer w;
+  w.begin_section("prims");
+  w.put_u8(0);
+  w.put_u8(255);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(std::numeric_limits<std::uint64_t>::max());
+  w.put_i64(std::numeric_limits<std::int64_t>::min());
+  w.put_bool(true);
+  w.put_bool(false);
+  w.put_f64(-0.0);
+  w.put_f64(std::numeric_limits<double>::infinity());
+  w.put_f64(std::numeric_limits<double>::denorm_min());
+  w.put_str("");
+  w.put_str("tiered memory");
+  const std::uint8_t blob[3] = {1, 2, 3};
+  w.put_bytes(blob, sizeof blob);
+  w.end_section();
+
+  Reader r(w.finish());
+  r.enter_section("prims");
+  EXPECT_EQ(r.get_u8(), 0);
+  EXPECT_EQ(r.get_u8(), 255);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefU);
+  EXPECT_EQ(r.get_u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.get_i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_FALSE(r.get_bool());
+  const double neg_zero = r.get_f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(r.get_str(), "");
+  EXPECT_EQ(r.get_str(), "tiered memory");
+  std::uint8_t out[3] = {};
+  r.get_bytes(out, sizeof out);
+  EXPECT_EQ(std::memcmp(out, blob, sizeof blob), 0);
+  r.end_section();
+}
+
+TEST(CkptFormat, NanPayloadBitsSurvive) {
+  // A quiet NaN with a distinctive payload must round-trip bit-exactly;
+  // value comparison can't see it, so compare the raw bit patterns.
+  const std::uint64_t nan_bits = 0x7ff8dead'beef1234ULL;
+  double nan_value = 0;
+  std::memcpy(&nan_value, &nan_bits, sizeof nan_value);
+
+  Writer w;
+  w.begin_section("nan");
+  w.put_f64(nan_value);
+  w.end_section();
+  Reader r(w.finish());
+  r.enter_section("nan");
+  const double back = r.get_f64();
+  std::uint64_t back_bits = 0;
+  std::memcpy(&back_bits, &back, sizeof back_bits);
+  EXPECT_EQ(back_bits, nan_bits);
+  r.end_section();
+}
+
+TEST(CkptFormat, SectionDirectoryAndEmptySections) {
+  Writer w;
+  w.begin_section("alpha");
+  w.end_section();  // empty payload is legal
+  w.begin_section("beta");
+  w.put_u32(7);
+  w.end_section();
+  Reader r(w.finish());
+  EXPECT_EQ(r.section_names(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_TRUE(r.has_section("alpha"));
+  EXPECT_FALSE(r.has_section("gamma"));
+  r.enter_section("alpha");
+  r.end_section();
+  // Out-of-order access is fine: sections are a directory, not a stream.
+  r.enter_section("beta");
+  EXPECT_EQ(r.get_u32(), 7U);
+  r.end_section();
+}
+
+TEST(CkptFormat, EmptyImageRoundTrips) {
+  Writer w;
+  Reader r(w.finish());
+  EXPECT_TRUE(r.section_names().empty());
+}
+
+TEST(CkptFormat, MissingSectionThrowsWithName) {
+  Writer w;
+  w.begin_section("present");
+  w.end_section();
+  Reader r(w.finish());
+  try {
+    r.enter_section("absent");
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.section(), "absent");
+  }
+}
+
+TEST(CkptFormat, TrailingUnreadBytesThrow) {
+  // Reader/writer field-list skew shows up as unconsumed payload; the
+  // section close must catch it and name the section.
+  Writer w;
+  w.begin_section("skewed");
+  w.put_u64(1);
+  w.put_u64(2);
+  w.end_section();
+  Reader r(w.finish());
+  r.enter_section("skewed");
+  EXPECT_EQ(r.get_u64(), 1U);
+  try {
+    r.end_section();
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.section(), "skewed");
+  }
+}
+
+TEST(CkptFormat, ReadPastSectionEndThrows) {
+  Writer w;
+  w.begin_section("short");
+  w.put_u8(9);
+  w.end_section();
+  Reader r(w.finish());
+  r.enter_section("short");
+  EXPECT_EQ(r.get_u8(), 9);
+  EXPECT_THROW(r.get_u64(), CkptError);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix. The sample image mirrors a real checkpoint: several
+// sections of different sizes, including an empty one.
+
+std::vector<std::uint8_t> sample_image() {
+  Writer w;
+  w.begin_section("meta");
+  w.put_str("runner");
+  w.put_u64(42);
+  w.end_section();
+  w.begin_section("empty");
+  w.end_section();
+  w.begin_section("state");
+  for (std::uint32_t i = 0; i < 16; ++i) w.put_u64(i * 0x0101010101010101ULL);
+  w.end_section();
+  return w.finish();
+}
+
+/// True when the (possibly corrupted) image is safely rejected: the parse
+/// throws a typed CkptError, or it parses but no longer serves the exact
+/// section set of the intact file (a truncation at a frame boundary yields
+/// a valid shorter file — resume then fails on the missing section).
+bool rejected_or_degraded(const std::vector<std::uint8_t>& image,
+                          const std::vector<std::string>& want_names) {
+  try {
+    Reader r(image);
+    return r.section_names() != want_names;
+  } catch (const CkptError&) {
+    return true;
+  }
+}
+
+TEST(CkptCorruption, TruncationAtEveryLengthRejected) {
+  const std::vector<std::uint8_t> image = sample_image();
+  const std::vector<std::string> names =
+      Reader(image).section_names();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(
+        image.begin(), image.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_TRUE(rejected_or_degraded(prefix, names))
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(CkptCorruption, EverySingleBitFlipRejected) {
+  const std::vector<std::uint8_t> image = sample_image();
+  const std::vector<std::string> names = Reader(image).section_names();
+  for (std::size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> flipped = image;
+      flipped[byte] = static_cast<std::uint8_t>(
+          flipped[byte] ^ (1U << bit));
+      EXPECT_TRUE(rejected_or_degraded(flipped, names))
+          << "bit flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(CkptCorruption, PayloadFlipNamesItsSection) {
+  // A flip inside a section's payload must be attributed to that section.
+  Writer w;
+  w.begin_section("meta");
+  w.put_u64(1);
+  w.end_section();
+  w.begin_section("victim");
+  w.put_u64(0);
+  w.end_section();
+  std::vector<std::uint8_t> image = w.finish();
+  // The last frame's payload starts 12 bytes from the end (8 payload +
+  // 4 CRC); flip its first payload byte.
+  image[image.size() - 12] ^= 0x01;
+  try {
+    Reader r(image);
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.section(), "victim");
+  }
+}
+
+TEST(CkptCorruption, BadMagicRejectedAsHeader) {
+  std::vector<std::uint8_t> image = sample_image();
+  image[0] ^= 0xff;
+  try {
+    Reader r(image);
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.section(), "<header>");
+  }
+}
+
+TEST(CkptCorruption, VersionSkewRejectedAsHeader) {
+  std::vector<std::uint8_t> image = sample_image();
+  image[sizeof kMagic] = kFormatVersion + 1;  // version is LE u32 after magic
+  try {
+    Reader r(image);
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.section(), "<header>");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic writes, discovery and retention.
+
+TEST(CkptIo, SaveAtomicLeavesNoTempFile) {
+  const fs::path dir = temp_dir("atomic");
+  const std::string path = (dir / "a.tmck").string();
+  Writer w;
+  w.begin_section("s");
+  w.put_u64(1);
+  w.end_section();
+  Writer::save_atomic(path, w.finish());
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  Reader r = Reader::from_file(path);
+  r.enter_section("s");
+  EXPECT_EQ(r.get_u64(), 1U);
+  r.end_section();
+
+  // Overwrite: the new image replaces the old one completely.
+  Writer w2;
+  w2.begin_section("s");
+  w2.put_u64(2);
+  w2.end_section();
+  Writer::save_atomic(path, w2.finish());
+  Reader r2 = Reader::from_file(path);
+  r2.enter_section("s");
+  EXPECT_EQ(r2.get_u64(), 2U);
+  r2.end_section();
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(CkptIo, MissingDirectoryThrowsIoError) {
+  const fs::path dir = temp_dir("missing-io");
+  const std::string path = (dir / "nope" / "a.tmck").string();
+  Writer w;
+  try {
+    Writer::save_atomic(path, w.finish());
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.section(), "<io>");
+  }
+}
+
+TEST(CkptIo, UnreadableFileThrowsIoError) {
+  const fs::path dir = temp_dir("missing-file");
+  try {
+    (void)Reader::from_file((dir / "absent.tmck").string());
+    FAIL() << "expected CkptError";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.section(), "<io>");
+  }
+}
+
+TEST(CkptIo, LatestInAndPrune) {
+  const fs::path dir = temp_dir("retention");
+  Writer w;
+  const std::vector<std::uint8_t> image = w.finish();
+  for (const std::uint32_t epoch : {1U, 3U, 5U, 12U}) {
+    Writer::save_atomic(checkpoint_path(dir.string(), "run", epoch), image);
+  }
+  Writer::save_atomic(checkpoint_path(dir.string(), "other", 99), image);
+
+  EXPECT_EQ(latest_in(dir.string(), "run"),
+            checkpoint_path(dir.string(), "run", 12));
+  EXPECT_EQ(latest_in(dir.string(), "none"), "");
+
+  prune(dir.string(), "run", 2);
+  EXPECT_FALSE(fs::exists(checkpoint_path(dir.string(), "run", 1)));
+  EXPECT_FALSE(fs::exists(checkpoint_path(dir.string(), "run", 3)));
+  EXPECT_TRUE(fs::exists(checkpoint_path(dir.string(), "run", 5)));
+  EXPECT_TRUE(fs::exists(checkpoint_path(dir.string(), "run", 12)));
+  // A different basename in the same directory is untouched.
+  EXPECT_TRUE(fs::exists(checkpoint_path(dir.string(), "other", 99)));
+}
+
+}  // namespace
+}  // namespace tmprof::util::ckpt
+
+// ---------------------------------------------------------------------------
+// Randomized state round-trips: serialize → load → serialize again must be
+// byte-identical (deep equality without needing accessors for every field).
+
+namespace tmprof::tiering {
+namespace {
+
+namespace fs = std::filesystem;
+using util::ckpt::CkptError;
+using util::ckpt::Reader;
+using util::ckpt::Writer;
+
+core::PageKey random_key(util::Rng& rng) {
+  return core::PageKey{static_cast<mem::Pid>(1 + rng.below(8)),
+                       rng.below(1 << 16) << mem::kPageShift};
+}
+
+EpochSeries random_series(std::uint64_t seed, std::uint32_t n_epochs) {
+  util::Rng rng(seed);
+  EpochSeries series;
+  for (std::uint32_t e = 0; e < n_epochs; ++e) {
+    EpochData data;
+    data.epoch = e;
+    const std::uint64_t pages = rng.below(64);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      const core::PageKey key = random_key(rng);
+      data.truth[key] += 1 + rng.below(1000);
+      data.truth_total += data.truth[key];
+      if (rng.chance(0.5)) {
+        data.observed.abit[key] =
+            static_cast<std::uint32_t>(1 + rng.below(16));
+      }
+      if (rng.chance(0.5)) {
+        data.observed.trace[key] =
+            static_cast<std::uint32_t>(rng.below(4096));
+      }
+      if (rng.chance(0.25)) {
+        data.observed.writes[key] =
+            static_cast<std::uint32_t>(rng.below(64));
+      }
+      if (rng.chance(0.2)) data.new_pages.push_back(key);
+      series.page_sizes[key] =
+          rng.chance(0.1) ? mem::PageSize::k2M : mem::PageSize::k4K;
+    }
+    data.observed.epoch = e;
+    series.epochs.push_back(std::move(data));
+  }
+  series.footprint_frames = rng.below(1 << 20);
+  series.degrade.trace_dropped = rng.below(100);
+  series.degrade.scans_aborted = rng.below(100);
+  series.degrade.hwpc_wraps = rng.below(100);
+  return series;
+}
+
+std::vector<std::uint8_t> series_image(const EpochSeries& series) {
+  Writer w;
+  w.begin_section("series");
+  save_series(w, series);
+  w.end_section();
+  return w.finish();
+}
+
+TEST(CkptState, SeriesRoundTripRandomized) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 0xfeedULL}) {
+    const EpochSeries original = random_series(seed, 6);
+    const std::vector<std::uint8_t> image = series_image(original);
+    Reader r(image);
+    r.enter_section("series");
+    EpochSeries loaded;
+    load_series(r, loaded);
+    r.end_section();
+    // Deep equality via canonical re-serialization (maps are written in
+    // sorted key order, so equal state ⇒ equal bytes).
+    EXPECT_EQ(series_image(loaded), image) << "seed " << seed;
+    ASSERT_EQ(loaded.epochs.size(), original.epochs.size());
+    EXPECT_EQ(loaded.epochs.back().truth, original.epochs.back().truth);
+    EXPECT_EQ(loaded.page_sizes, original.page_sizes);
+    EXPECT_EQ(loaded.footprint_frames, original.footprint_frames);
+  }
+}
+
+TEST(CkptState, EmptySeriesRoundTrips) {
+  const EpochSeries empty;
+  const std::vector<std::uint8_t> image = series_image(empty);
+  Reader r(image);
+  r.enter_section("series");
+  EpochSeries loaded;
+  load_series(r, loaded);
+  r.end_section();
+  EXPECT_TRUE(loaded.epochs.empty());
+  EXPECT_TRUE(loaded.page_sizes.empty());
+  EXPECT_EQ(loaded.footprint_frames, 0U);
+}
+
+TEST(CkptState, PageCountsAndRankingRoundTrip) {
+  util::Rng rng(7);
+  std::unordered_map<core::PageKey, std::uint32_t, core::PageKeyHash> counts;
+  std::vector<core::PageRank> ranking;
+  for (int i = 0; i < 100; ++i) {
+    const core::PageKey key = random_key(rng);
+    counts[key] = static_cast<std::uint32_t>(rng.below(1 << 20));
+    ranking.push_back(core::PageRank{key, rng.below(1 << 20),
+                                     static_cast<std::uint32_t>(rng.below(9)),
+                                     static_cast<std::uint32_t>(rng.below(9)),
+                                     static_cast<std::uint32_t>(rng.below(9))});
+  }
+  Writer w;
+  w.begin_section("s");
+  core::save_page_counts(w, counts);
+  core::save_ranking(w, ranking);
+  w.end_section();
+  Reader r(w.finish());
+  r.enter_section("s");
+  std::unordered_map<core::PageKey, std::uint32_t, core::PageKeyHash> counts2;
+  std::vector<core::PageRank> ranking2;
+  core::load_page_counts(r, counts2);
+  core::load_ranking(r, ranking2);
+  r.end_section();
+  EXPECT_EQ(counts2, counts);
+  ASSERT_EQ(ranking2.size(), ranking.size());
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    EXPECT_EQ(ranking2[i].key, ranking[i].key);
+    EXPECT_EQ(ranking2[i].rank, ranking[i].rank);
+    EXPECT_EQ(ranking2[i].abit, ranking[i].abit);
+    EXPECT_EQ(ranking2[i].trace, ranking[i].trace);
+    EXPECT_EQ(ranking2[i].writes, ranking[i].writes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end resume: checkpoint mid-run, resume, compare bitwise.
+
+sim::SimConfig tiny_config() {
+  sim::SimConfig cfg;
+  cfg.cores = 2;
+  cfg.llc_bytes = 1 << 18;
+  cfg.tier1_frames = 1 << 9;
+  cfg.tier2_frames = 1 << 14;
+  return cfg;
+}
+
+RunnerOptions tiny_runner(const std::string& policy) {
+  RunnerOptions opt;
+  opt.policy = policy;
+  opt.n_epochs = 5;
+  opt.ops_per_epoch = 30000;
+  opt.daemon.driver.ibs = monitors::IbsConfig::with_period(256);
+  return opt;
+}
+
+/// Bit-faithful equality for RunnerResult (doubles via their bit patterns).
+void expect_bitwise_equal(const RunnerResult& a, const RunnerResult& b) {
+  EXPECT_EQ(a.runtime_ns, b.runtime_ns);
+  std::uint64_t ha = 0, hb = 0;
+  std::memcpy(&ha, &a.tier1_hitrate, sizeof ha);
+  std::memcpy(&hb, &b.tier1_hitrate, sizeof hb);
+  EXPECT_EQ(ha, hb);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.protection_faults, b.protection_faults);
+  EXPECT_EQ(a.profiling_overhead_ns, b.profiling_overhead_ns);
+  EXPECT_EQ(a.moves.promoted, b.moves.promoted);
+  EXPECT_EQ(a.moves.demoted, b.moves.demoted);
+  EXPECT_EQ(a.moves.retried, b.moves.retried);
+  EXPECT_EQ(a.moves.deferred, b.moves.deferred);
+  EXPECT_EQ(a.moves.aborted, b.moves.aborted);
+  EXPECT_EQ(a.moves.no_room, b.moves.no_room);
+  EXPECT_EQ(a.degrade.hwpc_wraps, b.degrade.hwpc_wraps);
+  EXPECT_EQ(a.degrade.scans_aborted, b.degrade.scans_aborted);
+  EXPECT_EQ(a.degrade.trace_dropped, b.degrade.trace_dropped);
+  EXPECT_EQ(a.degrade.pinned_epochs, b.degrade.pinned_epochs);
+  EXPECT_EQ(a.degrade.fallback_epochs, b.degrade.fallback_epochs);
+}
+
+TEST(CkptResume, CheckpointingDoesNotPerturbResults) {
+  // Acceptance: a run with checkpointing enabled is bitwise identical to
+  // the same run without it.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const RunnerResult plain =
+      EndToEndRunner::run(spec, tiny_config(), tiny_runner("history"));
+  // Deliberately not pre-created (and nested): enabling checkpoints must
+  // mkdir -p the directory instead of aborting on the first save.
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "tmprof-noperturb" / "nested";
+  fs::remove_all(dir.parent_path());
+  RunnerOptions opt = tiny_runner("history");
+  opt.checkpoint.every = 2;
+  opt.checkpoint.dir = dir.string();
+  const RunnerResult with_ckpt =
+      EndToEndRunner::run(spec, tiny_config(), opt);
+  expect_bitwise_equal(with_ckpt, plain);
+  EXPECT_NE(util::ckpt::latest_in(dir.string(), "ckpt"), "");
+}
+
+TEST(CkptResume, RunnerResumesBitwiseIdentical) {
+  const auto spec = workloads::find_spec("gups", 0.05);
+  for (const char* policy : {"history", "oracle", "freq-decay"}) {
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("tmprof-resume-" + std::string(policy));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const RunnerResult reference =
+        EndToEndRunner::run(spec, tiny_config(), tiny_runner(policy));
+
+    // Full run with checkpoints every epoch, then re-run from epoch 3's.
+    RunnerOptions opt = tiny_runner(policy);
+    opt.checkpoint.every = 1;
+    opt.checkpoint.dir = dir.string();
+    opt.checkpoint.keep_last = 16;
+    (void)EndToEndRunner::run(spec, tiny_config(), opt);
+
+    RunnerOptions resume = tiny_runner(policy);
+    resume.checkpoint.resume_from =
+        util::ckpt::checkpoint_path(dir.string(), "ckpt", 3);
+    ASSERT_TRUE(fs::exists(resume.checkpoint.resume_from)) << policy;
+    const RunnerResult resumed =
+        EndToEndRunner::run(spec, tiny_config(), resume);
+    expect_bitwise_equal(resumed, reference);
+  }
+}
+
+TEST(CkptResume, ShardedCollectResumesIdentical) {
+  const auto spec = workloads::find_spec("gups", 0.05);
+  CollectOptions collect;
+  collect.n_epochs = 4;
+  collect.ops_per_epoch = 30000;
+  collect.daemon.driver.ibs = monitors::IbsConfig::with_period(256);
+  collect.n_threads = 1;  // sharded engine, inline
+  const EpochSeries reference =
+      collect_series(spec, tiny_config(), collect);
+
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-collect";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  CollectOptions ck = collect;
+  ck.checkpoint.every = 2;
+  ck.checkpoint.dir = dir.string();
+  (void)collect_series(spec, tiny_config(), ck);
+
+  CollectOptions resume = collect;
+  resume.checkpoint.resume_from =
+      util::ckpt::checkpoint_path(dir.string(), "ckpt", 2);
+  ASSERT_TRUE(fs::exists(resume.checkpoint.resume_from));
+  const EpochSeries resumed = collect_series(spec, tiny_config(), resume);
+  EXPECT_EQ(series_image(resumed), series_image(reference));
+}
+
+TEST(CkptResume, CorruptCheckpointFallsBackToColdStart) {
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const RunnerResult reference =
+      EndToEndRunner::run(spec, tiny_config(), tiny_runner("history"));
+
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-corrupt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  RunnerOptions opt = tiny_runner("history");
+  opt.checkpoint.every = 2;
+  opt.checkpoint.dir = dir.string();
+  (void)EndToEndRunner::run(spec, tiny_config(), opt);
+  const std::string latest = util::ckpt::latest_in(dir.string(), "ckpt");
+  ASSERT_NE(latest, "");
+
+  // Corrupt the newest checkpoint three ways; every resume must reject it
+  // and still produce the reference result from a cold start.
+  std::vector<std::uint8_t> image;
+  {
+    std::ifstream in(latest, std::ios::binary);
+    image.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto run_resume = [&](const std::vector<std::uint8_t>& bytes) {
+    const std::string path = (dir / "corrupt.tmck").string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    RunnerOptions resume = tiny_runner("history");
+    resume.checkpoint.resume_from = path;
+    return EndToEndRunner::run(spec, tiny_config(), resume);
+  };
+
+  std::vector<std::uint8_t> truncated(
+      image.begin(),
+      image.begin() + static_cast<std::ptrdiff_t>(image.size() / 2));
+  expect_bitwise_equal(run_resume(truncated), reference);
+
+  std::vector<std::uint8_t> flipped = image;
+  flipped[image.size() / 2] ^= 0x40;
+  expect_bitwise_equal(run_resume(flipped), reference);
+
+  std::vector<std::uint8_t> skewed = image;
+  skewed[sizeof util::ckpt::kMagic] ^= 0xff;  // version field
+  expect_bitwise_equal(run_resume(skewed), reference);
+}
+
+TEST(CkptResume, MissingResumeFileFallsBackToColdStart) {
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const RunnerResult reference =
+      EndToEndRunner::run(spec, tiny_config(), tiny_runner("history"));
+  RunnerOptions resume = tiny_runner("history");
+  resume.checkpoint.resume_from = "/nonexistent/path/ckpt-e00000002.tmck";
+  expect_bitwise_equal(EndToEndRunner::run(spec, tiny_config(), resume),
+                       reference);
+}
+
+TEST(CkptResume, MismatchedConfigRejected) {
+  // A checkpoint from seed 42 must not be grafted onto a seed-43 run: the
+  // meta section rejects it and the run cold-starts with its own seed.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-meta";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  RunnerOptions opt = tiny_runner("history");
+  opt.checkpoint.every = 2;
+  opt.checkpoint.dir = dir.string();
+  (void)EndToEndRunner::run(spec, tiny_config(), opt);
+  const std::string latest = util::ckpt::latest_in(dir.string(), "ckpt");
+  ASSERT_NE(latest, "");
+
+  RunnerOptions other = tiny_runner("history");
+  other.seed = 43;
+  const RunnerResult reference =
+      EndToEndRunner::run(spec, tiny_config(), other);
+  RunnerOptions resume = other;
+  resume.checkpoint.resume_from = latest;
+  expect_bitwise_equal(EndToEndRunner::run(spec, tiny_config(), resume),
+                       reference);
+
+  // Same story for a policy mismatch.
+  RunnerOptions wrong_policy = tiny_runner("freq-decay");
+  const RunnerResult fd_reference =
+      EndToEndRunner::run(spec, tiny_config(), wrong_policy);
+  wrong_policy.checkpoint.resume_from = latest;
+  expect_bitwise_equal(EndToEndRunner::run(spec, tiny_config(), wrong_policy),
+                       fd_reference);
+}
+
+}  // namespace
+}  // namespace tmprof::tiering

@@ -103,3 +103,91 @@ TEST(Cli, CheckedDoubleBounds) {
 
 }  // namespace
 }  // namespace tmprof::util
+
+#include "../bench/common.hpp"
+#include "util/fault.hpp"
+
+namespace tmprof::util {
+namespace {
+
+TEST(FaultSitesCli, AllAliasExpandsToEverySite) {
+  const std::vector<FaultSite> sites = parse_fault_sites("all");
+  ASSERT_EQ(sites.size(), kFaultSiteCount);
+  for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+    EXPECT_EQ(sites[s], static_cast<FaultSite>(s));
+  }
+}
+
+TEST(FaultSitesCli, MigrationAliasCoversBothMigrationSites) {
+  const std::vector<FaultSite> sites = parse_fault_sites("migration");
+  ASSERT_EQ(sites.size(), 2U);
+  EXPECT_EQ(sites[0], FaultSite::MigrationBusy);
+  EXPECT_EQ(sites[1], FaultSite::MigrationNoMem);
+}
+
+TEST(FaultSitesCli, NamedSitesAndEmptyTokensParse) {
+  const std::vector<FaultSite> sites =
+      parse_fault_sites("trace-overflow,,hwpc-wrap");
+  ASSERT_EQ(sites.size(), 2U);
+  EXPECT_EQ(sites[0], FaultSite::TraceOverflow);
+  EXPECT_EQ(sites[1], FaultSite::HwpcWrap);
+}
+
+TEST(FaultSitesCli, UnknownSiteErrorEnumeratesValidNames) {
+  // The error message must list every valid site name and the aliases, so
+  // a typo on the command line is self-documenting.
+  try {
+    (void)parse_fault_sites("migration-busy,bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'bogus'"), std::string::npos);
+    for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+      const auto name = to_string(static_cast<FaultSite>(s));
+      EXPECT_NE(msg.find(std::string(name)), std::string::npos)
+          << "message does not list site " << name;
+    }
+    EXPECT_NE(msg.find("all"), std::string::npos);
+    EXPECT_NE(msg.find("migration"), std::string::npos);
+  }
+}
+
+TEST(FaultSitesCli, EmptyListErrorEnumeratesValidNames) {
+  try {
+    (void)parse_fault_sites(",,");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+      const auto name = to_string(static_cast<FaultSite>(s));
+      EXPECT_NE(msg.find(std::string(name)), std::string::npos);
+    }
+  }
+}
+
+TEST(GoldenSchema, RobustnessCsvHeader) {
+  // Golden schema for robustness.csv: downstream plotting scripts key on
+  // these column names in this order. Changing the bench output requires
+  // updating this test in the same commit — that is the point.
+  const std::vector<std::string> want{
+      "workload",      "fault_rate", "policy",        "runtime_ms",
+      "speedup",       "hitrate",    "migrations",    "retried",
+      "deferred",      "aborted",    "no_room",       "trace_dropped",
+      "scans_aborted", "hwpc_wraps", "pinned_epochs", "fallback_epochs"};
+  EXPECT_EQ(bench::robustness_csv_header(), want);
+}
+
+TEST(GoldenSchema, CheckpointFlagsParseIntoOptions) {
+  const auto p = parse({"--checkpoint-every=4", "--checkpoint-dir=/tmp/ck",
+                        "--resume-latest", "--keep-last=5"});
+  const ckpt::Options ck = bench::checkpoint_from_args(p);
+  EXPECT_EQ(ck.every, 4U);
+  EXPECT_EQ(ck.dir, "/tmp/ck");
+  EXPECT_TRUE(ck.resume_latest);
+  EXPECT_EQ(ck.keep_last, 5U);
+  EXPECT_TRUE(ck.enabled());
+  EXPECT_FALSE(bench::checkpoint_from_args(parse({})).enabled());
+}
+
+}  // namespace
+}  // namespace tmprof::util
