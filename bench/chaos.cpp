@@ -15,7 +15,8 @@
 ///        [--ops-per-epoch=N] [--seed=S] [--kill-seed=S]
 ///        [--policies=a,b,...] [--threads-list=a,b] [--rates=a,b]
 ///        [--model=native|badgertrap] [--checkpoint-every=N] [--dir=D]
-///        [--csv=0|1]
+///        [--csv=0|1] [--metrics-out=F] [--trace-out=F]
+///        [--telemetry-every=N]
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -104,6 +105,11 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(args.get_u64("checkpoint-every", 2));
   const std::string dir = args.get("dir", "chaos-ckpt");
   const bool write_csv = args.get_bool("csv", true);
+  // The telemetry sink rides along on every run: reference, doomed child
+  // (it dies before exporting; the checkpoint it leaves carries the
+  // telemetry section) and the resumed run, each on its own trace track.
+  const std::unique_ptr<telemetry::Telemetry> telemetry =
+      bench::telemetry_from_args(args);
 
   const workloads::WorkloadSpec spec = workloads::find_spec(workload, scale);
   sim::SimConfig cfg = bench::testbed_config(spec.total_bytes);
@@ -143,8 +149,13 @@ int main(int argc, char** argv) {
         opt.daemon.driver.ibs = bench::scaled_ibs(4);
         opt.n_threads = n_threads;
         opt.fault.rate = rate;
+        opt.telemetry = telemetry.get();
+
+        const std::string case_tag = "case-" + std::to_string(case_index) +
+                                     "/" + policy;
 
         // Reference: uninterrupted, no checkpointing.
+        opt.telemetry_label = case_tag + "/reference";
         const tiering::RunnerResult reference =
             tiering::EndToEndRunner::run(spec, cfg, opt);
         const std::string want = fingerprint(reference);
@@ -167,6 +178,7 @@ int main(int argc, char** argv) {
         const pid_t child = fork();
         if (child == 0) {
           tiering::RunnerOptions doomed = opt;
+          doomed.telemetry_label = case_tag + "/doomed";
           doomed.on_epoch = [kill_epoch](std::uint32_t e) {
             if (e + 1 == kill_epoch) _exit(137);
           };
@@ -181,6 +193,7 @@ int main(int argc, char** argv) {
         // Resume from whatever the child left behind (possibly nothing,
         // when it died before the first checkpoint — cold-start path).
         opt.checkpoint.resume_latest = true;
+        opt.telemetry_label = case_tag + "/resumed";
         const tiering::RunnerResult resumed =
             tiering::EndToEndRunner::run(spec, cfg, opt);
         const std::string got = fingerprint(resumed);
@@ -208,5 +221,6 @@ int main(int argc, char** argv) {
                               : "MISMATCHES FOUND")
             << " (" << failures << " failing cases)\n";
   if (csv) std::cout << "Rows written to chaos.csv\n";
+  if (telemetry) telemetry->export_final();
   return failures;
 }

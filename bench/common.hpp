@@ -8,11 +8,13 @@
 /// results is preserved. See DESIGN.md §2 for the substitution table.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "monitors/ibs.hpp"
 #include "sim/config.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/ckpt.hpp"
 #include "util/cli.hpp"
 #include "util/fault.hpp"
@@ -100,6 +102,24 @@ inline util::ckpt::Options checkpoint_from_args(const util::ArgParser& args) {
   ck.resume_latest = args.get_bool("resume-latest", false);
   ck.keep_last = static_cast<std::uint32_t>(args.get_u64("keep-last", 3));
   return ck;
+}
+
+/// Telemetry selection shared by the benches (docs/OBSERVABILITY.md):
+///   --metrics-out=F       Prometheus text exposition output path
+///   --trace-out=F         Chrome trace-event JSON output path
+///   --telemetry-every=N   re-export every N completed epochs (0 = run end)
+/// Returns null (telemetry fully disabled, zero hot-path cost) unless at
+/// least one output path is given. One sink serves every run a bench makes,
+/// so metrics aggregate across runs and each run gets its own trace track.
+inline std::unique_ptr<telemetry::Telemetry> telemetry_from_args(
+    const util::ArgParser& args) {
+  telemetry::TelemetryConfig cfg;
+  cfg.metrics_out = args.get("metrics-out", "");
+  cfg.trace_out = args.get("trace-out", "");
+  cfg.export_every =
+      static_cast<std::uint32_t>(args.get_u64("telemetry-every", 0));
+  if (cfg.metrics_out.empty() && cfg.trace_out.empty()) return nullptr;
+  return std::make_unique<telemetry::Telemetry>(cfg);
 }
 
 /// The robustness bench's CSV schema, shared with the golden-schema test

@@ -15,6 +15,7 @@
 ///        [--trace-weight=F] [--csv=0|1] [--fault-rate=F] [--fault-seed=N]
 ///        [--fault-sites=a,b] [--checkpoint-every=N] [--checkpoint-dir=D]
 ///        [--resume-from=F] [--resume-latest=0|1] [--keep-last=K]
+///        [--metrics-out=F] [--trace-out=F] [--telemetry-every=N]
 
 #include <array>
 #include <fstream>
@@ -64,6 +65,8 @@ int main(int argc, char** argv) {
   const std::uint32_t threads = bench::selected_threads(args);
   const util::FaultConfig fault = bench::fault_from_args(args);
   const util::ckpt::Options checkpoint = bench::checkpoint_from_args(args);
+  const std::unique_ptr<telemetry::Telemetry> telemetry =
+      bench::telemetry_from_args(args);
 
   std::cout << "Fig. 6: tier-1 hitrate, Oracle & History x profiling source\n"
             << "(epoch = " << ops_per_epoch << " ops, " << epochs
@@ -85,7 +88,11 @@ int main(int argc, char** argv) {
   // a --threads=1 run — output order is fixed by the spec list.
   const std::vector<workloads::WorkloadSpec> specs = bench::selected_specs(args);
   std::vector<tiering::EpochSeries> collected(specs.size());
-  const bool outer_parallel = threads > 1 && specs.size() > 1;
+  // One telemetry sink cannot be shared by concurrently-collecting
+  // Systems, so telemetry forces the (deterministically identical)
+  // serial workload loop; --threads still shards each System's cores.
+  const bool outer_parallel =
+      threads > 1 && specs.size() > 1 && telemetry == nullptr;
   const auto collect_one = [&](std::size_t i) {
     tiering::CollectOptions collect;
     collect.n_epochs = epochs;
@@ -103,6 +110,8 @@ int main(int argc, char** argv) {
     collect.n_threads = outer_parallel ? 1 : threads;
     collect.checkpoint = checkpoint;
     collect.checkpoint.basename = specs[i].name + "-collect";
+    collect.telemetry = telemetry.get();
+    collect.telemetry_label = specs[i].name + "/collect";
     collected[i] = tiering::collect_series(
         specs[i], bench::testbed_config(specs[i].total_bytes), collect);
   };
@@ -172,5 +181,6 @@ int main(int argc, char** argv) {
             << util::TextTable::fixed(best_gain, 2)
             << "x (paper: combined wins by up to ~1.6-1.7x)\n";
   if (write_csv) std::cout << "Series written to fig6_hitrate.csv\n";
+  if (telemetry) telemetry->export_final();
   return 0;
 }

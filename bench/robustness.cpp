@@ -18,6 +18,7 @@
 /// Usage: robustness [--workload=<name>] [--scale=F] [--epochs=N]
 ///        [--ops-per-epoch=N] [--rates=0,0.05,...] [--fault-seed=N]
 ///        [--fault-sites=a,b] [--threads=N] [--csv=0|1]
+///        [--metrics-out=F] [--trace-out=F] [--telemetry-every=N]
 
 #include <iostream>
 #include <memory>
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
   const bool write_csv = args.get_bool("csv", true);
   const std::vector<double> rates =
       parse_rates(args.get("rates", "0,0.05,0.1,0.2,0.4"));
+  const std::unique_ptr<telemetry::Telemetry> telemetry =
+      bench::telemetry_from_args(args);
   auto scaled_ns = [time_scale](double paper_us) {
     return static_cast<util::SimNs>(paper_us * 1000.0 / time_scale);
   };
@@ -104,11 +107,15 @@ int main(int argc, char** argv) {
       opt.n_threads = bench::selected_threads(args);
       opt.fault = bench::fault_from_args(args);
       opt.fault.rate = rate;
+      opt.telemetry = telemetry.get();
 
+      const std::string rate_tag = util::TextTable::fixed(rate, 2);
       opt.policy = "first-touch";
+      opt.telemetry_label = spec.name + "@" + rate_tag + "/first-touch";
       const tiering::RunnerResult base =
           tiering::EndToEndRunner::run(spec, cfg, opt);
       opt.policy = "history";
+      opt.telemetry_label = spec.name + "@" + rate_tag + "/history";
       const tiering::RunnerResult tmp =
           tiering::EndToEndRunner::run(spec, cfg, opt);
       const double speedup = static_cast<double>(base.runtime_ns) /
@@ -162,5 +169,6 @@ int main(int argc, char** argv) {
   std::cout << "\nGraceful degradation (<=30% speedup loss at rate 0.2): "
             << (graceful ? "yes" : "NO") << '\n';
   if (csv) std::cout << "Rows written to robustness.csv\n";
+  if (telemetry) telemetry->export_final();
   return 0;
 }

@@ -23,7 +23,8 @@
 ///        [--time-scale=F] [--fault-rate=F] [--fault-seed=N]
 ///        [--fault-sites=a,b] [--csv=0|1] [--checkpoint-every=N]
 ///        [--checkpoint-dir=D] [--resume-from=F] [--resume-latest=0|1]
-///        [--keep-last=K]
+///        [--keep-last=K] [--metrics-out=F] [--trace-out=F]
+///        [--telemetry-every=N]
 
 #include <iostream>
 #include <memory>
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
   const util::FaultConfig fault = bench::fault_from_args(args);
   const util::ckpt::Options checkpoint = bench::checkpoint_from_args(args);
   const bool write_csv = args.get_bool("csv", true);
+  const std::unique_ptr<telemetry::Telemetry> telemetry =
+      bench::telemetry_from_args(args);
 
   const tiering::SlowMemoryModel slow_model =
       model == "badgertrap" ? tiering::SlowMemoryModel::BadgerTrapEmulation
@@ -93,16 +96,19 @@ int main(int argc, char** argv) {
     opt.badgertrap.handler_cost_ns = scaled_ns(1.0);
     opt.n_threads = bench::selected_threads(args);
     opt.fault = fault;
+    opt.telemetry = telemetry.get();
 
     // One basename per (workload, policy) so every run in a shared
     // checkpoint directory keeps its own checkpoint chain.
     opt.checkpoint = checkpoint;
     opt.policy = "first-touch";
     opt.checkpoint.basename = spec.name + "-first-touch";
+    opt.telemetry_label = spec.name + "/first-touch";
     const tiering::RunnerResult base =
         tiering::EndToEndRunner::run(spec, cfg, opt);
     opt.policy = "history";
     opt.checkpoint.basename = spec.name + "-history";
+    opt.telemetry_label = spec.name + "/history";
     const tiering::RunnerResult tmp =
         tiering::EndToEndRunner::run(spec, cfg, opt);
     const double speedup = static_cast<double>(base.runtime_ns) /
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
     if (with_oracle) {
       opt.policy = "oracle";
       opt.checkpoint.basename = spec.name + "-oracle";
+      opt.telemetry_label = spec.name + "/oracle";
       const tiering::RunnerResult oracle =
           tiering::EndToEndRunner::run(spec, cfg, opt);
       oracle_cell = util::TextTable::fixed(
@@ -151,5 +158,16 @@ int main(int argc, char** argv) {
             << "x  best: " << util::TextTable::fixed(best, 3)
             << "x  (paper: average 1.04x, optimal 1.13x)\n";
   if (csv) std::cout << "Rows written to table_speedup.csv\n";
+  if (telemetry) {
+    telemetry->export_final();
+    std::cout << "Telemetry exported"
+              << (telemetry->config().metrics_out.empty()
+                      ? ""
+                      : " metrics=" + telemetry->config().metrics_out)
+              << (telemetry->config().trace_out.empty()
+                      ? ""
+                      : " trace=" + telemetry->config().trace_out)
+              << "\n";
+  }
   return 0;
 }

@@ -1,24 +1,61 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every paper artifact in one go.
-# Outputs land in test_output.txt / bench_output.txt at the repo root and
-# the per-figure CSVs in the working directory.
+# Outputs land in test_output.txt / bench_output.txt at the repo root, the
+# per-figure CSVs in the working directory, and the telemetry artifacts
+# (Prometheus text + Chrome trace JSON per instrumented bench, see
+# docs/OBSERVABILITY.md) under $TELEMETRY_DIR (default telemetry-out/).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+TELEMETRY_DIR="${TELEMETRY_DIR:-telemetry-out}"
 
 cmake -B build -G Ninja
 cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Every bench registered in bench/CMakeLists.txt must exist — a missing
+# binary means the build silently dropped an artifact, so fail loudly
+# instead of skipping it.
+BENCHES=(
+  fig2_ptw_ratio fig3_heatmap_ibs fig4_heatmap_abit fig5_cdf fig6_hitrate
+  table4_detected_pages table_overhead table_speedup profiler_compare
+  ablation_fusion ablation_epoch ablation_shootdown ablation_gating
+  robustness chaos three_tier consolidation arch_compare
+)
+missing=0
+for b in "${BENCHES[@]}"; do
+  if [ ! -x "build/bench/$b" ]; then
+    echo "ERROR: bench binary build/bench/$b is missing" >&2
+    missing=$((missing + 1))
+  fi
+done
+if [ "$missing" -gt 0 ]; then
+  echo "ERROR: $missing bench binaries missing — check the build log" >&2
+  exit 1
+fi
+
+# Benches with telemetry plumbing export their own metrics + trace files.
+declare -A TELEMETRY_FLAGS=(
+  [table_speedup]=1 [fig6_hitrate]=1 [robustness]=1 [chaos]=1
+  [table_overhead]=1
+)
+mkdir -p "$TELEMETRY_DIR"
+
 {
-  for b in build/bench/*; do
-    if [ -x "$b" ] && [ -f "$b" ]; then
-      echo "==================== ${b#build/bench/} ===================="
-      "$b"
-      echo
+  for b in "${BENCHES[@]}"; do
+    echo "==================== $b ===================="
+    if [ "${TELEMETRY_FLAGS[$b]:-0}" = "1" ]; then
+      "build/bench/$b" \
+        "--metrics-out=$TELEMETRY_DIR/$b.prom" \
+        "--trace-out=$TELEMETRY_DIR/$b.trace.json"
+    else
+      "build/bench/$b"
     fi
+    echo
   done
 } 2>&1 | tee bench_output.txt
 
-echo "Done. See test_output.txt, bench_output.txt, fig*_*.csv."
+echo "Done. See test_output.txt, bench_output.txt, fig*_*.csv and" \
+     "$TELEMETRY_DIR/*.prom / *.trace.json."

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "pmu/events.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/ckpt.hpp"
 #include "util/log.hpp"
@@ -26,8 +27,39 @@ TmpDaemon::TmpDaemon(sim::System& system, const DaemonConfig& config)
   driver_.set_fault_injector(&fault_);
 }
 
+void TmpDaemon::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  driver_.set_telemetry(telemetry);
+  if (telemetry == nullptr) {
+    t_ticks_ = {};
+    t_scans_run_ = {};
+    t_abit_gated_ = {};
+    t_trace_gated_ = {};
+    t_hwpc_wraps_ = {};
+    t_rescaled_ = {};
+    t_fallback_ = {};
+    t_pinned_ = {};
+    t_tracked_pids_ = {};
+    t_ladder_state_ = {};
+    return;
+  }
+  telemetry::MetricsRegistry& m = telemetry->metrics();
+  t_ticks_ = m.counter("daemon_ticks_total");
+  t_scans_run_ = m.counter("daemon_scans_run_total");
+  t_abit_gated_ = m.counter("daemon_abit_gated_total");
+  t_trace_gated_ = m.counter("daemon_trace_gated_total");
+  t_hwpc_wraps_ = m.counter("daemon_hwpc_wraps_total");
+  t_rescaled_ = m.counter("daemon_rescaled_epochs_total");
+  t_fallback_ = m.counter("daemon_fallback_epochs_total");
+  t_pinned_ = m.counter("daemon_pinned_epochs_total");
+  t_tracked_pids_ = m.gauge("daemon_tracked_pids");
+  t_ladder_state_ = m.gauge("daemon_ladder_state");
+}
+
 ProfileSnapshot TmpDaemon::tick() {
   const std::uint64_t seq = tick_seq_++;
+  const util::SimNs tick_begin = system_.now();
+  t_ticks_.inc();
 
   // 1. Read the HWPC miss counters accumulated over the elapsed period.
   // Injected wraps truncate the cumulative reading to its low bits, the way
@@ -49,6 +81,7 @@ ProfileSnapshot TmpDaemon::tick() {
                                std::uint64_t& prev_delta, const char* name) {
     if (reading < last) {
       ++degrade_.hwpc_wraps;
+      t_hwpc_wraps_.inc();
       TMPROF_LOG_WARN << "tmp-daemon: " << name << " counter wrapped ("
                       << reading << " < " << last
                       << "); holding previous delta";
@@ -93,7 +126,12 @@ ProfileSnapshot TmpDaemon::tick() {
   }
   if (run_abit) {
     scan = driver_.scan_processes(tracked_pids_);
+    t_scans_run_.inc();
+  } else {
+    t_abit_gated_.inc();
   }
+  if (!run_trace) t_trace_gated_.inc();
+  t_tracked_pids_.set(tracked_pids_.size());
   if (config_.charge_overhead) {
     system_.advance_time(scan.cost_ns);
   }
@@ -133,6 +171,7 @@ ProfileSnapshot TmpDaemon::tick() {
       fusion = FusionMode::AbitOnly;
       snapshot.trace_fallback = true;
       ++degrade_.fallback_epochs;
+      t_fallback_.inc();
       TMPROF_LOG_WARN << "tmp-daemon: epoch " << snapshot.epoch << " lost "
                       << dropped_delta << "/" << total
                       << " trace samples; falling back to abit-only fusion";
@@ -144,6 +183,7 @@ ProfileSnapshot TmpDaemon::tick() {
       weight = (fusion == FusionMode::Sum ? 1.0 : weight) / (1.0 - loss);
       fusion = FusionMode::Weighted;
       ++degrade_.rescaled_epochs;
+      t_rescaled_.inc();
     }
     snapshot.ranking = build_ranking(snapshot.observation, fusion, weight);
   }
@@ -168,9 +208,21 @@ ProfileSnapshot TmpDaemon::tick() {
     snapshot.ranking = last_good_ranking_;
     snapshot.pinned = true;
     ++degrade_.pinned_epochs;
+    t_pinned_.inc();
     TMPROF_LOG_WARN << "tmp-daemon: " << bad_scans_
                     << " consecutive bad scans; pinning ranking from last "
                        "good epoch";
+  }
+  // Ladder position after this tick: 0 normal, 1 rescaled, 2 fallback,
+  // 3 pinned (the most degraded state wins).
+  if (telemetry_ != nullptr) {
+    std::uint64_t ladder = 0;
+    if (snapshot.pinned) ladder = 3;
+    else if (snapshot.trace_fallback) ladder = 2;
+    else if (snapshot.trace_loss > config_.trace_rescale_threshold) ladder = 1;
+    t_ladder_state_.set(ladder);
+    telemetry_->span("daemon.tick", tick_begin, system_.now(),
+                     telemetry::kTidDaemon);
   }
   return snapshot;
 }

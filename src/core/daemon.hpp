@@ -106,6 +106,12 @@ class TmpDaemon {
     return fault_.stats();
   }
 
+  /// Attach (or with null, detach) the telemetry sink for the daemon's
+  /// gate/ladder/watchdog metrics and the per-tick span; forwards to the
+  /// owned driver (docs/OBSERVABILITY.md). The System's own sink is
+  /// attached separately by whoever owns the System.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   /// numa_maps-style dump of a snapshot's top pages.
   [[nodiscard]] static std::string dump(const ProfileSnapshot& snapshot,
                                         std::size_t top_n = 20);
@@ -136,6 +142,18 @@ class TmpDaemon {
   std::uint64_t tick_seq_ = 0;
   bool filter_ever_ran_ = false;
   util::SimNs last_filter_eval_ = 0;
+
+  telemetry::Telemetry* telemetry_ = nullptr;  ///< not owned; may be null
+  telemetry::Counter t_ticks_;
+  telemetry::Counter t_scans_run_;
+  telemetry::Counter t_abit_gated_;
+  telemetry::Counter t_trace_gated_;
+  telemetry::Counter t_hwpc_wraps_;
+  telemetry::Counter t_rescaled_;
+  telemetry::Counter t_fallback_;
+  telemetry::Counter t_pinned_;
+  telemetry::Gauge t_tracked_pids_;
+  telemetry::Gauge t_ladder_state_;
 };
 
 }  // namespace tmprof::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/ckpt.hpp"
 
@@ -50,6 +51,30 @@ TmpDriver::~TmpDriver() {
   if (pml_) system_.remove_observer(pml_.get());
 }
 
+void TmpDriver::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    t_kept_ = {};
+    t_dropped_ = {};
+    t_scans_aborted_ = {};
+    t_abit_ptes_ = {};
+    t_abit_pages_ = {};
+    t_mon_samples_ = {};
+    t_mon_tags_lost_ = {};
+    t_mon_interrupts_ = {};
+    return;
+  }
+  telemetry::MetricsRegistry& m = telemetry->metrics();
+  t_kept_ = m.counter("driver_trace_samples_kept_total");
+  t_dropped_ = m.counter("driver_trace_samples_dropped_total");
+  t_scans_aborted_ = m.counter("driver_abit_scans_aborted_total");
+  t_abit_ptes_ = m.counter("driver_abit_ptes_visited_total");
+  t_abit_pages_ = m.counter("driver_abit_pages_accessed_total");
+  t_mon_samples_ = m.gauge("monitor_trace_samples_taken");
+  t_mon_tags_lost_ = m.gauge("monitor_trace_tags_lost");
+  t_mon_interrupts_ = m.gauge("monitor_trace_interrupts");
+}
+
 void TmpDriver::set_trace_enabled(bool enabled) {
   if (enabled == trace_enabled_) return;
   monitors::AccessObserver* obs =
@@ -78,6 +103,7 @@ void TmpDriver::on_trace(std::span<const monitors::TraceSample> samples) {
           key.pid);
       if (fault_->fire(util::FaultSite::TraceOverflow, fkey)) {
         ++trace_samples_dropped_;
+        t_dropped_.inc();
         continue;
       }
     }
@@ -85,6 +111,7 @@ void TmpDriver::on_trace(std::span<const monitors::TraceSample> samples) {
     store_.record_trace(pfn, epoch_);
     cumulative_trace_4k_[pfn] += 1;
     ++trace_samples_kept_;
+    t_kept_.inc();
   }
 }
 
@@ -100,6 +127,7 @@ monitors::AbitScanResult TmpDriver::scan_processes(
       // are picked up (with inflated counts) by the next successful scan.
       total.aborted = true;
       ++scans_aborted_;
+      t_scans_aborted_.inc();
       break;
     }
     sim::Process& proc = system_.process(pid);
@@ -114,6 +142,14 @@ monitors::AbitScanResult TmpDriver::scan_processes(
     total.pages_accessed += r.pages_accessed;
     total.shootdowns += r.shootdowns;
     total.cost_ns += r.cost_ns;
+  }
+  t_abit_ptes_.add(total.ptes_visited);
+  t_abit_pages_.add(total.pages_accessed);
+  if (telemetry_ != nullptr && total.cost_ns > 0) {
+    // The caller charges cost_ns to the clock after we return; span it on
+    // the daemon track starting at the current sim time.
+    telemetry_->span("abit.scan", system_.now(), system_.now() + total.cost_ns,
+                     telemetry::kTidDaemon);
   }
   return total;
 }
@@ -137,6 +173,16 @@ EpochObservation TmpDriver::end_epoch() {
   current_ = EpochObservation{};
   current_.epoch = ++epoch_;
   overflow_seen_.clear();
+  // Monitor-level gauges: cumulative values read from the backend at each
+  // epoch close (tags_lost is IBS-only; PEBS tagging cannot miss).
+  if (ibs_) {
+    t_mon_samples_.set(ibs_->samples_taken());
+    t_mon_tags_lost_.set(ibs_->tags_lost());
+    t_mon_interrupts_.set(ibs_->interrupts());
+  } else if (pebs_) {
+    t_mon_samples_.set(pebs_->samples_taken());
+    t_mon_interrupts_.set(pebs_->interrupts());
+  }
   return closed;
 }
 

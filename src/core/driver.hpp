@@ -22,7 +22,12 @@
 #include "monitors/pebs.hpp"
 #include "monitors/pml.hpp"
 #include "sim/system.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/fault.hpp"
+
+namespace tmprof::telemetry {
+class Telemetry;
+}
 
 namespace tmprof::core {
 
@@ -102,6 +107,11 @@ class TmpDriver {
     fault_ = injector;
   }
 
+  /// Attach (or with null, detach) the telemetry sink: trace filter
+  /// counters, A-bit scan counters + spans, and per-epoch monitor gauges
+  /// (docs/OBSERVABILITY.md).
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   /// Checkpoint hooks: monitor state, the descriptor store, the open
   /// epoch's observation maps, and the cumulative CDF inputs. The backend
   /// configuration must match the constructed driver on load.
@@ -124,6 +134,15 @@ class TmpDriver {
   bool trace_enabled_ = false;
   std::uint64_t trace_samples_kept_ = 0;
   util::FaultInjector* fault_ = nullptr;  ///< not owned; may be null
+  telemetry::Telemetry* telemetry_ = nullptr;  ///< not owned; may be null
+  telemetry::Counter t_kept_;
+  telemetry::Counter t_dropped_;
+  telemetry::Counter t_scans_aborted_;
+  telemetry::Counter t_abit_ptes_;
+  telemetry::Counter t_abit_pages_;
+  telemetry::Gauge t_mon_samples_;
+  telemetry::Gauge t_mon_tags_lost_;
+  telemetry::Gauge t_mon_interrupts_;
   std::uint64_t trace_samples_dropped_ = 0;
   std::uint64_t scans_aborted_ = 0;
   /// Per-epoch occurrence index per page, so overflow-drop decisions are a

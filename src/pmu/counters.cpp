@@ -112,6 +112,7 @@ void Pmu::tick_all(util::SimNs now) {
 }
 
 std::uint64_t Pmu::read_total(Event e) const {
+  reads_.inc();
   std::uint64_t sum = 0;
   for (const auto& core : cores_) sum += core.read(e);
   return sum;

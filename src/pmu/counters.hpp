@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "pmu/events.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/time.hpp"
 
 namespace tmprof::util::ckpt {
@@ -95,16 +96,23 @@ class Pmu {
   void program_all(const std::vector<Event>& events);
   void tick_all(util::SimNs now);
 
-  /// Sum of observed counts across cores.
+  /// Sum of observed counts across cores. Each call models one software
+  /// MSR-read sweep and is counted in telemetry (`pmu_reads_total`).
   [[nodiscard]] std::uint64_t read_total(Event e) const;
-  /// Sum of true counts across cores.
+  /// Sum of true counts across cores (oracle view; not a software read).
   [[nodiscard]] std::uint64_t truth_total(Event e) const;
+
+  /// Attach telemetry counters (null detaches; docs/OBSERVABILITY.md).
+  void set_telemetry_counter(telemetry::Counter reads) noexcept {
+    reads_ = reads;
+  }
 
   void save_state(util::ckpt::Writer& w) const;
   void load_state(util::ckpt::Reader& r);
 
  private:
   std::vector<PmuCore> cores_;
+  telemetry::Counter reads_;
 };
 
 }  // namespace tmprof::pmu

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "mem/ptw.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -35,6 +36,11 @@ std::uint64_t pow2_floor(std::uint64_t v) {
   while (p * 2 <= v) p *= 2;
   return p;
 }
+
+// Access-latency histogram geometry: 64 ns buckets up to 4 µs covers every
+// modeled latency short of a major fault; the rest lands in overflow.
+constexpr std::uint64_t kLatencyHistHi = 4096;
+constexpr std::size_t kLatencyHistBuckets = 64;
 }  // namespace
 
 System::System(const SimConfig& config)
@@ -147,6 +153,38 @@ void System::remove_observer(monitors::AccessObserver* observer) {
       observers_.end());
 }
 
+void System::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  shard_ops_.clear();
+  shard_latency_.clear();
+  if (telemetry == nullptr) {
+    ops_counter_ = {};
+    migrations_ = {};
+    shootdown_ipis_ = {};
+    access_latency_ = {};
+    pmu_.set_telemetry_counter({});
+    return;
+  }
+  telemetry::MetricsRegistry& m = telemetry->metrics();
+  ops_counter_ = m.counter("system_ops_total");
+  migrations_ = m.counter("system_migrations_total");
+  shootdown_ipis_ = m.counter("system_shootdown_ipis_total");
+  access_latency_ = m.histogram("system_access_latency_ns", 0, kLatencyHistHi,
+                                kLatencyHistBuckets);
+  pmu_.set_telemetry_counter(m.counter("pmu_reads_total"));
+  // One shard per simulated core (never per worker thread): the shard → core
+  // decomposition is fixed by the config, so merged values are bitwise
+  // thread-count-invariant.
+  m.ensure_shards(config_.cores);
+  shard_ops_.reserve(config_.cores);
+  shard_latency_.reserve(config_.cores);
+  for (std::uint32_t c = 0; c < config_.cores; ++c) {
+    shard_ops_.push_back(m.shard_counter(c, "system_ops_total"));
+    shard_latency_.push_back(m.shard_histogram(
+        c, "system_access_latency_ns", 0, kLatencyHistHi, kLatencyHistBuckets));
+  }
+}
+
 void System::rebuild_schedule() {
   // Each process appears round(weight * 8) times (>= 1) in the rotation.
   schedule_.clear();
@@ -242,6 +280,10 @@ util::SimNs System::step_parallel(std::uint64_t ops, util::ThreadPool* pool) {
     ctx.total_ops = &shard.executed;
     ctx.direct = &direct[s];
     ctx.log = buffered.empty() ? nullptr : &shard.log;
+    if (!shard_ops_.empty()) {
+      ctx.ops = shard_ops_[s];
+      ctx.latency = shard_latency_[s];
+    }
     std::size_t cursor = schedule_cursor_;
     for (std::uint64_t i = 0; i < ops; ++i) {
       const std::uint32_t proc_idx = schedule_[cursor];
@@ -274,6 +316,13 @@ util::SimNs System::step_parallel(std::uint64_t ops, util::ThreadPool* pool) {
     }
   }
   for (monitors::AccessObserver* obs : observers_) obs->merge_shards();
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().merge_shards();
+    for (std::uint32_t s = 0; s < n_cores; ++s) {
+      telemetry_->span("shard.step", start, start + shards[s].elapsed,
+                       telemetry::kTidShardBase + s);
+    }
+  }
 
   util::SimNs max_elapsed = 0;
   for (const Shard& shard : shards) {
@@ -361,6 +410,8 @@ AccessResult System::access(Process& proc, mem::VirtAddr vaddr, bool is_store,
   ctx.arena = phys_.arenas() > 1 ? core_idx : 0;
   ctx.total_ops = &total_ops_;
   ctx.direct = &observers_;
+  ctx.ops = ops_counter_;
+  ctx.latency = access_latency_;
   const AccessResult result = access_impl(proc, vaddr, is_store, ip, ctx);
   now_ = ctx.now;
   return result;
@@ -496,6 +547,8 @@ AccessResult System::access_impl(Process& proc, mem::VirtAddr vaddr,
 
   ctx.now += latency;
   result.latency_ns = latency;
+  ctx.ops.inc();
+  ctx.latency.observe(latency);
 
   // ---- publish hardware events to monitors ------------------------------
   monitors::MemOpEvent event;
@@ -525,6 +578,7 @@ std::uint64_t System::shootdown(mem::Pid pid, mem::VirtAddr page_va,
   }
   const std::uint64_t ipis = config_.cores - 1;
   pmu_.core(0).record(Event::TlbShootdownIpi, now_, ipis);
+  shootdown_ipis_.add(ipis);
   return ipis;
 }
 
@@ -545,6 +599,7 @@ bool System::migrate_page(mem::Pid pid, mem::VirtAddr page_va,
   phys_.free(old_pfn);
   shootdown(pid, page_va, ref.size);
   pmu_.core(0).record(Event::PageMigration, now_);
+  migrations_.inc();
   return true;
 }
 

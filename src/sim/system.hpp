@@ -18,10 +18,15 @@
 #include "pmu/counters.hpp"
 #include "sim/config.hpp"
 #include "sim/process.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/time.hpp"
 
 namespace tmprof::util {
 class ThreadPool;
+}
+
+namespace tmprof::telemetry {
+class Telemetry;
 }
 
 namespace tmprof::util::ckpt {
@@ -81,6 +86,13 @@ class System {
   using FaultHook =
       std::function<util::SimNs(Process&, mem::VirtAddr, bool is_store)>;
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Attach (or with null, detach) the telemetry sink. Resolves global and
+  /// per-core shard handles for the access-path metrics; the shard cells
+  /// merge at the step_parallel epoch barrier in ascending core order, so
+  /// exported values are identical across engine thread counts and match
+  /// the serial engine (docs/OBSERVABILITY.md).
+  void set_telemetry(telemetry::Telemetry* telemetry);
 
   // --- execution --------------------------------------------------------
   /// Execute `ops` memory operations, scheduling processes by weight with
@@ -153,6 +165,10 @@ class System {
     /// Event log for observers without a shard sink (replayed at the
     /// barrier in core order); null on the serial path.
     std::vector<std::pair<monitors::MemOpEvent, bool>>* log = nullptr;
+    /// Telemetry cells: global on the serial path, shard-local in parallel
+    /// mode (null handles when telemetry is detached — free no-ops).
+    telemetry::Counter ops;
+    telemetry::HistogramHandle latency;
   };
 
   void rebuild_schedule();
@@ -176,6 +192,14 @@ class System {
   monitors::BadgerTrap* badgertrap_ = nullptr;
   FaultHook fault_hook_;
   mem::TierId first_touch_tier_ = 0;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter ops_counter_;
+  telemetry::Counter migrations_;
+  telemetry::Counter shootdown_ipis_;
+  telemetry::HistogramHandle access_latency_;
+  std::vector<telemetry::Counter> shard_ops_;
+  std::vector<telemetry::HistogramHandle> shard_latency_;
 
   std::vector<std::uint32_t> schedule_;  ///< weighted process indices
   std::size_t schedule_cursor_ = 0;

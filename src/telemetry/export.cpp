@@ -1,0 +1,143 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace tmprof::telemetry {
+
+namespace {
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';  // span names never carry control chars; stay valid
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Simulated ns rendered as Chrome's microsecond timestamps with fixed
+/// 3-digit sub-microsecond precision — pure integer formatting, so the
+/// output is deterministic everywhere.
+void put_ts(std::ostream& os, util::SimNs ns) {
+  os << ns / 1000 << '.';
+  const util::SimNs frac = ns % 1000;
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+struct Event {
+  bool is_end = false;
+  util::SimNs ts = 0;
+  const Span* span = nullptr;
+};
+
+}  // namespace
+
+void write_chrome_trace(
+    std::ostream& os, const SpanTracer& tracer,
+    const std::vector<std::pair<std::uint32_t, std::string>>& run_labels) {
+  const std::vector<Span> spans = tracer.spans_in_order();
+
+  // Group by (pid, tid); within a group order outer-before-inner so a
+  // single stack pass emits a properly nested, balanced B/E sequence.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<const Span*>>
+      groups;
+  for (const Span& s : spans) groups[{s.pid, s.tid}].push_back(&s);
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const auto& [pid, label] : run_labels) {
+    comma();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape(os, label);
+    os << "\"}}";
+  }
+  for (auto& [key, group] : groups) {
+    std::stable_sort(group.begin(), group.end(),
+                     [](const Span* a, const Span* b) {
+                       if (a->begin_ns != b->begin_ns) {
+                         return a->begin_ns < b->begin_ns;
+                       }
+                       return a->end_ns > b->end_ns;  // outer span first
+                     });
+    struct Open {
+      const Span* span;
+      util::SimNs end;
+    };
+    std::vector<Event> events;
+    events.reserve(group.size() * 2);
+    std::vector<Open> stack;
+    const auto pop = [&] {
+      events.push_back(Event{true, stack.back().end, stack.back().span});
+      stack.pop_back();
+    };
+    for (const Span* s : group) {
+      while (!stack.empty() && stack.back().end <= s->begin_ns) pop();
+      // A mis-nested span (overlapping its parent) is clamped to the
+      // parent's extent so the B/E stream always nests. Recorded spans
+      // nest by construction; this is a defensive invariant.
+      util::SimNs end = s->end_ns;
+      if (!stack.empty() && end > stack.back().end) end = stack.back().end;
+      events.push_back(Event{false, s->begin_ns, s});
+      stack.push_back(Open{s, end});
+    }
+    while (!stack.empty()) pop();
+    for (const Event& ev : events) {
+      comma();
+      os << "{\"name\":\"";
+      json_escape(os, ev.span->name);
+      os << "\",\"ph\":\"" << (ev.is_end ? 'E' : 'B') << "\",\"ts\":";
+      put_ts(os, ev.ts);
+      os << ",\"pid\":" << key.first << ",\"tid\":" << key.second << '}';
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry,
+                      const std::string& prefix) {
+  for (const auto& [name, value] : registry.counters()) {
+    os << "# TYPE " << prefix << name << " counter\n"
+       << prefix << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    os << "# TYPE " << prefix << name << " gauge\n"
+       << prefix << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    os << "# TYPE " << prefix << name << " histogram\n";
+    // Cumulative buckets: observations <= le. Underflow mass (< lo) is
+    // below every finite edge; overflow mass only reaches +Inf.
+    std::uint64_t cumulative = hist.underflow();
+    for (std::size_t b = 0; b < hist.buckets(); ++b) {
+      cumulative += hist.count(b);
+      const std::uint64_t edge =
+          b + 1 < hist.buckets() ? hist.bucket_lo(b + 1) : hist.hi();
+      os << prefix << name << "_bucket{le=\"" << edge << "\"} " << cumulative
+         << '\n';
+    }
+    os << prefix << name << "_bucket{le=\"+Inf\"} " << hist.total() << '\n'
+       << prefix << name << "_sum " << hist.value_sum() << '\n'
+       << prefix << name << "_count " << hist.total() << '\n';
+  }
+}
+
+}  // namespace tmprof::telemetry

@@ -1,0 +1,37 @@
+#pragma once
+/// \file export.hpp
+/// Telemetry exporters (docs/OBSERVABILITY.md):
+///  * Chrome trace-event JSON — loadable in Perfetto / chrome://tracing.
+///    Spans are emitted as balanced B/E duration-event pairs, grouped by
+///    (pid, tid) and properly nested, plus process_name metadata for each
+///    registered run label.
+///  * Prometheus text exposition (version 0.0.4) — counters, gauges and
+///    histograms with cumulative `le` buckets, `_sum` and `_count`.
+///
+/// Both writers iterate sorted containers and format integers / fixed-
+/// precision decimals only, so for a given telemetry state the exported
+/// byte streams are identical across platforms, thread counts and resumes.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace tmprof::telemetry {
+
+/// Write `{"traceEvents": [...]}`. `run_labels` maps a Chrome pid to a
+/// human-readable process name (one per bench run).
+void write_chrome_trace(
+    std::ostream& os, const SpanTracer& tracer,
+    const std::vector<std::pair<std::uint32_t, std::string>>& run_labels);
+
+/// Write every metric in text exposition format with the given name
+/// prefix (default "tmprof_").
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry,
+                      const std::string& prefix = "tmprof_");
+
+}  // namespace tmprof::telemetry

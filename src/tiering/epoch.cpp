@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <memory>
 
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -317,6 +318,17 @@ EpochSeries collect_series_impl(const WorkloadFactory& factory,
   system.add_observer(&truth);
   core::TmpDaemon daemon(system, options.daemon);
 
+  telemetry::Telemetry* const telemetry = options.telemetry;
+  telemetry::Counter epochs_counter;
+  if (telemetry != nullptr) {
+    telemetry->begin_run(options.telemetry_label.empty()
+                             ? "collect"
+                             : options.telemetry_label);
+    system.set_telemetry(telemetry);
+    daemon.set_telemetry(telemetry);
+    epochs_counter = telemetry->metrics().counter("runner_epochs_total");
+  }
+
   EpochSeries series;
   series.epochs.reserve(options.n_epochs);
   std::uint32_t start_epoch = 0;
@@ -359,6 +371,12 @@ EpochSeries collect_series_impl(const WorkloadFactory& factory,
     if (series.epochs.size() != start_epoch) {
       throw util::ckpt::CkptError("series", "epoch record count mismatch");
     }
+    r.enter_section("telemetry");
+    if (r.get_bool() != (telemetry != nullptr)) {
+      throw util::ckpt::CkptError("telemetry", "telemetry presence mismatch");
+    }
+    if (telemetry != nullptr) telemetry->load_state(r);
+    r.end_section();
   }
 
   std::unique_ptr<util::ThreadPool> pool;
@@ -367,6 +385,7 @@ EpochSeries collect_series_impl(const WorkloadFactory& factory,
   }
 
   for (std::uint32_t e = start_epoch; e < options.n_epochs; ++e) {
+    const util::SimNs epoch_begin = system.now();
     if (config.sharded_engine) {
       system.step_parallel(options.ops_per_epoch, pool.get());
     } else {
@@ -379,6 +398,14 @@ EpochSeries collect_series_impl(const WorkloadFactory& factory,
     for (const auto& [key, count] : data.truth) data.truth_total += count;
     data.observed = std::move(snapshot.observation);
     series.epochs.push_back(std::move(data));
+    // Telemetry is recorded before any checkpoint below so the saved span
+    // ring and counters include this epoch (resume → identical exports).
+    epochs_counter.inc();
+    if (telemetry != nullptr) {
+      telemetry->span("runner.epoch", epoch_begin, system.now(),
+                      telemetry::kTidRunner);
+      telemetry->maybe_export(e + 1);
+    }
     if (options.checkpoint.enabled() &&
         (e + 1) % options.checkpoint.every == 0) {
       util::ckpt::Writer w;
@@ -401,6 +428,10 @@ EpochSeries collect_series_impl(const WorkloadFactory& factory,
       w.end_section();
       w.begin_section("series");
       save_series(w, series);
+      w.end_section();
+      w.begin_section("telemetry");
+      w.put_bool(telemetry != nullptr);
+      if (telemetry != nullptr) telemetry->save_state(w);
       w.end_section();
       util::ckpt::Writer::save_atomic(
           util::ckpt::checkpoint_path(options.checkpoint.dir,

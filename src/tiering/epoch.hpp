@@ -104,6 +104,12 @@ struct CollectOptions {
   util::ckpt::Options checkpoint{};
   /// Called after each completed epoch (chaos harness kill hook).
   std::function<void(std::uint32_t)> on_epoch;
+  /// Telemetry sink for the collection run (docs/OBSERVABILITY.md); null
+  /// (default) disables telemetry at zero hot-path cost. Not owned. Do not
+  /// share one sink across concurrently-collecting Systems.
+  telemetry::Telemetry* telemetry = nullptr;
+  /// Chrome-trace process label ("" = "collect").
+  std::string telemetry_label;
 };
 
 /// Produces the processes' workload generators for one run. Must be

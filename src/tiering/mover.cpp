@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/ckpt.hpp"
 
@@ -25,6 +26,42 @@ std::vector<std::pair<PageKey, mem::PageSize>> PageMover::residents(
         });
   }
   return pages;
+}
+
+void PageMover::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    t_promoted_ = {};
+    t_demoted_ = {};
+    t_retried_ = {};
+    t_deferred_ = {};
+    t_aborted_ = {};
+    t_no_room_ = {};
+    t_deferred_pending_ = {};
+    return;
+  }
+  telemetry::MetricsRegistry& m = telemetry->metrics();
+  t_promoted_ = m.counter("mover_promoted_total");
+  t_demoted_ = m.counter("mover_demoted_total");
+  t_retried_ = m.counter("mover_retried_total");
+  t_deferred_ = m.counter("mover_deferred_total");
+  t_aborted_ = m.counter("mover_aborted_total");
+  t_no_room_ = m.counter("mover_no_room_total");
+  t_deferred_pending_ = m.gauge("mover_deferred_pending");
+}
+
+void PageMover::note_apply(const MoveStats& stats, util::SimNs begin_ns) {
+  t_promoted_.add(stats.promoted);
+  t_demoted_.add(stats.demoted);
+  t_retried_.add(stats.retried);
+  t_deferred_.add(stats.deferred);
+  t_aborted_.add(stats.aborted);
+  t_no_room_.add(stats.no_room);
+  t_deferred_pending_.set(deferred_.size());
+  if (telemetry_ != nullptr) {
+    telemetry_->span("mover.apply", begin_ns, system_.now(),
+                     telemetry::kTidMover);
+  }
 }
 
 std::uint64_t PageMover::budget_for_apply() const noexcept {
@@ -152,6 +189,7 @@ MoveStats PageMover::apply_placement(
 MoveStats PageMover::reconcile(const PlacementSet& desired,
                                const std::vector<core::PageRank>& ranking) {
   MoveStats stats;
+  const util::SimNs apply_begin = system_.now();
   std::uint64_t budget = budget_for_apply();
 
   // Demote cold tier-1 residents so promotions have room — *coldest first*,
@@ -236,6 +274,7 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
 
   drain_deferred(stats, budget);
   system_.advance_time(stats.cost_ns + stats.backoff_ns);
+  note_apply(stats, apply_begin);
   return stats;
 }
 
@@ -245,6 +284,7 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
   TMPROF_EXPECTS(capacities.size() + 1 <= system_.phys().tier_count());
   MoveStats stats;
   if (ranking.empty()) return stats;
+  const util::SimNs apply_begin = system_.now();
   std::uint64_t budget = budget_for_apply();
   const auto bottom = static_cast<mem::TierId>(capacities.size());
 
@@ -325,6 +365,7 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
   }
   drain_deferred(stats, budget);
   system_.advance_time(stats.cost_ns + stats.backoff_ns);
+  note_apply(stats, apply_begin);
   return stats;
 }
 

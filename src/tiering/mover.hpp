@@ -19,6 +19,7 @@
 
 #include "core/ranking.hpp"
 #include "sim/system.hpp"
+#include "telemetry/metrics.hpp"
 #include "tiering/policy.hpp"
 #include "util/fault.hpp"
 
@@ -121,6 +122,11 @@ class PageMover {
     return fault_.stats();
   }
 
+  /// Attach (or with null, detach) the telemetry sink: per-apply move
+  /// counters, the deferred-queue gauge and a "mover.apply" span per batch
+  /// (docs/OBSERVABILITY.md).
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   /// Checkpoint hooks: the deferred queue, the move sequence counter (fault
   /// keys must not repeat across a resume) and the injector tallies.
   void save_state(util::ckpt::Writer& w) const;
@@ -140,6 +146,8 @@ class PageMover {
   /// Re-attempt queued promotions whose destination has room again.
   void drain_deferred(MoveStats& stats, std::uint64_t& budget);
   [[nodiscard]] std::uint64_t budget_for_apply() const noexcept;
+  /// Publish one apply batch's stats and span to the telemetry sink.
+  void note_apply(const MoveStats& stats, util::SimNs begin_ns);
 
   struct DeferredMove {
     PageKey key;
@@ -152,6 +160,15 @@ class PageMover {
   std::vector<DeferredMove> deferred_;  ///< FIFO, carried across epochs
   std::unordered_set<PageKey, PageKeyHash> deferred_set_;
   std::uint64_t move_seq_ = 0;  ///< distinguishes fault keys across epochs
+
+  telemetry::Telemetry* telemetry_ = nullptr;  ///< not owned; may be null
+  telemetry::Counter t_promoted_;
+  telemetry::Counter t_demoted_;
+  telemetry::Counter t_retried_;
+  telemetry::Counter t_deferred_;
+  telemetry::Counter t_aborted_;
+  telemetry::Counter t_no_room_;
+  telemetry::Gauge t_deferred_pending_;
 };
 
 }  // namespace tmprof::tiering

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "pmu/events.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tiering/epoch.hpp"
 #include "util/assert.hpp"
 #include "util/ckpt.hpp"
@@ -107,6 +108,21 @@ RunnerResult run_impl(const WorkloadFactory& factory,
   mover_config.fault = options.fault;
   PageMover mover(system, mover_config);
 
+  // Telemetry attaches before any resume load: handles resolve registry
+  // cells in place, and load_state later overwrites those same cells, so
+  // resolution order never affects restored values.
+  telemetry::Telemetry* const telemetry = options.telemetry;
+  telemetry::Counter epochs_counter;
+  if (telemetry != nullptr) {
+    telemetry->begin_run(options.telemetry_label.empty()
+                             ? options.policy
+                             : options.telemetry_label);
+    system.set_telemetry(telemetry);
+    daemon.set_telemetry(telemetry);
+    mover.set_telemetry(telemetry);
+    epochs_counter = telemetry->metrics().counter("runner_epochs_total");
+  }
+
   const bool migrate = options.policy != "first-touch";
   const bool oracle = options.policy == "oracle";
   const bool emulation =
@@ -189,6 +205,12 @@ RunnerResult run_impl(const WorkloadFactory& factory,
     result.migrations = r.get_u64();
     load_move_stats(r, result.moves);
     r.end_section();
+    r.enter_section("telemetry");
+    if (r.get_bool() != (telemetry != nullptr)) {
+      throw util::ckpt::CkptError("telemetry", "telemetry presence mismatch");
+    }
+    if (telemetry != nullptr) telemetry->load_state(r);
+    r.end_section();
   }
 
   // Oracle pre-pass: record each epoch's true hottest pages on an identical
@@ -228,6 +250,7 @@ RunnerResult run_impl(const WorkloadFactory& factory,
   }
 
   for (std::uint32_t e = start_epoch; e < options.n_epochs; ++e) {
+    const util::SimNs epoch_begin = system.now();
     if (config.sharded_engine) {
       system.step_parallel(options.ops_per_epoch, pool.get());
     } else {
@@ -279,6 +302,15 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       for (const core::PageRank& pr : snapshot.ranking) hot.insert(pr.key);
       sync_poison(system, trap, hot);
     }
+    // Record the epoch's telemetry before any checkpoint below, so the
+    // saved span ring and counters include this epoch — a resumed run
+    // replays the remaining epochs and exports identical artifacts.
+    epochs_counter.inc();
+    if (telemetry != nullptr) {
+      telemetry->span("runner.epoch", epoch_begin, system.now(),
+                      telemetry::kTidRunner);
+      telemetry->maybe_export(e + 1);
+    }
     if (options.checkpoint.enabled() &&
         (e + 1) % options.checkpoint.every == 0) {
       util::ckpt::Writer w;
@@ -322,6 +354,10 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       w.begin_section("runner");
       w.put_u64(result.migrations);
       save_move_stats(w, result.moves);
+      w.end_section();
+      w.begin_section("telemetry");
+      w.put_bool(telemetry != nullptr);
+      if (telemetry != nullptr) telemetry->save_state(w);
       w.end_section();
       util::ckpt::Writer::save_atomic(
           util::ckpt::checkpoint_path(options.checkpoint.dir,

@@ -52,6 +52,13 @@ struct RunnerOptions {
   util::ckpt::Options checkpoint{};
   /// Called after each completed epoch (chaos harness kill hook).
   std::function<void(std::uint32_t)> on_epoch;
+  /// Telemetry sink wired through every layer (system, daemon, mover) for
+  /// the duration of the run; null (default) disables telemetry at zero
+  /// hot-path cost (docs/OBSERVABILITY.md). Not owned. Telemetry state
+  /// rides in the checkpoint, so a resumed run exports identical files.
+  telemetry::Telemetry* telemetry = nullptr;
+  /// Chrome-trace process label for this run ("" = use the policy name).
+  std::string telemetry_label;
 };
 
 struct RunnerResult {

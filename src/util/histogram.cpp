@@ -17,6 +17,7 @@ Histogram::Histogram(std::uint64_t lo, std::uint64_t hi, std::size_t buckets)
 
 void Histogram::add(std::uint64_t value, std::uint64_t weight) {
   total_ += weight;
+  sum_ += value * weight;
   if (value < lo_) {
     underflow_ += weight;
     return;
@@ -38,6 +39,54 @@ std::uint64_t Histogram::count(std::size_t bucket) const {
 std::uint64_t Histogram::bucket_lo(std::size_t bucket) const {
   TMPROF_EXPECTS(bucket < counts_.size());
   return lo_ + bucket * width_;
+}
+
+bool Histogram::same_shape(const Histogram& other) const noexcept {
+  return lo_ == other.lo_ && hi_ == other.hi_ &&
+         counts_.size() == other.counts_.size();
+}
+
+void Histogram::merge(const Histogram& other) {
+  TMPROF_EXPECTS(same_shape(other));
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+void Histogram::reset() noexcept {
+  total_ = 0;
+  underflow_ = 0;
+  overflow_ = 0;
+  sum_ = 0;
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return static_cast<double>(lo_);
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 0-based: q spans [first, last].
+  const double target = q * static_cast<double>(total_ - 1);
+  const auto rank = static_cast<std::uint64_t>(target);
+  std::uint64_t seen = underflow_;
+  if (rank < seen) return static_cast<double>(lo_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t c = counts_[b];
+    if (c != 0 && rank < seen + c) {
+      // Interpolate inside the bucket by the rank's position in it.
+      const double frac = (static_cast<double>(rank - seen) + 0.5) /
+                          static_cast<double>(c);
+      const std::uint64_t bucket_hi =
+          std::min(hi_, lo_ + (b + 1) * width_);
+      return static_cast<double>(bucket_lo(b)) +
+             frac * static_cast<double>(bucket_hi - bucket_lo(b));
+    }
+    seen += c;
+  }
+  return static_cast<double>(hi_);  // remaining mass is overflow
 }
 
 Heatmap::Heatmap(std::uint64_t time_hi, std::size_t time_bins,

@@ -23,9 +23,38 @@ class Histogram {
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  /// Weighted sum of every added value (including under/overflow), for
+  /// Prometheus-style `_sum` exposition.
+  [[nodiscard]] std::uint64_t value_sum() const noexcept { return sum_; }
+  /// Overwrite the value sum. Checkpoint-restore only: bucket counts carry
+  /// no exact values, so a deserializer rebuilds counts and patches the
+  /// exact sum back in.
+  void set_value_sum(std::uint64_t sum) noexcept { sum_ = sum; }
 
   /// Inclusive lower edge of a bucket.
   [[nodiscard]] std::uint64_t bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] std::uint64_t lo() const noexcept { return lo_; }
+  [[nodiscard]] std::uint64_t hi() const noexcept { return hi_; }
+
+  /// True when `other` has the same range and bucket grid, i.e. the two
+  /// histograms can be merged cell-for-cell.
+  [[nodiscard]] bool same_shape(const Histogram& other) const noexcept;
+
+  /// Add every count of `other` into this histogram (shard-merge). Both
+  /// histograms must have the same shape; merging is associative and
+  /// commutative, so any shard partitioning of the same adds produces
+  /// bitwise-identical totals.
+  void merge(const Histogram& other);
+
+  /// Zero every count (shape is kept). Used by shard-local histograms
+  /// after an epoch-barrier merge.
+  void reset() noexcept;
+
+  /// q-quantile estimate in [lo, hi] by linear interpolation inside the
+  /// covering bucket; q is clamped to [0, 1]. Underflow mass sits at `lo`,
+  /// overflow mass at `hi`. An empty histogram returns `lo` — never NaN —
+  /// so merged-from-empty-shards quantiles stay well defined.
+  [[nodiscard]] double quantile(double q) const noexcept;
 
  private:
   std::uint64_t lo_;
@@ -34,6 +63,7 @@ class Histogram {
   std::uint64_t total_ = 0;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
+  std::uint64_t sum_ = 0;
   std::vector<std::uint64_t> counts_;
 };
 

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tmprof::util {
 namespace {
@@ -86,6 +90,121 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(10, 10, 4), AssertionError);
   EXPECT_THROW(Histogram(0, 10, 0), AssertionError);
   EXPECT_THROW(Heatmap(0, 1, 1, 1), AssertionError);
+}
+
+// ---------------------------------------------------------------------------
+// Quantile edges under the telemetry shard-merge protocol
+// (src/telemetry/metrics.hpp): merged-from-empty shards, single-bucket
+// grids and out-of-range mass must all stay NaN-free and thread-count
+// invariant.
+
+TEST(Histogram, QuantileOfEmptyIsLoNeverNan) {
+  const Histogram h(100, 200, 10);
+  for (const double q : {0.0, 0.5, 0.999, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_FALSE(std::isnan(v)) << q;
+    EXPECT_EQ(v, 100.0) << q;
+  }
+}
+
+TEST(Histogram, QuantileClampsAndCoversEdges) {
+  Histogram h(0, 100, 10);
+  for (std::uint64_t v = 0; v < 100; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));  // q clamps to [0, 1]
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+  // Interpolation keeps quantiles strictly inside [lo, hi]: the extreme
+  // ranks land mid-observation, never outside the recorded range.
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+  EXPECT_GE(h.quantile(1.0), 99.0);
+  EXPECT_LE(h.quantile(1.0), 100.0);
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 40.0);
+  EXPECT_LE(median, 60.0);
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));  // monotone in q
+}
+
+TEST(Histogram, QuantilePutsOutOfRangeMassAtTheEdges) {
+  Histogram h(10, 20, 2);
+  h.add(0, 10);    // underflow mass sits at lo
+  h.add(100, 10);  // overflow mass sits at hi
+  EXPECT_EQ(h.quantile(0.0), 10.0);
+  EXPECT_EQ(h.quantile(1.0), 20.0);
+  EXPECT_FALSE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(Histogram, SingleBucketQuantilesInterpolateInRange) {
+  Histogram h(0, 8, 1);
+  h.add(3);
+  h.add(5);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_FALSE(std::isnan(v)) << q;
+    EXPECT_GE(v, 0.0) << q;
+    EXPECT_LE(v, 8.0) << q;
+  }
+}
+
+TEST(Histogram, MergeRequiresSameShape) {
+  Histogram a(0, 100, 10);
+  Histogram b(0, 100, 5);
+  EXPECT_FALSE(a.same_shape(b));
+  EXPECT_THROW(a.merge(b), AssertionError);
+  const Histogram c(0, 100, 10);
+  EXPECT_TRUE(a.same_shape(c));
+}
+
+TEST(Histogram, MergeFromEmptyShardsIsIdentityAndNanFree) {
+  Histogram global(0, 64, 8);
+  global.add(7, 3);
+  const std::uint64_t before = global.total();
+  Histogram empty(0, 64, 8);
+  global.merge(empty);  // empty shard at the barrier: a no-op
+  EXPECT_EQ(global.total(), before);
+  EXPECT_FALSE(std::isnan(global.quantile(0.5)));
+  // Merging *into* an empty global adopts the shard's distribution.
+  Histogram fresh(0, 64, 8);
+  fresh.merge(global);
+  EXPECT_EQ(fresh.total(), before);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(fresh.quantile(0.5)),
+            std::bit_cast<std::uint64_t>(global.quantile(0.5)));
+}
+
+TEST(Histogram, ShardMergeQuantilesAreThreadCountInvariant) {
+  // The same 4-shard partition of adds, merged after running on worker
+  // pools of 1, 2 and 8 threads, must produce bitwise-identical quantiles
+  // — the telemetry engine's epoch-barrier contract.
+  constexpr std::size_t kShards = 4;
+  constexpr std::uint64_t kAddsPerShard = 1000;
+  std::vector<double> quantiles;  // q in {0.5, 0.9, 0.99} per pool size
+  for (const std::uint32_t n_threads : {1U, 2U, 8U}) {
+    std::vector<Histogram> shards(kShards, Histogram(0, 4096, 64));
+    ThreadPool pool(n_threads);
+    pool.parallel_for(kShards, [&shards](std::size_t s) {
+      for (std::uint64_t i = 0; i < kAddsPerShard; ++i) {
+        // Deterministic per-shard stream, independent of who runs it.
+        shards[s].add((s * 2654435761ULL + i * 40503ULL) % 5000);
+      }
+    });
+    Histogram global(0, 4096, 64);
+    for (Histogram& shard : shards) {  // ascending shard order, as the
+      global.merge(shard);             // registry's merge_shards() does
+      shard.reset();
+      EXPECT_EQ(shard.total(), 0U);
+    }
+    EXPECT_EQ(global.total(), kShards * kAddsPerShard);
+    for (const double q : {0.5, 0.9, 0.99}) {
+      const double v = global.quantile(q);
+      EXPECT_FALSE(std::isnan(v));
+      quantiles.push_back(v);
+    }
+  }
+  ASSERT_EQ(quantiles.size(), 9U);
+  for (std::size_t i = 3; i < quantiles.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(quantiles[i]),
+              std::bit_cast<std::uint64_t>(quantiles[i % 3]))
+        << "pool size run " << i / 3 << ", q index " << i % 3;
+  }
 }
 
 }  // namespace
