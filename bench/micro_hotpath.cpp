@@ -1,0 +1,352 @@
+/// Hot-path microbenchmark — the tracked performance baseline for the
+/// allocation-free epoch loop (docs/PERFORMANCE.md).
+///
+/// Three sections, each reported as ops/sec at several page footprints:
+///  * collector_merge — insert-or-increment a page-counter map with a
+///    skewed key stream and close the epoch (the TruthCollector /
+///    EpochObservation accumulation pattern),
+///  * ranking_build — produce the ranking prefix policies consume each
+///    epoch: new pipeline (flat merge + top-K selection) vs old pipeline
+///    (unordered_map merge + full sort). ranking_full pins both engines
+///    to the full sort for the engine-only delta,
+///  * step_parallel — end-to-end simulator steps with a TruthCollector
+///    attached (the flat engine in its natural habitat; no std variant
+///    since the simulator no longer has one).
+///
+/// `--engine=flat|std|both` selects the map engine: `flat` is the
+/// open-addressing util::FlatHashMap the hot path uses; `std` is an
+/// std::unordered_map reference implementing the identical accumulation
+/// and merge logic. `both` (default) runs the two back to back and
+/// reports flat-over-std speedups — the acceptance bar is >= 2x on
+/// collector_merge and ranking_build.
+///
+/// Results go to stdout (human table) and BENCH_hotpath.json (tracked
+/// schema: {section, pages, engine, ops, seconds, ops_per_sec} rows plus
+/// a speedups array).
+///
+/// Usage: micro_hotpath [--engine=flat|std|both] [--epochs=N]
+///        [--touches-per-page=N] [--step-ops=N] [--out=BENCH_hotpath.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common.hpp"
+#include "core/ranking.hpp"
+#include "sim/system.hpp"
+#include "tiering/epoch.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace tmprof;
+using Clock = std::chrono::steady_clock;
+
+using StdCountMap =
+    std::unordered_map<core::PageKey, std::uint32_t, core::PageKeyHash>;
+using StdRankMap =
+    std::unordered_map<core::PageKey, core::PageRank, core::PageKeyHash>;
+
+struct Row {
+  std::string section;
+  std::uint64_t pages = 0;
+  std::string engine;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Skewed key stream over `pages` distinct pages: a hot head is touched
+/// every round, the tail with stride mixing — roughly the shape an epoch
+/// of trace + A-bit evidence produces.
+std::vector<core::PageKey> make_key_stream(std::uint64_t pages,
+                                           std::uint64_t touches_per_page) {
+  util::Rng rng(pages * 2654435761ULL + 13);
+  std::vector<core::PageKey> keys;
+  keys.reserve(pages * touches_per_page);
+  const std::uint64_t hot = std::max<std::uint64_t>(1, pages / 8);
+  for (std::uint64_t t = 0; t < touches_per_page; ++t) {
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      // Half the touches go to the hot head, half sweep the full range.
+      const std::uint64_t page =
+          (p % 2 == 0) ? rng.below(hot) : rng.below(pages);
+      keys.push_back(core::PageKey{1 + static_cast<mem::Pid>(page % 4),
+                                   page * mem::kPageSize});
+    }
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: collector merge (insert-or-increment + epoch close).
+
+template <typename MapT>
+Row run_collector_merge(const char* engine, std::uint64_t pages,
+                        std::uint64_t epochs,
+                        const std::vector<core::PageKey>& keys) {
+  MapT current;
+  MapT closed;
+  // Untimed warmup epoch: measure steady state, not first-touch growth.
+  for (const core::PageKey& key : keys) current[key] += 1;
+  closed.swap(current);
+  current.clear();
+  const auto start = Clock::now();
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    for (const core::PageKey& key : keys) current[key] += 1;
+    // Epoch close: swap-and-clear, same protocol as TmpDriver/TruthCollector.
+    closed.swap(current);
+    current.clear();
+  }
+  Row row{"collector_merge", pages, engine, epochs * keys.size(), 0.0, 0.0};
+  row.seconds = seconds_since(start);
+  row.ops_per_sec = static_cast<double>(row.ops) / row.seconds;
+  if (closed.size() == 0) std::cerr << "collector_merge: empty epoch?\n";
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: ranking build (merge + fuse + sort each epoch).
+
+void fill_observation(core::EpochObservation& obs,
+                      const std::vector<core::PageKey>& keys) {
+  obs.clear();
+  std::uint64_t i = 0;
+  for (const core::PageKey& key : keys) {
+    if (i % 3 != 0) obs.trace[key] += 1;  // trace-heavy, like IBS epochs
+    if (i % 3 == 0) obs.abit[key] += 1;
+    if (i % 16 == 0) obs.writes[key] += 1;
+    ++i;
+  }
+}
+
+/// std::unordered_map reference of merge_observation + full sort
+/// (ranking.cpp) — the shape of the pre-FlatMap implementation.
+void std_build_ranking(const core::EpochObservation& obs, StdRankMap& merged,
+                       std::vector<core::PageRank>& out) {
+  merged.clear();
+  merged.reserve(obs.abit.size() + obs.trace.size());
+  for (const auto& [key, count] : obs.abit) {
+    core::PageRank& pr = merged[key];
+    pr.key = key;
+    pr.abit = count;
+  }
+  for (const auto& [key, count] : obs.trace) {
+    core::PageRank& pr = merged[key];
+    pr.key = key;
+    pr.trace = count;
+  }
+  for (const auto& [key, count] : obs.writes) {
+    const auto it = merged.find(key);
+    if (it != merged.end()) it->second.writes = count;
+  }
+  out.clear();
+  out.reserve(merged.size());
+  for (auto& [key, pr] : merged) {
+    pr.rank = static_cast<std::uint64_t>(pr.abit) + pr.trace;
+    out.push_back(pr);
+  }
+  std::sort(out.begin(), out.end(), core::RankOrder{});
+}
+
+/// `ranking_build` is the production comparison: the flat engine runs the
+/// new pipeline (flat merge + top-K selection at a capacity-sized k, the
+/// DaemonConfig::ranking_top_k path), the std engine runs the old one
+/// (unordered_map merge + full sort). Both yield the identical top-k
+/// prefix — the entries a placement policy actually consumes — so ops is
+/// consumable entries produced. `ranking_full` pins both engines to the
+/// full sort for an engine-only comparison.
+Row run_ranking_build(const std::string& engine, std::uint64_t pages,
+                      std::uint64_t epochs,
+                      const std::vector<core::PageKey>& keys, std::size_t k) {
+  const bool full = k == 0;
+  core::EpochObservation obs;
+  fill_observation(obs, keys);
+  std::vector<core::PageRank> out;
+  std::uint64_t checksum = 0;
+  double elapsed = 0.0;
+  if (engine == "flat") {
+    core::RankingScratch scratch;
+    auto build = [&] {
+      if (full) {
+        core::build_ranking_into(obs, core::FusionMode::Sum, 1.0, scratch,
+                                 out);
+      } else {
+        core::build_ranking_topk_into(obs, core::FusionMode::Sum, 1.0, k,
+                                      scratch, out);
+      }
+    };
+    build();  // untimed warmup: size every reused buffer first
+    const auto start = Clock::now();
+    for (std::uint64_t e = 0; e < epochs; ++e) {
+      build();
+      checksum += out.empty() ? 0 : out.front().rank;
+    }
+    elapsed = seconds_since(start);
+  } else {
+    // The old pipeline always full-sorts; consumers truncate afterwards.
+    StdRankMap merged;
+    std_build_ranking(obs, merged, out);  // untimed warmup
+    const auto start = Clock::now();
+    for (std::uint64_t e = 0; e < epochs; ++e) {
+      std_build_ranking(obs, merged, out);
+      checksum += out.empty() ? 0 : out.front().rank;
+    }
+    elapsed = seconds_since(start);
+  }
+  const std::uint64_t consumable =
+      full ? out.size() : std::min<std::uint64_t>(k, out.size());
+  Row row{full ? "ranking_full" : "ranking_build", pages, engine,
+          epochs * consumable, 0.0, 0.0};
+  row.seconds = elapsed;
+  row.ops_per_sec = static_cast<double>(row.ops) / row.seconds;
+  if (checksum == 0) std::cerr << "ranking_build: zero checksum?\n";
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: end-to-end simulator steps with a live collector.
+
+Row run_step_parallel(std::uint64_t footprint_pages, std::uint64_t step_ops) {
+  const std::uint64_t footprint = footprint_pages * mem::kPageSize;
+  sim::System system(bench::testbed_config(footprint));
+  system.add_process(
+      std::make_unique<workloads::ZipfWorkload>(footprint, 4096, 0.99, 0.1, 7));
+  tiering::TruthCollector collector(system);
+  system.add_observer(&collector);
+  core::TruthMap truth;
+  std::vector<core::PageKey> new_pages;
+  // Warm the caches, page tables and collector buffers.
+  system.step(step_ops / 4);
+  collector.end_epoch(truth, new_pages);
+  const auto start = Clock::now();
+  for (int e = 0; e < 4; ++e) {
+    system.step(step_ops / 4);
+    collector.end_epoch(truth, new_pages);
+  }
+  Row row{"step_parallel", footprint_pages, "flat", step_ops, 0.0, 0.0};
+  row.seconds = seconds_since(start);
+  row.ops_per_sec = static_cast<double>(row.ops) / row.seconds;
+  system.remove_observer(&collector);
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "micro_hotpath: cannot open " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n  \"bench\": \"micro_hotpath\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"section\": \"" << r.section << "\", \"pages\": " << r.pages
+       << ", \"engine\": \"" << r.engine << "\", \"ops\": " << r.ops
+       << ", \"seconds\": " << r.seconds
+       << ", \"ops_per_sec\": " << r.ops_per_sec << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"speedups\": [\n";
+  // flat-over-std ratio for every (section, pages) pair that has both.
+  bool first = true;
+  for (const Row& flat : rows) {
+    if (flat.engine != "flat") continue;
+    for (const Row& ref : rows) {
+      if (ref.engine != "std" || ref.section != flat.section ||
+          ref.pages != flat.pages) {
+        continue;
+      }
+      if (!first) os << ",\n";
+      first = false;
+      os << "    {\"section\": \"" << flat.section
+         << "\", \"pages\": " << flat.pages << ", \"flat_over_std\": "
+         << flat.ops_per_sec / ref.ops_per_sec << "}";
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const std::string engine = args.get("engine", "both");
+  if (engine != "flat" && engine != "std" && engine != "both") {
+    std::cerr << "micro_hotpath: --engine must be flat, std or both\n";
+    return 1;
+  }
+  const std::uint64_t epochs = args.get_u64("epochs", 8);
+  const std::uint64_t touches = args.get_u64("touches-per-page", 4);
+  const std::uint64_t step_ops = args.get_u64("step-ops", 2'000'000);
+  const std::string out_path = args.get("out", "BENCH_hotpath.json");
+  const bool run_flat = engine != "std";
+  const bool run_std = engine != "flat";
+
+  const std::uint64_t footprints[] = {4096, 16384, 65536};
+  std::vector<Row> rows;
+
+  std::cout << "micro_hotpath: epoch hot-path ops/sec (engine=" << engine
+            << ", " << epochs << " epochs, " << touches
+            << " touches/page)\n\n";
+
+  for (const std::uint64_t pages : footprints) {
+    const std::vector<core::PageKey> keys = make_key_stream(pages, touches);
+    // Capacity-sized k: policies consume at most the tier-1 frame count,
+    // typically a quarter-ish of the footprint in the paper's configs.
+    const std::size_t k = pages / 4;
+    if (run_flat) {
+      rows.push_back(
+          run_collector_merge<core::PageCountMap>("flat", pages, epochs, keys));
+      rows.push_back(run_ranking_build("flat", pages, epochs, keys, k));
+      rows.push_back(run_ranking_build("flat", pages, epochs, keys, 0));
+    }
+    if (run_std) {
+      rows.push_back(
+          run_collector_merge<StdCountMap>("std", pages, epochs, keys));
+      rows.push_back(run_ranking_build("std", pages, epochs, keys, k));
+      rows.push_back(run_ranking_build("std", pages, epochs, keys, 0));
+    }
+  }
+  // One end-to-end datapoint at the middle footprint.
+  rows.push_back(run_step_parallel(16384, step_ops));
+
+  util::TextTable table({"section", "pages", "engine", "ops", "Mops/s"});
+  for (const Row& r : rows) {
+    table.add_row({r.section, std::to_string(r.pages), r.engine,
+                   std::to_string(r.ops),
+                   std::to_string(r.ops_per_sec / 1e6)});
+  }
+  std::cout << table.to_string() << "\n";
+
+  if (run_flat && run_std) {
+    std::cout << "flat-over-std speedups:\n";
+    for (const Row& flat : rows) {
+      if (flat.engine != "flat") continue;
+      for (const Row& ref : rows) {
+        if (ref.engine == "std" && ref.section == flat.section &&
+            ref.pages == flat.pages) {
+          std::cout << "  " << flat.section << " @" << flat.pages
+                    << " pages: " << flat.ops_per_sec / ref.ops_per_sec
+                    << "x\n";
+        }
+      }
+    }
+  }
+
+  write_json(out_path, rows);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -22,7 +22,7 @@ BENCHES=(
   fig2_ptw_ratio fig3_heatmap_ibs fig4_heatmap_abit fig5_cdf fig6_hitrate
   table4_detected_pages table_overhead table_speedup profiler_compare
   ablation_fusion ablation_epoch ablation_shootdown ablation_gating
-  robustness chaos three_tier consolidation arch_compare
+  robustness chaos three_tier consolidation arch_compare micro_hotpath
 )
 missing=0
 for b in "${BENCHES[@]}"; do
@@ -57,5 +57,5 @@ mkdir -p "$TELEMETRY_DIR"
   done
 } 2>&1 | tee bench_output.txt
 
-echo "Done. See test_output.txt, bench_output.txt, fig*_*.csv and" \
-     "$TELEMETRY_DIR/*.prom / *.trace.json."
+echo "Done. See test_output.txt, bench_output.txt, fig*_*.csv," \
+     "BENCH_hotpath.json and $TELEMETRY_DIR/*.prom / *.trace.json."

@@ -57,6 +57,12 @@ void TmpDaemon::set_telemetry(telemetry::Telemetry* telemetry) {
 }
 
 ProfileSnapshot TmpDaemon::tick() {
+  ProfileSnapshot snapshot;
+  tick_into(snapshot);
+  return snapshot;
+}
+
+void TmpDaemon::tick_into(ProfileSnapshot& snapshot) {
   const std::uint64_t seq = tick_seq_++;
   const util::SimNs tick_begin = system_.now();
   t_ticks_.inc();
@@ -136,13 +142,16 @@ ProfileSnapshot TmpDaemon::tick() {
     system_.advance_time(scan.cost_ns);
   }
 
-  // 4. Close the epoch and publish the fused ranking.
-  ProfileSnapshot snapshot;
-  snapshot.observation = driver_.end_epoch();
+  // 4. Close the epoch and publish the fused ranking. `snapshot` may carry
+  // a previous epoch: end_epoch_into recycles its observation buffers, and
+  // the sticky flags are reset here.
+  driver_.end_epoch_into(snapshot.observation);
   snapshot.epoch = snapshot.observation.epoch;
   snapshot.abit_ran = run_abit;
   snapshot.trace_ran = run_trace;
   snapshot.abit_aborted = scan.aborted;
+  snapshot.pinned = false;
+  snapshot.trace_fallback = false;
   degrade_.scans_aborted = driver_.scans_aborted();
   degrade_.trace_dropped = driver_.trace_samples_dropped();
 
@@ -185,7 +194,14 @@ ProfileSnapshot TmpDaemon::tick() {
       ++degrade_.rescaled_epochs;
       t_rescaled_.inc();
     }
-    snapshot.ranking = build_ranking(snapshot.observation, fusion, weight);
+    if (config_.ranking_top_k > 0) {
+      build_ranking_topk_into(snapshot.observation, fusion, weight,
+                              config_.ranking_top_k, ranking_scratch_,
+                              snapshot.ranking);
+    } else {
+      build_ranking_into(snapshot.observation, fusion, weight,
+                         ranking_scratch_, snapshot.ranking);
+    }
   }
 
   // 6. Watchdog: consecutive aborted/empty scans mean the A-bit view has
@@ -224,7 +240,6 @@ ProfileSnapshot TmpDaemon::tick() {
     telemetry_->span("daemon.tick", tick_begin, system_.now(),
                      telemetry::kTidDaemon);
   }
-  return snapshot;
 }
 
 std::string TmpDaemon::dump(const ProfileSnapshot& snapshot,

@@ -48,6 +48,13 @@ struct DaemonConfig {
   /// Pin the last good ranking after this many consecutive bad scans
   /// (aborted or empty). 0 disables the watchdog.
   std::uint32_t watchdog_threshold = 3;
+  /// Publish only the top K ranking entries per epoch via the selection
+  /// sort (core::build_ranking_topk; docs/PERFORMANCE.md). 0 (default)
+  /// publishes the full ranking — required by consumers that read *all*
+  /// entries (BadgerTrap poison sync, Fig. 5 tails), and what every
+  /// golden was recorded with. When set, the published prefix is bitwise
+  /// identical to the full ranking's first K entries.
+  std::size_t ranking_top_k = 0;
 };
 
 /// Cumulative degradation tallies (how often each fallback engaged).
@@ -82,6 +89,11 @@ class TmpDaemon {
   /// scan over filtered PIDs, and emit the epoch's snapshot. The caller
   /// drives the system between calls (one call per elapsed period).
   ProfileSnapshot tick();
+
+  /// Allocation-reusing form: publishes into `out`, recycling its ranking
+  /// vector and observation maps. A caller that keeps one ProfileSnapshot
+  /// across epochs runs the tick path allocation-free after warmup.
+  void tick_into(ProfileSnapshot& out);
 
   [[nodiscard]] TmpDriver& driver() noexcept { return driver_; }
   [[nodiscard]] const DaemonConfig& config() const noexcept { return config_; }
@@ -139,6 +151,7 @@ class TmpDaemon {
   std::uint64_t last_trace_dropped_ = 0;
   std::uint32_t bad_scans_ = 0;        ///< consecutive aborted/empty scans
   std::vector<PageRank> last_good_ranking_;
+  RankingScratch ranking_scratch_;     ///< reused by every tick's fusion
   std::uint64_t tick_seq_ = 0;
   bool filter_ever_ran_ = false;
   util::SimNs last_filter_eval_ = 0;

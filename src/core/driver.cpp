@@ -131,7 +131,7 @@ monitors::AbitScanResult TmpDriver::scan_processes(
       break;
     }
     sim::Process& proc = system_.process(pid);
-    const monitors::AbitScanResult r = scanner_.scan(
+    const monitors::AbitScanResult r = scanner_.scan_fn(
         pid, proc.page_table(), [&](const monitors::AbitSample& sample) {
           const PageKey key{pid, sample.page_va};
           current_.abit[key] += 1;
@@ -164,13 +164,19 @@ void TmpDriver::on_pml(std::span<const mem::PhysAddr> addresses) {
 }
 
 EpochObservation TmpDriver::end_epoch() {
+  EpochObservation closed;
+  end_epoch_into(closed);
+  return closed;
+}
+
+void TmpDriver::end_epoch_into(EpochObservation& out) {
   // Pull any buffered samples into this epoch before closing it.
   if (ibs_) ibs_->drain();
   if (pebs_) pebs_->drain();
   if (pml_) pml_->drain();
-  EpochObservation closed = std::move(current_);
-  closed.epoch = epoch_;
-  current_ = EpochObservation{};
+  current_.epoch = epoch_;
+  out.swap(current_);
+  current_.clear();
   current_.epoch = ++epoch_;
   overflow_seen_.clear();
   // Monitor-level gauges: cumulative values read from the backend at each
@@ -183,7 +189,6 @@ EpochObservation TmpDriver::end_epoch() {
     t_mon_samples_.set(pebs_->samples_taken());
     t_mon_interrupts_.set(pebs_->interrupts());
   }
-  return closed;
 }
 
 util::SimNs TmpDriver::trace_overhead_ns() const noexcept {
@@ -211,15 +216,11 @@ void TmpDriver::save_state(util::ckpt::Writer& w) const {
   w.put_u64(trace_samples_dropped_);
   w.put_u64(scans_aborted_);
   save_page_counts(w, overflow_seen_);
-  std::vector<mem::Pfn> pfns;
-  pfns.reserve(cumulative_trace_4k_.size());
-  for (const auto& [pfn, count] : cumulative_trace_4k_) pfns.push_back(pfn);
-  std::sort(pfns.begin(), pfns.end());
-  w.put_u64(pfns.size());
-  for (const mem::Pfn pfn : pfns) {
+  w.put_u64(cumulative_trace_4k_.size());
+  cumulative_trace_4k_.fold_sorted([&w](mem::Pfn pfn, std::uint32_t count) {
     w.put_u64(pfn);
-    w.put_u32(cumulative_trace_4k_.at(pfn));
-  }
+    w.put_u32(count);
+  });
   save_page_counts(w, cumulative_abit_);
 }
 
@@ -250,8 +251,7 @@ void TmpDriver::load_state(util::ckpt::Reader& r) {
   cumulative_trace_4k_.reserve(trace_entries);
   for (std::uint64_t i = 0; i < trace_entries; ++i) {
     const mem::Pfn pfn = r.get_u64();
-    const std::uint32_t count = r.get_u32();
-    cumulative_trace_4k_.emplace(pfn, count);
+    cumulative_trace_4k_[pfn] = r.get_u32();
   }
   load_page_counts(r, cumulative_abit_);
 }

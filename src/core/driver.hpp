@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/page_stats.hpp"
@@ -30,6 +29,9 @@ class Telemetry;
 }
 
 namespace tmprof::core {
+
+/// Cumulative per-4KiB-frame counters (Fig. 5 CDF input).
+using PfnCountMap = util::FlatHashMap<mem::Pfn, std::uint32_t, util::U64Hash>;
 
 enum class TraceBackend : std::uint8_t { Ibs, Pebs };
 
@@ -69,17 +71,20 @@ class TmpDriver {
   /// epoch's observations, then start a new epoch.
   EpochObservation end_epoch();
 
+  /// Allocation-reusing form: swaps the finished epoch into `out` and
+  /// adopts `out`'s previous buffers (cleared, capacity retained) as the
+  /// new accumulators. Steady-state epochs reuse the same two buffer sets.
+  void end_epoch_into(EpochObservation& out);
+
   [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] const PageStatsStore& store() const noexcept { return store_; }
 
   /// Cumulative per-4KiB-frame trace sample counts (Fig. 5 CDF input).
-  [[nodiscard]] const std::unordered_map<mem::Pfn, std::uint32_t>&
-  trace_counts_4k() const noexcept {
+  [[nodiscard]] const PfnCountMap& trace_counts_4k() const noexcept {
     return cumulative_trace_4k_;
   }
   /// Cumulative per-page A-bit observation counts (Fig. 5 CDF input).
-  [[nodiscard]] const std::unordered_map<PageKey, std::uint32_t, PageKeyHash>&
-  abit_counts() const noexcept {
+  [[nodiscard]] const PageCountMap& abit_counts() const noexcept {
     return cumulative_abit_;
   }
 
@@ -147,9 +152,9 @@ class TmpDriver {
   std::uint64_t scans_aborted_ = 0;
   /// Per-epoch occurrence index per page, so overflow-drop decisions are a
   /// pure function of (epoch, page, occurrence) — invariant to drain order.
-  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> overflow_seen_;
-  std::unordered_map<mem::Pfn, std::uint32_t> cumulative_trace_4k_;
-  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> cumulative_abit_;
+  PageCountMap overflow_seen_;
+  PfnCountMap cumulative_trace_4k_;
+  PageCountMap cumulative_abit_;
 };
 
 }  // namespace tmprof::core

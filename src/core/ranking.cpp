@@ -6,34 +6,58 @@
 #include "util/ckpt.hpp"
 
 namespace tmprof::core {
+namespace {
 
-std::vector<PageRank> build_ranking(const EpochObservation& obs,
-                                    FusionMode mode, double trace_weight) {
-  std::unordered_map<PageKey, PageRank, PageKeyHash> merged;
-  merged.reserve(obs.abit.size() + obs.trace.size());
+/// Merge the per-source counters for `mode` into unsorted fused entries in
+/// `out`. Entries are appended as keys first appear; `scratch.index` maps a
+/// page to its position in `out` so the second source and the writes
+/// ride-along patch in place. The final fuse pass is then a sequential
+/// sweep of `out` rather than a strided walk of a wide hash table. Output
+/// order here is slot order, but every caller sorts (fully or top-K) under
+/// the total RankOrder, which erases it.
+void merge_observation(const EpochObservation& obs, FusionMode mode,
+                       double trace_weight, RankingScratch& scratch,
+                       std::vector<PageRank>& out) {
+  PageMap<std::uint32_t>& index = scratch.index;
+  index.clear();
+  // Size for the larger source, not the sum: the sources overlap heavily
+  // (same hot pages), and summing would double the table — and the probe
+  // miss rate — for nothing. If an epoch's overlap is low the table grows
+  // once and keeps that capacity for every later epoch.
+  index.reserve(std::max(obs.abit.size(), obs.trace.size()));
+  out.clear();
+  out.reserve(obs.abit.size() + obs.trace.size());
   if (mode != FusionMode::TraceOnly) {
     for (const auto& [key, count] : obs.abit) {
-      PageRank& pr = merged[key];
+      // Keys are unique within one source: always a fresh entry.
+      index.try_emplace(key, static_cast<std::uint32_t>(out.size()));
+      PageRank pr;
       pr.key = key;
       pr.abit = count;
+      out.push_back(pr);
     }
   }
   if (mode != FusionMode::AbitOnly) {
     for (const auto& [key, count] : obs.trace) {
-      PageRank& pr = merged[key];
-      pr.key = key;
-      pr.trace = count;
+      const auto [pos, inserted] =
+          index.try_emplace(key, static_cast<std::uint32_t>(out.size()));
+      if (inserted) {
+        PageRank pr;
+        pr.key = key;
+        pr.trace = count;
+        out.push_back(pr);
+      } else {
+        out[*pos].trace = count;
+      }
     }
   }
   // Write evidence rides along without contributing to the fused rank;
   // write-aware policies read it from the PageRank entries.
   for (const auto& [key, count] : obs.writes) {
-    const auto it = merged.find(key);
-    if (it != merged.end()) it->second.writes = count;
+    const auto it = index.find(key);
+    if (it != index.end()) out[it->second].writes = count;
   }
-  std::vector<PageRank> ranked;
-  ranked.reserve(merged.size());
-  for (auto& [key, pr] : merged) {
+  for (PageRank& pr : out) {
     switch (mode) {
       case FusionMode::Sum:
       case FusionMode::AbitOnly:
@@ -49,35 +73,66 @@ std::vector<PageRank> build_ranking(const EpochObservation& obs,
                                 static_cast<double>(pr.trace) * trace_weight);
         break;
     }
-    ranked.push_back(pr);
   }
+}
+
+}  // namespace
+
+void build_ranking_into(const EpochObservation& obs, FusionMode mode,
+                        double trace_weight, RankingScratch& scratch,
+                        std::vector<PageRank>& out) {
+  merge_observation(obs, mode, trace_weight, scratch, out);
   // Descending rank; ties broken by key for determinism.
-  std::sort(ranked.begin(), ranked.end(),
-            [](const PageRank& a, const PageRank& b) {
-              if (a.rank != b.rank) return a.rank > b.rank;
-              return a.key < b.key;
-            });
+  std::sort(out.begin(), out.end(), RankOrder{});
+}
+
+std::vector<PageRank> build_ranking(const EpochObservation& obs,
+                                    FusionMode mode, double trace_weight) {
+  RankingScratch scratch;
+  std::vector<PageRank> ranked;
+  build_ranking_into(obs, mode, trace_weight, scratch, ranked);
   return ranked;
 }
 
-void save_page_counts(
-    util::ckpt::Writer& w,
-    const std::unordered_map<PageKey, std::uint32_t, PageKeyHash>& counts) {
-  std::vector<PageKey> keys;
-  keys.reserve(counts.size());
-  for (const auto& [key, count] : counts) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  w.put_u64(keys.size());
-  for (const PageKey& key : keys) {
-    w.put_u64(key.pid);
-    w.put_u64(key.page_va);
-    w.put_u32(counts.at(key));
+void build_ranking_topk_into(const EpochObservation& obs, FusionMode mode,
+                             double trace_weight, std::size_t k,
+                             RankingScratch& scratch,
+                             std::vector<PageRank>& out) {
+  merge_observation(obs, mode, trace_weight, scratch, out);
+  if (k >= out.size()) {
+    std::sort(out.begin(), out.end(), RankOrder{});
+    return;
   }
+  // RankOrder is a strict total order over distinct pages, so the k
+  // smallest-under-the-order elements are a unique set: partitioning with
+  // nth_element and then sorting the prefix reproduces the full sort's
+  // first k entries bit for bit.
+  std::nth_element(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(k),
+                   out.end(), RankOrder{});
+  out.resize(k);
+  std::sort(out.begin(), out.end(), RankOrder{});
 }
 
-void load_page_counts(
-    util::ckpt::Reader& r,
-    std::unordered_map<PageKey, std::uint32_t, PageKeyHash>& counts) {
+std::vector<PageRank> build_ranking_topk(const EpochObservation& obs,
+                                         FusionMode mode, double trace_weight,
+                                         std::size_t k) {
+  RankingScratch scratch;
+  std::vector<PageRank> ranked;
+  build_ranking_topk_into(obs, mode, trace_weight, k, scratch, ranked);
+  return ranked;
+}
+
+void save_page_counts(util::ckpt::Writer& w, const PageCountMap& counts) {
+  w.put_u64(counts.size());
+  // Single ascending-key pass; no per-key re-hash.
+  counts.fold_sorted([&w](const PageKey& key, std::uint32_t count) {
+    w.put_u64(key.pid);
+    w.put_u64(key.page_va);
+    w.put_u32(count);
+  });
+}
+
+void load_page_counts(util::ckpt::Reader& r, PageCountMap& counts) {
   counts.clear();
   const std::uint64_t n = r.get_u64();
   counts.reserve(n);
@@ -85,8 +140,7 @@ void load_page_counts(
     PageKey key;
     key.pid = static_cast<mem::Pid>(r.get_u64());
     key.page_va = r.get_u64();
-    const std::uint32_t count = r.get_u32();
-    counts.emplace(key, count);
+    counts[key] = r.get_u32();
   }
 }
 

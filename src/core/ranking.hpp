@@ -5,14 +5,20 @@
 /// a single rank; the paper uses a plain sum because Fig. 2 shows the two
 /// event populations have comparable magnitude. Alternative fusion modes
 /// are provided for the ablation benches.
+///
+/// All per-page accumulators here are util::FlatHashMap specializations
+/// (docs/PERFORMANCE.md): contiguous open-addressing tables that retain
+/// capacity across clear(), so the steady-state epoch loop touches no
+/// allocator. The `_into` variants reuse caller-owned scratch for the same
+/// reason; the value-returning forms remain for cold paths and tests.
 
 #include <cstdint>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/page_key.hpp"
 #include "mem/addr.hpp"
+#include "util/flat_map.hpp"
 
 namespace tmprof::util::ckpt {
 class Reader;
@@ -21,23 +27,44 @@ class Writer;
 
 namespace tmprof::core {
 
+/// Flat map keyed by page identity. The default-initialized value of a
+/// fresh slot is `V{}`, matching unordered_map's operator[] semantics.
+template <typename V>
+using PageMap = util::FlatHashMap<PageKey, V, PageKeyHash>;
+
+/// Per-page event tallies (A-bit hits, trace samples, PML writes).
+using PageCountMap = PageMap<std::uint32_t>;
+/// Per-page ground-truth access counts (can exceed 2^32 over long runs).
+using TruthMap = PageMap<std::uint64_t>;
+/// Set of page identities (first-touch tracking, seen-page dedup).
+using PageKeySet = util::FlatHashSet<PageKey, PageKeyHash>;
+
 /// Per-page observations of one epoch, as collected by the TMP driver.
 struct EpochObservation {
   std::uint32_t epoch = 0;
   /// A-bit observations per page (head-keyed; 1 per scan that saw A set).
-  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> abit;
+  PageCountMap abit;
   /// Trace samples per page (head-keyed; huge pages aggregate their 4 KiB
   /// sample addresses).
-  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> trace;
+  PageCountMap trace;
   /// Dirty-page log entries per page (PML; only populated when the driver
   /// enables Page-Modification Logging). Counts D-bit 0→1 transitions, a
   /// write-history signal for NVM-write-averse policies.
-  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> writes;
+  PageCountMap writes;
 
   void clear() {
     abit.clear();
     trace.clear();
     writes.clear();
+  }
+
+  /// Constant-time exchange — the driver hands a finished epoch out and
+  /// takes the (cleared, capacity-retaining) previous buffers back.
+  void swap(EpochObservation& other) noexcept {
+    std::swap(epoch, other.epoch);
+    abit.swap(other.abit);
+    trace.swap(other.trace);
+    writes.swap(other.writes);
   }
 };
 
@@ -70,19 +97,58 @@ struct PageRank {
   std::uint32_t writes = 0;  ///< PML evidence (0 unless PML enabled)
 };
 
+/// The strict total order rankings are sorted by: descending rank, ties
+/// broken by ascending key. Total over distinct pages, which is what makes
+/// the top-K prefix of a partial sort bitwise identical to the full sort.
+/// (A functor rather than a free function so std::sort can inline it.)
+struct RankOrder {
+  [[nodiscard]] bool operator()(const PageRank& a,
+                                const PageRank& b) const noexcept {
+    if (a.rank != b.rank) return a.rank > b.rank;
+    return a.key < b.key;
+  }
+};
+
+/// Reusable merge buffer for build_ranking_into / build_ranking_topk_into.
+/// Holds its capacity across calls; one per daemon/evaluator is enough.
+/// Maps each page to its index in the output vector under construction —
+/// a u32 payload keeps the probe table at half the footprint of mapping
+/// straight to PageRank, and the fused entries build up sequentially in
+/// the output instead of being strided back out of the table.
+struct RankingScratch {
+  PageMap<std::uint32_t> index;
+};
+
 /// Fuse an epoch's observations into a descending-rank list.
 /// \param trace_weight  only used by FusionMode::Weighted.
 [[nodiscard]] std::vector<PageRank> build_ranking(
     const EpochObservation& obs, FusionMode mode, double trace_weight = 1.0);
 
+/// Allocation-reusing form: merges into `scratch`, writes the sorted
+/// ranking into `out` (cleared first, capacity retained).
+void build_ranking_into(const EpochObservation& obs, FusionMode mode,
+                        double trace_weight, RankingScratch& scratch,
+                        std::vector<PageRank>& out);
+
+/// Top-K selection ranking: the first min(k, n) entries of the full
+/// ranking, bitwise identical to `build_ranking(...)` truncated to k, via
+/// std::nth_element + sort of the prefix (O(n + k log k) instead of
+/// O(n log n)). k = 0 yields an empty ranking; k >= n degenerates to the
+/// full sort. Callers that consume the *whole* ranking (BadgerTrap poison
+/// sync, the daemon watchdog) must keep using build_ranking.
+[[nodiscard]] std::vector<PageRank> build_ranking_topk(
+    const EpochObservation& obs, FusionMode mode, double trace_weight,
+    std::size_t k);
+
+void build_ranking_topk_into(const EpochObservation& obs, FusionMode mode,
+                             double trace_weight, std::size_t k,
+                             RankingScratch& scratch,
+                             std::vector<PageRank>& out);
+
 /// Checkpoint serialization helpers. Maps are written in ascending PageKey
-/// order so the byte stream is independent of unordered_map iteration.
-void save_page_counts(
-    util::ckpt::Writer& w,
-    const std::unordered_map<PageKey, std::uint32_t, PageKeyHash>& counts);
-void load_page_counts(
-    util::ckpt::Reader& r,
-    std::unordered_map<PageKey, std::uint32_t, PageKeyHash>& counts);
+/// order so the byte stream is independent of in-memory slot order.
+void save_page_counts(util::ckpt::Writer& w, const PageCountMap& counts);
+void load_page_counts(util::ckpt::Reader& r, PageCountMap& counts);
 void save_observation(util::ckpt::Writer& w, const EpochObservation& obs);
 void load_observation(util::ckpt::Reader& r, EpochObservation& obs);
 void save_ranking(util::ckpt::Writer& w, const std::vector<PageRank>& ranking);

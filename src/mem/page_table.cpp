@@ -89,22 +89,10 @@ PteRef PageTable::resolve(VirtAddr vaddr) {
   }
 }
 
-void PageTable::walk_node(Node& node, unsigned level, VirtAddr base,
-                          const PteVisitor& visit) {
-  for (std::size_t idx = 0; idx < kFanout; ++idx) {
-    const VirtAddr va = base + (static_cast<VirtAddr>(idx)
-                                << kLevelShift[level]);
-    Pte& entry = node.entries[idx];
-    if (entry.present()) {
-      visit(va, level == 2 ? PageSize::k2M : PageSize::k4K, entry);
-    } else if (level < 3 && node.children[idx]) {
-      walk_node(*node.children[idx], level + 1, va, visit);
-    }
-  }
-}
-
 void PageTable::walk(const PteVisitor& visit) {
-  walk_node(*root_, 0, 0, visit);
+  walk_fn([&visit](VirtAddr page_va, PageSize size, Pte& pte) {
+    visit(page_va, size, pte);
+  });
 }
 
 

@@ -64,6 +64,15 @@ class PageTable {
   using PteVisitor = std::function<void(VirtAddr page_va, PageSize, Pte&)>;
   void walk(const PteVisitor& visit);
 
+  /// Templated walk: the visitor is a plain callable invoked directly, so
+  /// the per-leaf call inlines instead of going through std::function's
+  /// dispatch. Same visit order and mutation rules as walk(); use this on
+  /// hot scan paths (the A-bit scanner visits every leaf every epoch).
+  template <typename Visit>
+  void walk_fn(Visit&& visit) {
+    walk_node_fn(*root_, 0, 0, visit);
+  }
+
   /// Checkpoint hooks: leaves are saved as (page_va, size, raw bits) and
   /// re-mapped on load, which rebuilds the identical minimal radix (unmap
   /// prunes empty nodes, so live structure is always minimal).
@@ -96,8 +105,20 @@ class PageTable {
   }
 
   Node* descend(VirtAddr vaddr, unsigned target_level, bool create);
-  void walk_node(Node& node, unsigned level, VirtAddr base,
-                 const PteVisitor& visit);
+
+  template <typename Visit>
+  void walk_node_fn(Node& node, unsigned level, VirtAddr base, Visit& visit) {
+    for (std::size_t idx = 0; idx < kFanout; ++idx) {
+      const VirtAddr va =
+          base + (static_cast<VirtAddr>(idx) << kLevelShift[level]);
+      Pte& entry = node.entries[idx];
+      if (entry.present()) {
+        visit(va, level == 2 ? PageSize::k2M : PageSize::k4K, entry);
+      } else if (level < 3 && node.children[idx]) {
+        walk_node_fn(*node.children[idx], level + 1, va, visit);
+      }
+    }
+  }
   /// Clears the leaf covering `vaddr` under `node`; returns whether `node`
   /// is now empty (no present entries, no children) and prunes below.
   bool unmap_rec(Node& node, unsigned level, VirtAddr vaddr, Pte& removed);

@@ -8,26 +8,10 @@ AbitScanner::AbitScanner(const AbitConfig& config) : config_(config) {}
 
 AbitScanResult AbitScanner::scan(mem::Pid pid, mem::PageTable& table,
                                  const SampleSink& sink) {
-  AbitScanResult result;
-  table.walk([&](mem::VirtAddr page_va, mem::PageSize size, mem::Pte& pte) {
-    ++result.ptes_visited;
-    // gather_a_history(): check, save and clear the A bit.
-    if (pte.test_clear_accessed()) {
-      ++result.pages_accessed;
-      if (sink) {
-        sink(AbitSample{page_va, pte.pfn(), size});
-      }
-      if (config_.shootdown_on_clear && shootdown_) {
-        result.shootdowns += shootdown_(pid, page_va, size);
-      }
-    }
-  });
-  result.cost_ns = result.ptes_visited * config_.cost_per_pte_ns +
-                   result.shootdowns * config_.cost_per_shootdown_ns;
-  total_ptes_visited_ += result.ptes_visited;
-  total_pages_accessed_ += result.pages_accessed;
-  overhead_ns_ += result.cost_ns;
-  return result;
+  if (sink) {
+    return scan_fn(pid, table, [&sink](const AbitSample& s) { sink(s); });
+  }
+  return scan_fn(pid, table, [](const AbitSample&) {});
 }
 
 

@@ -72,6 +72,32 @@ class AbitScanner {
   AbitScanResult scan(mem::Pid pid, mem::PageTable& table,
                       const SampleSink& sink);
 
+  /// Templated scan: `sink` is a plain callable invoked directly for every
+  /// accessed page, riding PageTable::walk_fn so the whole per-leaf visit
+  /// inlines (no std::function dispatch on the epoch hot path).
+  template <typename Sink>
+  AbitScanResult scan_fn(mem::Pid pid, mem::PageTable& table, Sink&& sink) {
+    AbitScanResult result;
+    table.walk_fn(
+        [&](mem::VirtAddr page_va, mem::PageSize size, mem::Pte& pte) {
+          ++result.ptes_visited;
+          // gather_a_history(): check, save and clear the A bit.
+          if (pte.test_clear_accessed()) {
+            ++result.pages_accessed;
+            sink(AbitSample{page_va, pte.pfn(), size});
+            if (config_.shootdown_on_clear && shootdown_) {
+              result.shootdowns += shootdown_(pid, page_va, size);
+            }
+          }
+        });
+    result.cost_ns = result.ptes_visited * config_.cost_per_pte_ns +
+                     result.shootdowns * config_.cost_per_shootdown_ns;
+    total_ptes_visited_ += result.ptes_visited;
+    total_pages_accessed_ += result.pages_accessed;
+    overhead_ns_ += result.cost_ns;
+    return result;
+  }
+
   [[nodiscard]] const AbitConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::uint64_t total_ptes_visited() const noexcept {
     return total_ptes_visited_;

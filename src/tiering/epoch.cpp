@@ -13,19 +13,15 @@ namespace tmprof::tiering {
 
 namespace {
 
-void save_key_set(util::ckpt::Writer& w,
-                  const std::unordered_set<PageKey, PageKeyHash>& set) {
-  std::vector<PageKey> keys(set.begin(), set.end());
-  std::sort(keys.begin(), keys.end());
-  w.put_u64(keys.size());
-  for (const PageKey& key : keys) {
+void save_key_set(util::ckpt::Writer& w, const core::PageKeySet& set) {
+  w.put_u64(set.size());
+  set.fold_sorted([&w](const PageKey& key) {
     w.put_u64(key.pid);
     w.put_u64(key.page_va);
-  }
+  });
 }
 
-void load_key_set(util::ckpt::Reader& r,
-                  std::unordered_set<PageKey, PageKeyHash>& set) {
+void load_key_set(util::ckpt::Reader& r, core::PageKeySet& set) {
   set.clear();
   const std::uint64_t count = r.get_u64();
   set.reserve(count);
@@ -37,24 +33,16 @@ void load_key_set(util::ckpt::Reader& r,
   }
 }
 
-void save_truth_map(
-    util::ckpt::Writer& w,
-    const std::unordered_map<PageKey, std::uint64_t, PageKeyHash>& map) {
-  std::vector<PageKey> keys;
-  keys.reserve(map.size());
-  for (const auto& [key, count] : map) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  w.put_u64(keys.size());
-  for (const PageKey& key : keys) {
+void save_truth_map(util::ckpt::Writer& w, const core::TruthMap& map) {
+  w.put_u64(map.size());
+  map.fold_sorted([&w](const PageKey& key, std::uint64_t count) {
     w.put_u64(key.pid);
     w.put_u64(key.page_va);
-    w.put_u64(map.at(key));
-  }
+    w.put_u64(count);
+  });
 }
 
-void load_truth_map(
-    util::ckpt::Reader& r,
-    std::unordered_map<PageKey, std::uint64_t, PageKeyHash>& map) {
+void load_truth_map(util::ckpt::Reader& r, core::TruthMap& map) {
   map.clear();
   const std::uint64_t count = r.get_u64();
   map.reserve(count);
@@ -62,7 +50,7 @@ void load_truth_map(
     PageKey key;
     key.pid = static_cast<mem::Pid>(r.get_u64());
     key.page_va = r.get_u64();
-    map.emplace(key, r.get_u64());
+    map[key] = r.get_u64();
   }
 }
 
@@ -102,7 +90,7 @@ TruthCollector::TruthCollector(sim::System& system) : system_(system) {
 void TruthCollector::on_mem_op(const monitors::MemOpEvent& event) {
   const mem::VirtAddr page_va = mem::page_base(event.vaddr, event.page_size);
   const PageKey key{event.pid, page_va};
-  if (seen_.insert(key).second) {
+  if (seen_.insert(key)) {
     new_pages_.push_back(key);
     page_sizes_[key] = event.page_size;
   }
@@ -114,7 +102,7 @@ void TruthCollector::on_mem_op(const monitors::MemOpEvent& event) {
 void TruthCollector::Shard::on_mem_op(const monitors::MemOpEvent& event) {
   const mem::VirtAddr page_va = mem::page_base(event.vaddr, event.page_size);
   const PageKey key{event.pid, page_va};
-  if (seen.insert(key).second) {
+  if (seen.insert(key)) {
     new_pages.emplace_back(key, event.page_size);
   }
   if (mem::is_memory(event.source)) {
@@ -200,11 +188,12 @@ void TruthCollector::load_state(util::ckpt::Reader& r) {
   }
 }
 
-void TruthCollector::end_epoch(
-    std::unordered_map<PageKey, std::uint64_t, PageKeyHash>& truth_out,
-    std::vector<PageKey>& new_pages_out) {
-  truth_out = std::move(truth_);
-  new_pages_out = std::move(new_pages_);
+void TruthCollector::end_epoch(core::TruthMap& truth_out,
+                               std::vector<PageKey>& new_pages_out) {
+  // Swap rather than move: the caller's previous buffers become next
+  // epoch's accumulators, keeping their slot arrays.
+  truth_out.swap(truth_);
+  std::swap(new_pages_out, new_pages_);
   truth_.clear();
   new_pages_.clear();
 }
@@ -384,6 +373,11 @@ EpochSeries collect_series_impl(const WorkloadFactory& factory,
     pool = std::make_unique<util::ThreadPool>(options.n_threads);
   }
 
+  // Reused across epochs: each EpochData keeps its own maps (the series
+  // retains them), but the snapshot's ranking vector and whatever buffers
+  // the daemon hands back are recycled.
+  core::ProfileSnapshot snapshot;
+
   for (std::uint32_t e = start_epoch; e < options.n_epochs; ++e) {
     const util::SimNs epoch_begin = system.now();
     if (config.sharded_engine) {
@@ -391,7 +385,7 @@ EpochSeries collect_series_impl(const WorkloadFactory& factory,
     } else {
       system.step(options.ops_per_epoch);
     }
-    core::ProfileSnapshot snapshot = daemon.tick();
+    daemon.tick_into(snapshot);
     EpochData data;
     data.epoch = e;
     truth.end_epoch(data.truth, data.new_pages);

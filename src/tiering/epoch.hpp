@@ -9,8 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/daemon.hpp"
@@ -38,10 +36,11 @@ class TruthCollector final : public monitors::AccessObserver {
   monitors::AccessObserver* shard_sink(std::uint32_t core) override;
   void merge_shards() override;
 
-  /// Swap out this epoch's truth counts and newly-seen pages.
-  void end_epoch(
-      std::unordered_map<PageKey, std::uint64_t, PageKeyHash>& truth_out,
-      std::vector<PageKey>& new_pages_out);
+  /// Swap out this epoch's truth counts and newly-seen pages. The swapped
+  /// buffers come back (cleared, capacity retained) next call, so a caller
+  /// that reuses one EpochData keeps the epoch loop allocation-free.
+  void end_epoch(core::TruthMap& truth_out,
+                 std::vector<PageKey>& new_pages_out);
 
   [[nodiscard]] const PageSizeMap& page_sizes() const noexcept {
     return page_sizes_;
@@ -56,14 +55,14 @@ class TruthCollector final : public monitors::AccessObserver {
   struct Shard final : monitors::AccessObserver {
     void on_mem_op(const monitors::MemOpEvent& event) override;
 
-    std::unordered_map<PageKey, std::uint64_t, PageKeyHash> truth;
-    std::unordered_set<PageKey, PageKeyHash> seen;  ///< persists across epochs
+    core::TruthMap truth;
+    core::PageKeySet seen;  ///< persists across epochs
     std::vector<std::pair<PageKey, mem::PageSize>> new_pages;
   };
 
   sim::System& system_;
-  std::unordered_map<PageKey, std::uint64_t, PageKeyHash> truth_;
-  std::unordered_set<PageKey, PageKeyHash> seen_;
+  core::TruthMap truth_;
+  core::PageKeySet seen_;
   std::vector<PageKey> new_pages_;
   PageSizeMap page_sizes_;
   std::vector<Shard> shards_;  ///< one per core when the engine is sharded
@@ -73,7 +72,7 @@ class TruthCollector final : public monitors::AccessObserver {
 struct EpochData {
   std::uint32_t epoch = 0;
   /// Per-page beyond-LLC access counts (ground truth).
-  std::unordered_map<PageKey, std::uint64_t, PageKeyHash> truth;
+  core::TruthMap truth;
   std::uint64_t truth_total = 0;
   /// The profiler's observations (A-bit / trace maps).
   core::EpochObservation observed;

@@ -10,7 +10,14 @@ HitrateResult evaluate_policy(Policy& policy, const EpochSeries& series,
   HitrateResult result;
   PlacementSet placement;
   std::vector<PageKey> first_touch_accumulated;
+  // The epoch loop reuses these across iterations: each epoch's ranking is
+  // built exactly once (it serves both as the Oracle's observed truth for
+  // epoch e and as History's input for epoch e+1), into capacity-retaining
+  // buffers.
   std::vector<core::PageRank> prev_ranking;
+  std::vector<core::PageRank> epoch_ranking;
+  core::RankingScratch scratch;
+  core::TruthMap observed_truth;
 
   for (std::size_t e = 0; e < series.epochs.size(); ++e) {
     const EpochData& data = series.epochs[e];
@@ -18,15 +25,18 @@ HitrateResult evaluate_policy(Policy& policy, const EpochSeries& series,
       first_touch_accumulated.push_back(key);
     }
 
+    core::build_ranking_into(data.observed, options.fusion,
+                             options.trace_weight, scratch, epoch_ranking);
+
     PolicyContext ctx;
     ctx.capacity_frames = options.capacity_frames;
     ctx.current = &placement;
     ctx.observed_ranking = &prev_ranking;   // what the profiler saw in e-1
     // What Oracle is allowed to know about epoch e.
-    std::unordered_map<PageKey, std::uint64_t, PageKeyHash> observed_truth;
     if (options.oracle_from_observed) {
-      for (const core::PageRank& pr : core::build_ranking(
-               data.observed, options.fusion, options.trace_weight)) {
+      observed_truth.clear();
+      observed_truth.reserve(epoch_ranking.size());
+      for (const core::PageRank& pr : epoch_ranking) {
         observed_truth[pr.key] = pr.rank;
       }
       ctx.next_truth = &observed_truth;
@@ -54,8 +64,8 @@ HitrateResult evaluate_policy(Policy& policy, const EpochSeries& series,
             : static_cast<double>(hits) /
                   static_cast<double>(data.truth_total));
 
-    prev_ranking =
-        core::build_ranking(data.observed, options.fusion, options.trace_weight);
+    // Epoch e's ranking becomes next iteration's "previous" without a copy.
+    prev_ranking.swap(epoch_ranking);
   }
   result.overall = result.total_accesses == 0
                        ? 1.0

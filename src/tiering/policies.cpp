@@ -158,16 +158,12 @@ void FirstTouchPolicy::load_state(util::ckpt::Reader& r) {
 }
 
 void FrequencyDecayPolicy::save_state(util::ckpt::Writer& w) const {
-  std::vector<PageKey> keys;
-  keys.reserve(score_.size());
-  for (const auto& [key, score] : score_) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  w.put_u64(keys.size());
-  for (const PageKey& key : keys) {
+  w.put_u64(score_.size());
+  score_.fold_sorted([&w](const PageKey& key, double score) {
     w.put_u64(key.pid);
     w.put_u64(key.page_va);
-    w.put_f64(score_.at(key));
-  }
+    w.put_f64(score);
+  });
 }
 
 void FrequencyDecayPolicy::load_state(util::ckpt::Reader& r) {
@@ -178,7 +174,7 @@ void FrequencyDecayPolicy::load_state(util::ckpt::Reader& r) {
     PageKey key;
     key.pid = static_cast<mem::Pid>(r.get_u64());
     key.page_va = r.get_u64();
-    score_.emplace(key, r.get_f64());
+    score_[key] = r.get_f64();
   }
 }
 

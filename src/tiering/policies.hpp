@@ -72,7 +72,7 @@ class FrequencyDecayPolicy final : public Policy {
 
  private:
   double decay_;
-  std::unordered_map<PageKey, double, PageKeyHash> score_;
+  core::PageMap<double> score_;
 };
 
 /// Extension (CLOCK-DWF-flavored, cf. the paper's ref [32]): write-aware

@@ -42,8 +42,7 @@ struct PolicyContext {
   /// descending hotness. May be empty at epoch 0.
   const std::vector<core::PageRank>* observed_ranking = nullptr;
   /// Ground-truth access counts of the *coming* epoch (Oracle only).
-  const std::unordered_map<PageKey, std::uint64_t, PageKeyHash>* next_truth =
-      nullptr;
+  const core::TruthMap* next_truth = nullptr;
   /// Pages seen so far in first-touch order (FirstTouch's input).
   const std::vector<PageKey>* first_touch_order = nullptr;
   /// Frames each known page occupies.

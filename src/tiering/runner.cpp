@@ -24,7 +24,7 @@ void sync_poison(sim::System& system, monitors::BadgerTrap& trap,
   for (sim::Process* proc : system.processes()) {
     const mem::Pid pid = proc->pid();
     const std::uint32_t core = pid % system.config().cores;
-    proc->page_table().walk(
+    proc->page_table().walk_fn(
         [&](mem::VirtAddr page_va, mem::PageSize size, mem::Pte& pte) {
           (void)size;
           const bool in_t2 = system.phys().tier_of(pte.pfn()) != 0;
@@ -235,11 +235,7 @@ RunnerResult run_impl(const WorkloadFactory& factory,
         pr.rank = count;
         ranking.push_back(pr);
       }
-      std::sort(ranking.begin(), ranking.end(),
-                [](const core::PageRank& a, const core::PageRank& b) {
-                  if (a.rank != b.rank) return a.rank > b.rank;
-                  return a.key < b.key;
-                });
+      std::sort(ranking.begin(), ranking.end(), core::RankOrder{});
       oracle_rankings.push_back(std::move(ranking));
     }
   }
@@ -249,6 +245,15 @@ RunnerResult run_impl(const WorkloadFactory& factory,
     pool = std::make_unique<util::ThreadPool>(options.n_threads);
   }
 
+  // Epoch-loop scratch, hoisted so steady-state iterations recycle the
+  // snapshot's observation maps / ranking vector and the policy-side
+  // buffers instead of reallocating them every epoch.
+  core::ProfileSnapshot snapshot;
+  std::vector<core::PageRank> filtered;
+  PageSizeMap sizes;
+  PlacementSet current;
+  PlacementSet hot;
+
   for (std::uint32_t e = start_epoch; e < options.n_epochs; ++e) {
     const util::SimNs epoch_begin = system.now();
     if (config.sharded_engine) {
@@ -256,7 +261,7 @@ RunnerResult run_impl(const WorkloadFactory& factory,
     } else {
       system.step(options.ops_per_epoch);
     }
-    core::ProfileSnapshot snapshot = daemon.tick();
+    daemon.tick_into(snapshot);
     if (migrate && oracle) {
       // Oracle places for the *coming* epoch using its truth.
       const std::size_t next = e + 1;
@@ -270,9 +275,9 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       // Every other policy decides through the Policy interface, seeing
       // the epoch that just ended above the mover's noise floor (rank ties
       // from single A-bit observations are not worth migrations).
-      std::vector<core::PageRank> filtered;
+      filtered.clear();
       filtered.reserve(snapshot.ranking.size());
-      PageSizeMap sizes;
+      sizes.clear();
       for (const core::PageRank& pr : snapshot.ranking) {
         if (pr.rank < options.mover.min_rank) break;  // descending
         sim::Process& proc = system.process(pr.key.pid);
@@ -281,7 +286,7 @@ RunnerResult run_impl(const WorkloadFactory& factory,
         filtered.push_back(pr);
         sizes[pr.key] = ref.size;
       }
-      PlacementSet current;
+      current.clear();
       for (const auto& [key, size] : mover.residents(0)) {
         current.insert(key);
       }
@@ -298,7 +303,7 @@ RunnerResult run_impl(const WorkloadFactory& factory,
     if (options.slow_model == SlowMemoryModel::BadgerTrapEmulation) {
       // The emulation framework refreshes protection each period. Hot =
       // profiler-ranked pages stuck in slow memory.
-      PlacementSet hot;
+      hot.clear();
       for (const core::PageRank& pr : snapshot.ranking) hot.insert(pr.key);
       sync_poison(system, trap, hot);
     }

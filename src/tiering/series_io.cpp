@@ -10,20 +10,19 @@ namespace {
 
 constexpr const char* kMagic = "tmprof-series 1";
 
-void write_map(std::ostream& os, const char* tag,
-               const std::unordered_map<PageKey, std::uint64_t, PageKeyHash>&
-                   map) {
-  for (const auto& [key, count] : map) {
+// Ascending-key output: the text format is deterministic regardless of the
+// maps' in-memory slot order (the loader never depended on line order).
+void write_map(std::ostream& os, const char* tag, const core::TruthMap& map) {
+  map.fold_sorted([&](const PageKey& key, std::uint64_t count) {
     os << tag << ' ' << key.pid << ' ' << key.page_va << ' ' << count << '\n';
-  }
+  });
 }
 
 void write_map32(std::ostream& os, const char* tag,
-                 const std::unordered_map<PageKey, std::uint32_t,
-                                          PageKeyHash>& map) {
-  for (const auto& [key, count] : map) {
+                 const core::PageCountMap& map) {
+  map.fold_sorted([&](const PageKey& key, std::uint32_t count) {
     os << tag << ' ' << key.pid << ' ' << key.page_va << ' ' << count << '\n';
-  }
+  });
 }
 
 [[noreturn]] void malformed(const std::string& line) {

@@ -436,7 +436,7 @@ TEST(CkptState, EmptySeriesRoundTrips) {
 
 TEST(CkptState, PageCountsAndRankingRoundTrip) {
   util::Rng rng(7);
-  std::unordered_map<core::PageKey, std::uint32_t, core::PageKeyHash> counts;
+  core::PageCountMap counts;
   std::vector<core::PageRank> ranking;
   for (int i = 0; i < 100; ++i) {
     const core::PageKey key = random_key(rng);
@@ -453,7 +453,7 @@ TEST(CkptState, PageCountsAndRankingRoundTrip) {
   w.end_section();
   Reader r(w.finish());
   r.enter_section("s");
-  std::unordered_map<core::PageKey, std::uint32_t, core::PageKeyHash> counts2;
+  core::PageCountMap counts2;
   std::vector<core::PageRank> ranking2;
   core::load_page_counts(r, counts2);
   core::load_ranking(r, ranking2);

@@ -10,7 +10,7 @@ PageKey key(std::uint64_t n) { return PageKey{1, n * mem::kPageSize}; }
 struct Fixture {
   PlacementSet current;
   std::vector<core::PageRank> ranking;
-  std::unordered_map<PageKey, std::uint64_t, PageKeyHash> truth;
+  core::TruthMap truth;
   std::vector<PageKey> first_touch;
   PageSizeMap sizes;
 
