@@ -16,6 +16,8 @@
 ///        [--fault-sites=a,b] [--checkpoint-every=N] [--checkpoint-dir=D]
 ///        [--resume-from=F] [--resume-latest=0|1] [--keep-last=K]
 ///        [--metrics-out=F] [--trace-out=F] [--telemetry-every=N]
+///        [--hotness=exact|sketch] [--sketch-width=N] [--sketch-depth=N]
+///        [--sketch-seed=N] [--sketch-candidates=N] [--bloom-bits=N]
 
 #include <array>
 #include <fstream>
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
   const bool write_csv = args.get_bool("csv", true);
   const std::uint32_t threads = bench::selected_threads(args);
   const util::FaultConfig fault = bench::fault_from_args(args);
+  const core::HotnessConfig hotness = bench::hotness_from_args(args);
   const util::ckpt::Options checkpoint = bench::checkpoint_from_args(args);
   const std::unique_ptr<telemetry::Telemetry> telemetry =
       bench::telemetry_from_args(args);
@@ -99,6 +102,7 @@ int main(int argc, char** argv) {
     collect.ops_per_epoch = ops_per_epoch;
     collect.seed = seed;
     collect.daemon.driver.ibs = bench::scaled_ibs(4);
+    collect.daemon.driver.hotness = hotness;
     if (args.get("backend", "ibs") == "pebs") {
       // Intel testbeds use PEBS armed on LLC misses instead of IBS; the
       // driver is backend-agnostic, so Fig. 6 can be regenerated per

@@ -54,8 +54,7 @@ void close_epoch(RunContext& ctx, ProfilerResult& result,
                  core::EpochObservation obs, std::uint32_t epoch) {
   tiering::EpochData data;
   data.epoch = epoch;
-  ctx.truth.end_epoch(data.truth, data.new_pages);
-  for (const auto& [key, count] : data.truth) data.truth_total += count;
+  data.truth_total = ctx.truth.end_epoch(data.truth, data.new_pages);
   result.pages_per_epoch +=
       static_cast<double>(obs.abit.size() + obs.trace.size());
   data.observed = std::move(obs);

@@ -12,7 +12,12 @@ TmpDriver::TmpDriver(sim::System& system, const DriverConfig& config)
     : system_(system),
       config_(config),
       scanner_(config.abit),
-      store_(system.phys().total_frames()) {
+      store_(system.phys().total_frames()),
+      cur_abit_(config.hotness),
+      cur_trace_(config.hotness),
+      cur_writes_(config.hotness),
+      cumulative_trace_4k_(config.hotness),
+      cumulative_abit_(config.hotness) {
   if (config_.backend == TraceBackend::Ibs) {
     ibs_ = std::make_unique<monitors::IbsMonitor>(config_.ibs,
                                                   system.config().cores);
@@ -42,7 +47,6 @@ TmpDriver::TmpDriver(sim::System& system, const DriverConfig& config)
       [this](mem::Pid pid, mem::VirtAddr page_va, mem::PageSize size) {
         return system_.shootdown(pid, page_va, size);
       });
-  current_.epoch = 0;
   set_trace_enabled(true);
 }
 
@@ -107,9 +111,9 @@ void TmpDriver::on_trace(std::span<const monitors::TraceSample> samples) {
         continue;
       }
     }
-    current_.trace[key] += 1;
+    cur_trace_.add(key);
     store_.record_trace(pfn, epoch_);
-    cumulative_trace_4k_[pfn] += 1;
+    cumulative_trace_4k_.add(pfn);
     ++trace_samples_kept_;
     t_kept_.inc();
   }
@@ -134,9 +138,9 @@ monitors::AbitScanResult TmpDriver::scan_processes(
     const monitors::AbitScanResult r = scanner_.scan_fn(
         pid, proc.page_table(), [&](const monitors::AbitSample& sample) {
           const PageKey key{pid, sample.page_va};
-          current_.abit[key] += 1;
+          cur_abit_.add(key);
           store_.record_abit(sample.pfn, epoch_);
-          cumulative_abit_[key] += 1;
+          cumulative_abit_.add(key);
         });
     total.ptes_visited += r.ptes_visited;
     total.pages_accessed += r.pages_accessed;
@@ -159,7 +163,7 @@ void TmpDriver::on_pml(std::span<const mem::PhysAddr> addresses) {
     const mem::Pfn pfn = mem::pfn_of(paddr);
     const mem::FrameInfo& frame = system_.phys().frame(pfn);
     if (!frame.allocated) continue;
-    current_.writes[PageKey{frame.pid, frame.page_va}] += 1;
+    cur_writes_.add(PageKey{frame.pid, frame.page_va});
   }
 }
 
@@ -174,10 +178,13 @@ void TmpDriver::end_epoch_into(EpochObservation& out) {
   if (ibs_) ibs_->drain();
   if (pebs_) pebs_->drain();
   if (pml_) pml_->drain();
-  current_.epoch = epoch_;
-  out.swap(current_);
-  current_.clear();
-  current_.epoch = ++epoch_;
+  out.epoch = epoch_;
+  // Exact mode swaps the accumulator maps out, adopting out's previous
+  // buffers — the same two-buffer protocol the swap-based path used.
+  cur_abit_.end_epoch_into(out.abit);
+  cur_trace_.end_epoch_into(out.trace);
+  cur_writes_.end_epoch_into(out.writes);
+  ++epoch_;
   overflow_seen_.clear();
   // Monitor-level gauges: cumulative values read from the backend at each
   // epoch close (tags_lost is IBS-only; PEBS tagging cannot miss).
@@ -209,19 +216,17 @@ void TmpDriver::save_state(util::ckpt::Writer& w) const {
   if (pml_) pml_->save_state(w);
   scanner_.save_state(w);
   store_.save_state(w);
-  save_observation(w, current_);
+  cur_abit_.save_state(w, "driver");
+  cur_trace_.save_state(w, "driver");
+  cur_writes_.save_state(w, "driver");
   w.put_u32(epoch_);
   w.put_bool(trace_enabled_);
   w.put_u64(trace_samples_kept_);
   w.put_u64(trace_samples_dropped_);
   w.put_u64(scans_aborted_);
   save_page_counts(w, overflow_seen_);
-  w.put_u64(cumulative_trace_4k_.size());
-  cumulative_trace_4k_.fold_sorted([&w](mem::Pfn pfn, std::uint32_t count) {
-    w.put_u64(pfn);
-    w.put_u32(count);
-  });
-  save_page_counts(w, cumulative_abit_);
+  cumulative_trace_4k_.save_state(w, "driver");
+  cumulative_abit_.save_state(w, "driver");
 }
 
 void TmpDriver::load_state(util::ckpt::Reader& r) {
@@ -238,7 +243,9 @@ void TmpDriver::load_state(util::ckpt::Reader& r) {
   if (pml_) pml_->load_state(r);
   scanner_.load_state(r);
   store_.load_state(r);
-  load_observation(r, current_);
+  cur_abit_.load_state(r, "driver");
+  cur_trace_.load_state(r, "driver");
+  cur_writes_.load_state(r, "driver");
   epoch_ = r.get_u32();
   // Routed through the setter so observer registration tracks the flag.
   set_trace_enabled(r.get_bool());
@@ -246,14 +253,8 @@ void TmpDriver::load_state(util::ckpt::Reader& r) {
   trace_samples_dropped_ = r.get_u64();
   scans_aborted_ = r.get_u64();
   load_page_counts(r, overflow_seen_);
-  cumulative_trace_4k_.clear();
-  const std::uint64_t trace_entries = r.get_u64();
-  cumulative_trace_4k_.reserve(trace_entries);
-  for (std::uint64_t i = 0; i < trace_entries; ++i) {
-    const mem::Pfn pfn = r.get_u64();
-    cumulative_trace_4k_[pfn] = r.get_u32();
-  }
-  load_page_counts(r, cumulative_abit_);
+  cumulative_trace_4k_.load_state(r, "driver");
+  cumulative_abit_.load_state(r, "driver");
 }
 
 }  // namespace tmprof::core

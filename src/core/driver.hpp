@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/hotness.hpp"
 #include "core/page_stats.hpp"
 #include "core/ranking.hpp"
 #include "monitors/abit.hpp"
@@ -48,6 +49,10 @@ struct DriverConfig {
   /// write-aware policies. Off by default: TMP's focus is demand loads.
   bool use_pml = false;
   monitors::PmlConfig pml;
+  /// Hotness front-end: exact FlatHashMap counters (default, historical
+  /// bit-exact behavior) or the count-min-sketch store (docs/SKETCH.md).
+  /// Selected per run through DaemonConfig::driver.
+  HotnessConfig hotness{};
 };
 
 /// Collects raw profiling data from the hardware monitor models.
@@ -80,11 +85,22 @@ class TmpDriver {
   [[nodiscard]] const PageStatsStore& store() const noexcept { return store_; }
 
   /// Cumulative per-4KiB-frame trace sample counts (Fig. 5 CDF input).
-  [[nodiscard]] const PfnCountMap& trace_counts_4k() const noexcept {
-    return cumulative_trace_4k_;
+  /// Exact counts by definition, so this throws std::logic_error when the
+  /// driver runs the sketch front-end — consumers that can tolerate
+  /// one-sided estimates should use trace_store() instead.
+  [[nodiscard]] const PfnCountMap& trace_counts_4k() const {
+    return cumulative_trace_4k_.exact_counts();
   }
   /// Cumulative per-page A-bit observation counts (Fig. 5 CDF input).
-  [[nodiscard]] const PageCountMap& abit_counts() const noexcept {
+  /// Throws std::logic_error in sketch mode; see trace_counts_4k().
+  [[nodiscard]] const PageCountMap& abit_counts() const {
+    return cumulative_abit_.exact_counts();
+  }
+  /// Mode-agnostic cumulative stores (counts or one-sided estimates).
+  [[nodiscard]] const PfnHotnessCounts& trace_store() const noexcept {
+    return cumulative_trace_4k_;
+  }
+  [[nodiscard]] const HotnessCounts& abit_store() const noexcept {
     return cumulative_abit_;
   }
 
@@ -134,7 +150,11 @@ class TmpDriver {
   std::unique_ptr<monitors::PmlMonitor> pml_;
   monitors::AbitScanner scanner_;
   PageStatsStore store_;
-  EpochObservation current_;
+  /// The open epoch's per-source accumulators (HotnessStore-backed; exact
+  /// mode reproduces the historical EpochObservation maps bit-for-bit).
+  HotnessCounts cur_abit_;
+  HotnessCounts cur_trace_;
+  HotnessCounts cur_writes_;
   std::uint32_t epoch_ = 0;
   bool trace_enabled_ = false;
   std::uint64_t trace_samples_kept_ = 0;
@@ -152,9 +172,10 @@ class TmpDriver {
   std::uint64_t scans_aborted_ = 0;
   /// Per-epoch occurrence index per page, so overflow-drop decisions are a
   /// pure function of (epoch, page, occurrence) — invariant to drain order.
+  /// Always exact: fault bookkeeping must not inherit sketch error.
   PageCountMap overflow_seen_;
-  PfnCountMap cumulative_trace_4k_;
-  PageCountMap cumulative_abit_;
+  PfnHotnessCounts cumulative_trace_4k_;
+  HotnessCounts cumulative_abit_;
 };
 
 }  // namespace tmprof::core

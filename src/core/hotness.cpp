@@ -1,0 +1,21 @@
+#include "core/hotness.hpp"
+
+#include <stdexcept>
+
+namespace tmprof::core {
+
+std::string_view to_string(HotnessMode mode) noexcept {
+  switch (mode) {
+    case HotnessMode::Exact: return "exact";
+    case HotnessMode::Sketch: return "sketch";
+  }
+  return "?";
+}
+
+HotnessMode parse_hotness_mode(const std::string& name) {
+  if (name == "exact") return HotnessMode::Exact;
+  if (name == "sketch") return HotnessMode::Sketch;
+  throw std::invalid_argument("unknown hotness mode: " + name);
+}
+
+}  // namespace tmprof::core

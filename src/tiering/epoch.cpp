@@ -13,26 +13,6 @@ namespace tmprof::tiering {
 
 namespace {
 
-void save_key_set(util::ckpt::Writer& w, const core::PageKeySet& set) {
-  w.put_u64(set.size());
-  set.fold_sorted([&w](const PageKey& key) {
-    w.put_u64(key.pid);
-    w.put_u64(key.page_va);
-  });
-}
-
-void load_key_set(util::ckpt::Reader& r, core::PageKeySet& set) {
-  set.clear();
-  const std::uint64_t count = r.get_u64();
-  set.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    PageKey key;
-    key.pid = static_cast<mem::Pid>(r.get_u64());
-    key.page_va = r.get_u64();
-    set.insert(key);
-  }
-}
-
 void save_truth_map(util::ckpt::Writer& w, const core::TruthMap& map) {
   w.put_u64(map.size());
   map.fold_sorted([&w](const PageKey& key, std::uint64_t count) {
@@ -81,9 +61,17 @@ void load_size_map(util::ckpt::Reader& r, PageSizeMap& map) {
 
 }  // namespace
 
-TruthCollector::TruthCollector(sim::System& system) : system_(system) {
+TruthCollector::TruthCollector(sim::System& system,
+                               const core::HotnessConfig& hotness)
+    : system_(system) {
+  truth_.configure(hotness);
+  seen_.configure(hotness);
   if (system.config().sharded_engine) {
     shards_.resize(system.config().cores);
+    for (Shard& shard : shards_) {
+      shard.truth.configure(hotness);
+      shard.seen.configure(hotness);
+    }
   }
 }
 
@@ -95,7 +83,7 @@ void TruthCollector::on_mem_op(const monitors::MemOpEvent& event) {
     page_sizes_[key] = event.page_size;
   }
   if (mem::is_memory(event.source)) {
-    truth_[key] += 1;
+    truth_.add(key);
   }
 }
 
@@ -106,7 +94,7 @@ void TruthCollector::Shard::on_mem_op(const monitors::MemOpEvent& event) {
     new_pages.emplace_back(key, event.page_size);
   }
   if (mem::is_memory(event.source)) {
-    truth[key] += 1;
+    truth.add(key);
   }
 }
 
@@ -127,16 +115,16 @@ void TruthCollector::merge_shards() {
       page_sizes_[key] = size;
     }
     shard.new_pages.clear();
-    for (const auto& [key, count] : shard.truth) {
-      truth_[key] += count;
-    }
-    shard.truth.clear();
+    // Exact mode folds counts in the shard's slot order (the historical
+    // merge); sketch mode adds shard sketch cells saturating and re-admits
+    // the shard's candidates. Either way the fold clears the shard.
+    truth_.merge_from(shard.truth);
   }
 }
 
 void TruthCollector::save_state(util::ckpt::Writer& w) const {
-  save_truth_map(w, truth_);
-  save_key_set(w, seen_);
+  truth_.save_state(w, "truth");
+  seen_.save_state(w, "truth");
   w.put_u64(new_pages_.size());
   for (const PageKey& key : new_pages_) {
     w.put_u64(key.pid);
@@ -145,8 +133,8 @@ void TruthCollector::save_state(util::ckpt::Writer& w) const {
   save_size_map(w, page_sizes_);
   w.put_u64(shards_.size());
   for (const Shard& shard : shards_) {
-    save_truth_map(w, shard.truth);
-    save_key_set(w, shard.seen);
+    shard.truth.save_state(w, "truth");
+    shard.seen.save_state(w, "truth");
     w.put_u64(shard.new_pages.size());
     for (const auto& [key, size] : shard.new_pages) {
       w.put_u64(key.pid);
@@ -157,8 +145,8 @@ void TruthCollector::save_state(util::ckpt::Writer& w) const {
 }
 
 void TruthCollector::load_state(util::ckpt::Reader& r) {
-  load_truth_map(r, truth_);
-  load_key_set(r, seen_);
+  truth_.load_state(r, "truth");
+  seen_.load_state(r, "truth");
   new_pages_.clear();
   const std::uint64_t n_new = r.get_u64();
   new_pages_.reserve(n_new);
@@ -174,8 +162,8 @@ void TruthCollector::load_state(util::ckpt::Reader& r) {
     throw util::ckpt::CkptError("truth", "shard count mismatch");
   }
   for (Shard& shard : shards_) {
-    load_truth_map(r, shard.truth);
-    load_key_set(r, shard.seen);
+    shard.truth.load_state(r, "truth");
+    shard.seen.load_state(r, "truth");
     shard.new_pages.clear();
     const std::uint64_t n_shard_new = r.get_u64();
     shard.new_pages.reserve(n_shard_new);
@@ -188,14 +176,15 @@ void TruthCollector::load_state(util::ckpt::Reader& r) {
   }
 }
 
-void TruthCollector::end_epoch(core::TruthMap& truth_out,
-                               std::vector<PageKey>& new_pages_out) {
-  // Swap rather than move: the caller's previous buffers become next
-  // epoch's accumulators, keeping their slot arrays.
-  truth_out.swap(truth_);
+std::uint64_t TruthCollector::end_epoch(core::TruthMap& truth_out,
+                                        std::vector<PageKey>& new_pages_out) {
+  // Exact mode swaps rather than moves: the caller's previous buffers
+  // become next epoch's accumulators, keeping their slot arrays. Sketch
+  // mode materializes the candidates' estimates through reused scratch.
+  const std::uint64_t total = truth_.end_epoch_into(truth_out);
   std::swap(new_pages_out, new_pages_);
-  truth_.clear();
   new_pages_.clear();
+  return total;
 }
 
 void add_spec_processes(sim::System& system,
@@ -303,7 +292,7 @@ EpochSeries collect_series_impl(const WorkloadFactory& factory,
     system.add_process(std::move(generator));
   }
 
-  TruthCollector truth(system);
+  TruthCollector truth(system, options.daemon.driver.hotness);
   system.add_observer(&truth);
   core::TmpDaemon daemon(system, options.daemon);
 
@@ -388,8 +377,9 @@ EpochSeries collect_series_impl(const WorkloadFactory& factory,
     daemon.tick_into(snapshot);
     EpochData data;
     data.epoch = e;
-    truth.end_epoch(data.truth, data.new_pages);
-    for (const auto& [key, count] : data.truth) data.truth_total += count;
+    // The returned total is exact in both hotness modes (sketch-mode maps
+    // hold one-sided estimates; the hitrate denominator must not).
+    data.truth_total = truth.end_epoch(data.truth, data.new_pages);
     data.observed = std::move(snapshot.observation);
     series.epochs.push_back(std::move(data));
     // Telemetry is recorded before any checkpoint below so the saved span

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/daemon.hpp"
+#include "core/hotness.hpp"
 #include "monitors/event.hpp"
 #include "sim/system.hpp"
 #include "tiering/policy.hpp"
@@ -29,7 +30,11 @@ namespace tmprof::tiering {
 /// the epoch barrier in ascending core order.
 class TruthCollector final : public monitors::AccessObserver {
  public:
-  explicit TruthCollector(sim::System& system);
+  /// `hotness` selects the counting front-end: exact (default, historical
+  /// bit-exact behavior) or the count-min-sketch store with a Bloom
+  /// seen-set (docs/SKETCH.md).
+  explicit TruthCollector(sim::System& system,
+                          const core::HotnessConfig& hotness = {});
 
   void on_mem_op(const monitors::MemOpEvent& event) override;
 
@@ -39,8 +44,11 @@ class TruthCollector final : public monitors::AccessObserver {
   /// Swap out this epoch's truth counts and newly-seen pages. The swapped
   /// buffers come back (cleared, capacity retained) next call, so a caller
   /// that reuses one EpochData keeps the epoch loop allocation-free.
-  void end_epoch(core::TruthMap& truth_out,
-                 std::vector<PageKey>& new_pages_out);
+  /// Returns the epoch's exact total of beyond-LLC accesses — in sketch
+  /// mode the materialized per-page counts are one-sided estimates, but
+  /// this total is always a plain accumulator, never a sum of estimates.
+  std::uint64_t end_epoch(core::TruthMap& truth_out,
+                          std::vector<PageKey>& new_pages_out);
 
   [[nodiscard]] const PageSizeMap& page_sizes() const noexcept {
     return page_sizes_;
@@ -55,14 +63,14 @@ class TruthCollector final : public monitors::AccessObserver {
   struct Shard final : monitors::AccessObserver {
     void on_mem_op(const monitors::MemOpEvent& event) override;
 
-    core::TruthMap truth;
-    core::PageKeySet seen;  ///< persists across epochs
+    core::HotnessTruth truth;
+    core::PageHotnessSet seen;  ///< persists across epochs
     std::vector<std::pair<PageKey, mem::PageSize>> new_pages;
   };
 
   sim::System& system_;
-  core::TruthMap truth_;
-  core::PageKeySet seen_;
+  core::HotnessTruth truth_;
+  core::PageHotnessSet seen_;
   std::vector<PageKey> new_pages_;
   PageSizeMap page_sizes_;
   std::vector<Shard> shards_;  ///< one per core when the engine is sharded

@@ -68,7 +68,11 @@ PlacementSet OraclePolicy::choose(const PolicyContext& ctx) {
   return take_until_full(ordered, ctx);
 }
 
-FrequencyDecayPolicy::FrequencyDecayPolicy(double decay) : decay_(decay) {
+FrequencyDecayPolicy::FrequencyDecayPolicy(double decay,
+                                           const core::HotnessConfig& hotness)
+    : decay_(decay),
+      score_cap_(hotness.mode == core::HotnessMode::Sketch ? hotness.candidates
+                                                           : 0) {
   TMPROF_EXPECTS(decay > 0.0 && decay < 1.0);
 }
 
@@ -84,6 +88,14 @@ PlacementSet FrequencyDecayPolicy::choose(const PolicyContext& ctx) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
   });
+  if (score_cap_ != 0 && pages.size() > score_cap_) {
+    // Sketch-mode bound: retain only the hottest score_cap_ pages. The
+    // sorted order above is a strict total order, so the cut is
+    // deterministic; pages dropped here re-enter on their next sample.
+    pages.resize(score_cap_);
+    score_.clear();
+    for (const auto& [key, score] : pages) score_[key] = score;
+  }
   std::vector<PageKey> ordered;
   ordered.reserve(pages.size());
   for (const auto& [key, score] : pages) ordered.push_back(key);
@@ -131,6 +143,14 @@ std::unique_ptr<Policy> make_policy(const std::string& name) {
   if (name == "freq-decay") return std::make_unique<FrequencyDecayPolicy>();
   if (name == "write-history") return std::make_unique<WriteHistoryPolicy>();
   throw std::invalid_argument("unknown policy: " + name);
+}
+
+std::unique_ptr<Policy> make_policy(const std::string& name,
+                                    const core::HotnessConfig& hotness) {
+  if (name == "freq-decay") {
+    return std::make_unique<FrequencyDecayPolicy>(0.5, hotness);
+  }
+  return make_policy(name);
 }
 
 void FirstTouchPolicy::save_state(util::ckpt::Writer& w) const {

@@ -179,6 +179,38 @@ std::vector<std::uint8_t> sample_image() {
   return w.finish();
 }
 
+/// A checkpoint image holding real sketch-mode sections (count-min cells,
+/// Bloom words, a sketch-mode HotnessStore) so the corruption matrix below
+/// also covers the probabilistic state introduced by docs/SKETCH.md.
+std::vector<std::uint8_t> sketch_image() {
+  util::CountMinSketch cms(64, 3, 7);
+  util::BloomFilter bloom(256, 4, 7);
+  core::HotnessConfig cfg;
+  cfg.mode = core::HotnessMode::Sketch;
+  cfg.sketch.width = 64;
+  cfg.sketch.depth = 2;
+  cfg.candidates = 32;
+  tmprof::core::HotnessCounts store(cfg);
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t page = rng.below(64);
+    cms.add(page, 1);
+    bloom.insert(page);
+    store.add(core::PageKey{1, page << mem::kPageShift});
+  }
+  Writer w;
+  w.begin_section("cms");
+  cms.save_state(w);
+  w.end_section();
+  w.begin_section("bloom");
+  bloom.save_state(w);
+  w.end_section();
+  w.begin_section("store");
+  store.save_state(w, "store");
+  w.end_section();
+  return w.finish();
+}
+
 /// True when the (possibly corrupted) image is safely rejected: the parse
 /// throws a typed CkptError, or it parses but no longer serves the exact
 /// section set of the intact file (a truncation at a frame boundary yields
@@ -213,6 +245,30 @@ TEST(CkptCorruption, EverySingleBitFlipRejected) {
       std::vector<std::uint8_t> flipped = image;
       flipped[byte] = static_cast<std::uint8_t>(
           flipped[byte] ^ (1U << bit));
+      EXPECT_TRUE(rejected_or_degraded(flipped, names))
+          << "bit flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(CkptCorruption, SketchSectionsTruncationAtEveryLengthRejected) {
+  const std::vector<std::uint8_t> image = sketch_image();
+  const std::vector<std::string> names = Reader(image).section_names();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(
+        image.begin(), image.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_TRUE(rejected_or_degraded(prefix, names))
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(CkptCorruption, SketchSectionsEverySingleBitFlipRejected) {
+  const std::vector<std::uint8_t> image = sketch_image();
+  const std::vector<std::string> names = Reader(image).section_names();
+  for (std::size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> flipped = image;
+      flipped[byte] = static_cast<std::uint8_t>(flipped[byte] ^ (1U << bit));
       EXPECT_TRUE(rejected_or_degraded(flipped, names))
           << "bit flip at byte " << byte << " bit " << bit << " accepted";
     }
@@ -585,6 +641,50 @@ TEST(CkptResume, ShardedCollectResumesIdentical) {
   ASSERT_TRUE(fs::exists(resume.checkpoint.resume_from));
   const EpochSeries resumed = collect_series(spec, tiny_config(), resume);
   EXPECT_EQ(series_image(resumed), series_image(reference));
+}
+
+TEST(CkptResume, SketchModeCollectResumesIdentical) {
+  // The sketch front-end's state (count-min cells, Bloom words, candidate
+  // sets, admission floors) rides in the checkpoint; a kill-and-resume run
+  // must be byte-identical to the uninterrupted one, exactly as in exact
+  // mode.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  CollectOptions collect;
+  collect.n_epochs = 4;
+  collect.ops_per_epoch = 30000;
+  collect.daemon.driver.ibs = monitors::IbsConfig::with_period(256);
+  collect.daemon.driver.hotness.mode = core::HotnessMode::Sketch;
+  collect.daemon.driver.hotness.sketch.width = 1 << 12;
+  collect.daemon.driver.hotness.candidates = 1 << 13;
+  collect.n_threads = 1;  // sharded engine, inline
+  const EpochSeries reference = collect_series(spec, tiny_config(), collect);
+
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-collect-sketch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  CollectOptions ck = collect;
+  ck.checkpoint.every = 2;
+  ck.checkpoint.dir = dir.string();
+  (void)collect_series(spec, tiny_config(), ck);
+
+  CollectOptions resume = collect;
+  resume.checkpoint.resume_from =
+      util::ckpt::checkpoint_path(dir.string(), "ckpt", 2);
+  ASSERT_TRUE(fs::exists(resume.checkpoint.resume_from));
+  const EpochSeries resumed = collect_series(spec, tiny_config(), resume);
+  EXPECT_EQ(series_image(resumed), series_image(reference));
+
+  // A checkpoint written in sketch mode must not graft onto an exact-mode
+  // run: the mode byte rejects it and the run cold-starts.
+  CollectOptions exact_resume = collect;
+  exact_resume.daemon.driver.hotness = core::HotnessConfig{};
+  const EpochSeries exact_reference =
+      collect_series(spec, tiny_config(), exact_resume);
+  exact_resume.checkpoint.resume_from =
+      util::ckpt::checkpoint_path(dir.string(), "ckpt", 2);
+  const EpochSeries exact_resumed =
+      collect_series(spec, tiny_config(), exact_resume);
+  EXPECT_EQ(series_image(exact_resumed), series_image(exact_reference));
 }
 
 TEST(CkptResume, CorruptCheckpointFallsBackToColdStart) {
