@@ -73,6 +73,10 @@ std::string fingerprint(const tiering::RunnerResult& r) {
   u64(r.moves.deferred);
   u64(r.moves.aborted);
   u64(r.moves.no_room);
+  u64(r.moves.rejected);
+  u64(r.moves.cooled);
+  u64(r.moves.shed);
+  u64(r.moves.moved_bytes);
   u64(r.moves.cost_ns);
   u64(r.moves.backoff_ns);
   u64(r.degrade.hwpc_wraps);
@@ -81,6 +85,7 @@ std::string fingerprint(const tiering::RunnerResult& r) {
   u64(r.degrade.rescaled_epochs);
   u64(r.degrade.fallback_epochs);
   u64(r.degrade.pinned_epochs);
+  u64(r.degrade.throttled_epochs);
   return s;
 }
 
@@ -148,6 +153,7 @@ int main(int argc, char** argv) {
                              : tiering::SlowMemoryModel::Native;
         opt.daemon.driver.ibs = bench::scaled_ibs(4);
         opt.n_threads = n_threads;
+        opt.mover.admission = bench::admission_from_args(args);
         opt.fault.rate = rate;
         opt.telemetry = telemetry.get();
 

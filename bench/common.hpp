@@ -16,6 +16,7 @@
 #include "monitors/ibs.hpp"
 #include "sim/config.hpp"
 #include "telemetry/telemetry.hpp"
+#include "tiering/admission.hpp"
 #include "util/ckpt.hpp"
 #include "util/cli.hpp"
 #include "util/fault.hpp"
@@ -146,6 +147,41 @@ inline std::unique_ptr<telemetry::Telemetry> telemetry_from_args(
   return std::make_unique<telemetry::Telemetry>(cfg);
 }
 
+/// Admission-control selection shared by the benches (docs/ADMISSION.md):
+///   --admission=M         off|static|adaptive (default off)
+///   --mig-bandwidth=F     migration bandwidth in MB of simulated transfer
+///                         per simulated second (0 = unlimited)
+///   --mig-burst=F         token-bucket depth in MB (largest single burst)
+///   --cooldown-epochs=N   ping-pong window K; must be >= 1
+///   --min-benefit=N       benefit floor (static) / floor to decay to
+///   --min-history=N       epochs of ranking evidence required to admit
+///   --max-moves=N         storm brake: admitted promotions per epoch
+/// Rejects unknown modes (tiering::parse_admission_mode enumerates the
+/// valid names), negative bandwidths/bursts and a zero cool-down window.
+inline tiering::AdmissionConfig admission_from_args(
+    const util::ArgParser& args) {
+  tiering::AdmissionConfig adm;
+  adm.mode = tiering::parse_admission_mode(args.get("admission", "off"));
+  const double bandwidth_mb =
+      args.get_checked_double("mig-bandwidth", 0.0, 0.0, 1e9);
+  adm.bandwidth_bytes_per_sec =
+      static_cast<std::uint64_t>(bandwidth_mb * 1e6);
+  const double burst_mb = args.get_checked_double(
+      "mig-burst", static_cast<double>(adm.burst_bytes) / 1e6, 1e-6, 1e9);
+  adm.burst_bytes = static_cast<std::uint64_t>(burst_mb * 1e6);
+  adm.cooldown_epochs = static_cast<std::uint32_t>(
+      args.get_u64("cooldown-epochs", adm.cooldown_epochs));
+  if (adm.cooldown_epochs == 0) {
+    throw std::invalid_argument(
+        "--cooldown-epochs: the ping-pong window must be >= 1 epoch");
+  }
+  adm.min_benefit = args.get_u64("min-benefit", adm.min_benefit);
+  adm.min_history = static_cast<std::uint32_t>(
+      args.get_u64("min-history", adm.min_history));
+  adm.max_moves_per_epoch = args.get_u64("max-moves", adm.max_moves_per_epoch);
+  return adm;
+}
+
 /// The robustness bench's CSV schema, shared with the golden-schema test
 /// (tests/test_cli.cpp) so drift breaks the build's test tier, not a
 /// downstream plotting script.
@@ -155,6 +191,17 @@ inline const std::vector<std::string>& robustness_csv_header() {
       "speedup",       "hitrate",       "migrations",   "retried",
       "deferred",      "aborted",       "no_room",      "trace_dropped",
       "scans_aborted", "hwpc_wraps",    "pinned_epochs", "fallback_epochs"};
+  return header;
+}
+
+/// The storm bench's CSV schema (bench/robustness --storm), also pinned by
+/// the golden-schema test. One row per (scenario, admission mode).
+inline const std::vector<std::string>& storm_csv_header() {
+  static const std::vector<std::string> header{
+      "scenario",         "admission",       "runtime_ms",
+      "hitrate",          "migrations",      "moved_mb",
+      "rejected",         "cooled",          "shed",
+      "throttled_epochs", "bytes_saved_pct", "hitrate_delta"};
   return header;
 }
 

@@ -19,6 +19,12 @@
 ///        [--ops-per-epoch=N] [--rates=0,0.05,...] [--fault-seed=N]
 ///        [--fault-sites=a,b] [--threads=N] [--csv=0|1]
 ///        [--metrics-out=F] [--trace-out=F] [--telemetry-every=N]
+///
+/// Storm mode (--storm; docs/ADMISSION.md): instead of fault sweeps, run
+/// the migration-storm scenarios (phase-shift slot flipping, Zipf churn)
+/// with the admission gate off and on, and report migrated bytes saved at
+/// equal-or-better hitrate. `--storm-check=1` turns the >=20%-savings
+/// criterion into the exit code (CI gates on it).
 
 #include <iostream>
 #include <memory>
@@ -29,6 +35,7 @@
 #include "tiering/runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
+#include "workloads/synthetic.hpp"
 
 namespace {
 
@@ -50,11 +57,163 @@ std::vector<double> parse_rates(const std::string& csv_list) {
   return rates;
 }
 
+struct StormScenario {
+  std::string name;
+  std::uint64_t footprint;
+  std::uint64_t tier1_frames;
+  tmprof::tiering::WorkloadFactory factory;
+};
+
+/// The storm scenarios. Both are sized so tier 1 holds the genuinely-hot
+/// working set with no slack for churn, which is exactly when an ungated
+/// mover thrashes.
+std::vector<StormScenario> storm_scenarios(std::uint64_t ops_per_epoch) {
+  using namespace tmprof;
+  constexpr std::uint64_t kMiB = 1ULL << 20;
+  std::vector<StormScenario> scenarios;
+
+  // Phase-shift: 4 MiB stable region plus two 4 MiB slots, the hot slot
+  // flipping every epoch. Tier 1 holds stable + one slot: each flip makes
+  // the ungated mover demote the old slot and promote the new one.
+  scenarios.push_back(StormScenario{
+      "phase-shift", 12 * kMiB, (8 * kMiB) >> mem::kPageShift,
+      [ops_per_epoch](std::uint64_t seed) {
+        std::vector<workloads::WorkloadPtr> v;
+        v.push_back(std::make_unique<workloads::PhaseShiftWorkload>(
+            4 * kMiB, 4 * kMiB, 2, ops_per_epoch, 0.5, seed));
+        return v;
+      }});
+
+  // Zipf churn: the skewed head slides by 1/8 of the records every two
+  // epochs, so mid-rank pages heat up and die in bursts.
+  scenarios.push_back(StormScenario{
+      "zipf-churn", 16 * kMiB, (4 * kMiB) >> mem::kPageShift,
+      [ops_per_epoch](std::uint64_t seed) {
+        std::vector<workloads::WorkloadPtr> v;
+        const std::uint64_t records = (16 * kMiB) / 4096;
+        v.push_back(std::make_unique<workloads::ZipfChurnWorkload>(
+            16 * kMiB, 4096, 0.9, 2 * ops_per_epoch, records / 8, seed));
+        return v;
+      }});
+  return scenarios;
+}
+
+int storm_main(const tmprof::util::ArgParser& args) {
+  using namespace tmprof;
+  const std::uint32_t epochs =
+      static_cast<std::uint32_t>(args.get_u64("epochs", 12));
+  const std::uint64_t ops_per_epoch = args.get_u64("ops-per-epoch", 200'000);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const double time_scale = args.get_double("time-scale", 20.0);
+  const bool write_csv = args.get_bool("csv", true);
+  const bool check = args.get_bool("storm-check", false);
+  const std::unique_ptr<telemetry::Telemetry> telemetry =
+      bench::telemetry_from_args(args);
+
+  // The comparison needs the gate on: an explicit --admission=off would
+  // compare off against off, so Static stands in as the storm default.
+  tiering::AdmissionConfig adm = bench::admission_from_args(args);
+  if (adm.mode == tiering::AdmissionMode::Off) {
+    adm.mode = tiering::AdmissionMode::Static;
+  }
+
+  std::cout << "Migration storms: admission off vs "
+            << to_string(adm.mode) << " (" << epochs << " epochs x "
+            << ops_per_epoch << " ops)\n\n";
+  util::TextTable table({"scenario", "admission", "hitrate", "migrations",
+                         "moved_mb", "rejected", "cooled", "shed",
+                         "saved_pct", "hitrate_delta"});
+  std::unique_ptr<util::CsvWriter> csv;
+  if (write_csv) {
+    csv = std::make_unique<util::CsvWriter>("storm.csv");
+    csv->write_row(bench::storm_csv_header());
+  }
+
+  bool storm_ok = false;
+  for (const StormScenario& scenario : storm_scenarios(ops_per_epoch)) {
+    sim::SimConfig cfg = bench::testbed_config(scenario.footprint);
+    cfg.tier1_frames = scenario.tier1_frames;
+    cfg.tier2_frames =
+        (scenario.footprint >> mem::kPageShift) * 5 / 4 + (1 << 14);
+
+    tiering::RunnerOptions opt;
+    opt.n_epochs = epochs;
+    opt.ops_per_epoch = ops_per_epoch;
+    opt.seed = seed;
+    opt.policy = args.get("policy", "history");
+    opt.daemon.driver.ibs = bench::scaled_ibs(4);
+    opt.mover.per_page_cost_ns =
+        static_cast<util::SimNs>(50.0 * 1000.0 / time_scale);
+    opt.mover.min_rank = args.get_u64("min-rank", 3);
+    opt.n_threads = bench::selected_threads(args);
+    opt.telemetry = telemetry.get();
+
+    opt.telemetry_label = scenario.name + "/off";
+    const tiering::RunnerResult off =
+        tiering::EndToEndRunner::run(scenario.factory, cfg, opt);
+    opt.mover.admission = adm;
+    opt.telemetry_label = scenario.name + "/" + std::string(to_string(adm.mode));
+    const tiering::RunnerResult gated =
+        tiering::EndToEndRunner::run(scenario.factory, cfg, opt);
+    opt.mover.admission = tiering::AdmissionConfig{};
+
+    const double off_mb =
+        static_cast<double>(off.moves.moved_bytes) / 1e6;
+    const double gated_mb =
+        static_cast<double>(gated.moves.moved_bytes) / 1e6;
+    const double saved_pct =
+        off.moves.moved_bytes == 0
+            ? 0.0
+            : 100.0 * (1.0 - gated_mb / off_mb);
+    const double hit_delta = gated.tier1_hitrate - off.tier1_hitrate;
+    if (saved_pct >= 20.0 && hit_delta >= -1e-9) storm_ok = true;
+
+    auto emit = [&](const tiering::RunnerResult& r, const std::string& mode,
+                    double saved, double delta) {
+      table.add_row({scenario.name, mode,
+                     util::TextTable::percent(r.tier1_hitrate),
+                     util::TextTable::num(r.migrations),
+                     util::TextTable::fixed(
+                         static_cast<double>(r.moves.moved_bytes) / 1e6, 2),
+                     util::TextTable::num(r.moves.rejected),
+                     util::TextTable::num(r.moves.cooled),
+                     util::TextTable::num(r.moves.shed),
+                     util::TextTable::fixed(saved, 1),
+                     util::TextTable::fixed(delta, 4)});
+      if (csv) {
+        csv->write_row(
+            {scenario.name, mode,
+             std::to_string(r.runtime_ns / util::kMillisecond),
+             util::TextTable::fixed(r.tier1_hitrate, 4),
+             std::to_string(r.migrations),
+             util::TextTable::fixed(
+                 static_cast<double>(r.moves.moved_bytes) / 1e6, 3),
+             std::to_string(r.moves.rejected),
+             std::to_string(r.moves.cooled), std::to_string(r.moves.shed),
+             std::to_string(r.degrade.throttled_epochs),
+             util::TextTable::fixed(saved, 2),
+             util::TextTable::fixed(delta, 6)});
+      }
+    };
+    emit(off, "off", 0.0, 0.0);
+    emit(gated, std::string(to_string(adm.mode)), saved_pct, hit_delta);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nStorm resilience (>=20% fewer migrated bytes at "
+               "equal-or-better hitrate in >=1 scenario): "
+            << (storm_ok ? "yes" : "NO") << '\n';
+  if (csv) std::cout << "Rows written to storm.csv\n";
+  if (telemetry) telemetry->export_final();
+  return (check && !storm_ok) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace tmprof;
   const util::ArgParser args(argc, argv);
+  if (args.get_bool("storm", false)) return storm_main(args);
   const std::uint32_t epochs =
       static_cast<std::uint32_t>(args.get_u64("epochs", 8));
   const std::uint64_t ops_per_epoch = args.get_u64("ops-per-epoch", 400'000);
@@ -105,6 +264,7 @@ int main(int argc, char** argv) {
       opt.mover.per_page_cost_ns = scaled_ns(50.0);
       opt.mover.min_rank = args.get_u64("min-rank", 3);
       opt.n_threads = bench::selected_threads(args);
+      opt.mover.admission = bench::admission_from_args(args);
       opt.fault = bench::fault_from_args(args);
       opt.fault.rate = rate;
       opt.telemetry = telemetry.get();

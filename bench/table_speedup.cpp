@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
     opt.daemon.driver.ibs = bench::scaled_ibs(4);
     opt.mover.per_page_cost_ns = scaled_ns(50.0);
     opt.mover.min_rank = args.get_u64("min-rank", 3);
+    opt.mover.admission = bench::admission_from_args(args);
     opt.badgertrap.fault_latency_ns = scaled_ns(10.0);
     opt.badgertrap.hot_extra_latency_ns = scaled_ns(13.0);
     opt.badgertrap.handler_cost_ns = scaled_ns(1.0);

@@ -65,6 +65,10 @@ struct DegradeStats {
   std::uint64_t rescaled_epochs = 0;  ///< epochs that rescaled trace weight
   std::uint64_t fallback_epochs = 0;  ///< epochs that fell back to A-bit-only
   std::uint64_t pinned_epochs = 0;    ///< epochs served the pinned ranking
+  /// Epochs in which the migration admission gate shed or bandwidth-refused
+  /// at least one move (filled by the runner from the AdmissionController;
+  /// the daemon itself neither writes nor serializes this field).
+  std::uint64_t throttled_epochs = 0;
 };
 
 /// One published profile (Step 1 output: pages ranked by hotness).

@@ -11,7 +11,10 @@
 namespace tmprof::tiering {
 
 PageMover::PageMover(sim::System& system, const MoverConfig& config)
-    : system_(system), config_(config), fault_(config.fault) {}
+    : system_(system),
+      config_(config),
+      fault_(config.fault),
+      admission_(config.admission) {}
 
 std::vector<std::pair<PageKey, mem::PageSize>> PageMover::residents(
     mem::TierId tier) {
@@ -30,6 +33,7 @@ std::vector<std::pair<PageKey, mem::PageSize>> PageMover::residents(
 
 void PageMover::set_telemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
+  admission_.set_telemetry(telemetry);
   if (telemetry == nullptr) {
     t_promoted_ = {};
     t_demoted_ = {};
@@ -37,6 +41,7 @@ void PageMover::set_telemetry(telemetry::Telemetry* telemetry) {
     t_deferred_ = {};
     t_aborted_ = {};
     t_no_room_ = {};
+    t_moved_bytes_ = {};
     t_deferred_pending_ = {};
     return;
   }
@@ -47,6 +52,7 @@ void PageMover::set_telemetry(telemetry::Telemetry* telemetry) {
   t_deferred_ = m.counter("mover_deferred_total");
   t_aborted_ = m.counter("mover_aborted_total");
   t_no_room_ = m.counter("mover_no_room_total");
+  t_moved_bytes_ = m.counter("mover_moved_bytes_total");
   t_deferred_pending_ = m.gauge("mover_deferred_pending");
 }
 
@@ -57,6 +63,7 @@ void PageMover::note_apply(const MoveStats& stats, util::SimNs begin_ns) {
   t_deferred_.add(stats.deferred);
   t_aborted_.add(stats.aborted);
   t_no_room_.add(stats.no_room);
+  t_moved_bytes_.add(stats.moved_bytes);
   t_deferred_pending_.set(deferred_.size());
   if (telemetry_ != nullptr) {
     telemetry_->span("mover.apply", begin_ns, system_.now(),
@@ -109,6 +116,39 @@ PageMover::MoveOutcome PageMover::try_move(const PageKey& key, mem::TierId dest,
   }
 }
 
+AdmissionDecision PageMover::admit_once(const PageKey& key,
+                                        mem::PageSize size, MoveStats& stats) {
+  const auto [slot, inserted] = admission_memo_.try_emplace(
+      key, static_cast<std::uint8_t>(AdmissionDecision::Admit));
+  if (!inserted) return static_cast<AdmissionDecision>(*slot);
+  const std::uint64_t bytes = mem::pages_in(size) << mem::kPageShift;
+  const AdmissionDecision d = admission_.decide(key, bytes);
+  *slot = static_cast<std::uint8_t>(d);
+  switch (d) {
+    case AdmissionDecision::Admit:
+      break;
+    case AdmissionDecision::Cooled:
+      ++stats.cooled;
+      break;
+    case AdmissionDecision::RejectBenefit:
+    case AdmissionDecision::RejectBandwidth:
+      ++stats.rejected;
+      break;
+    case AdmissionDecision::Shed:
+      ++stats.shed;
+      break;
+  }
+  return d;
+}
+
+bool PageMover::admission_rejected(const PageKey& key) const noexcept {
+  if (!admission_.enabled()) return false;
+  const auto it = admission_memo_.find(key);
+  return it != admission_memo_.end() &&
+         static_cast<AdmissionDecision>(it->second) !=
+             AdmissionDecision::Admit;
+}
+
 void PageMover::defer_promotion(const PageKey& key, mem::TierId dest,
                                 MoveStats& stats) {
   if (deferred_.size() >= config_.max_deferred) return;  // queue full: drop
@@ -137,6 +177,34 @@ void PageMover::drain_deferred(MoveStats& stats, std::uint64_t& budget) {
       deferred_set_.erase(d.key);
       continue;
     }
+    if (admission_.enabled()) {
+      // Queued intent re-justifies itself each epoch. Transient verdicts
+      // (bandwidth short, storm brake) keep the item queued; stale intent
+      // (heat gone, ping-pong cool-down) is dropped — promoting it later
+      // would be exactly the junk move the gate exists to stop.
+      bool drop = false;
+      bool park = false;
+      switch (admit_once(d.key, ref.size, stats)) {
+        case AdmissionDecision::Admit:
+          break;
+        case AdmissionDecision::Shed:
+        case AdmissionDecision::RejectBandwidth:
+          park = true;
+          break;
+        case AdmissionDecision::RejectBenefit:
+        case AdmissionDecision::Cooled:
+          drop = true;
+          break;
+      }
+      if (park) {
+        keep.push_back(d);
+        continue;
+      }
+      if (drop) {
+        deferred_set_.erase(d.key);
+        continue;
+      }
+    }
     if (mem::pages_in(ref.size) > system_.phys().free_frames(d.dest)) {
       keep.push_back(d);  // still no room; stays queued (not re-counted)
       continue;
@@ -145,6 +213,7 @@ void PageMover::drain_deferred(MoveStats& stats, std::uint64_t& budget) {
       case MoveOutcome::Moved:
         ++stats.promoted;
         stats.cost_ns += config_.per_page_cost_ns;
+        stats.moved_bytes += mem::pages_in(ref.size) << mem::kPageShift;
         deferred_set_.erase(d.key);
         break;
       case MoveOutcome::NoRoom:
@@ -192,6 +261,28 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
   const util::SimNs apply_begin = system_.now();
   std::uint64_t budget = budget_for_apply();
 
+  // Admission pre-pass (docs/ADMISSION.md): score every promotion
+  // candidate *before* demotions are sized, so residents are never evicted
+  // to make room for a move the gate then refuses. Candidates are visited
+  // in ranking order, then leftover-desired order — the exact promote
+  // order below — so the storm brake sheds the lowest-benefit moves first
+  // under the same total RankOrder.
+  if (admission_.enabled()) {
+    admission_.begin_epoch(system_.now(), ranking);
+    admission_memo_.clear();
+    auto consider = [&](const PageKey& key) {
+      sim::Process& proc = system_.process(key.pid);
+      const mem::PteRef ref = proc.page_table().resolve(key.page_va);
+      if (!ref) return;
+      if (system_.phys().tier_of(ref.pte->pfn()) == 0) return;  // resident
+      (void)admit_once(key, ref.size, stats);
+    };
+    for (const core::PageRank& pr : ranking) {
+      if (desired.count(pr.key) != 0) consider(pr.key);
+    }
+    for (const PageKey& key : desired) consider(key);
+  }
+
   // Demote cold tier-1 residents so promotions have room — *coldest first*,
   // so a hot resident that merely escaped this epoch's sparse sample is the
   // last to go. Demotion is lazy: pages move out only when the desired set
@@ -212,6 +303,7 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
                    });
   std::uint64_t need_frames = 0;
   for (const PageKey& key : desired) {
+    if (admission_rejected(key)) continue;  // will not move: reserve nothing
     sim::Process& proc = system_.process(key.pid);
     const mem::PteRef ref = proc.page_table().resolve(key.page_va);
     if (ref && system_.phys().tier_of(ref.pte->pfn()) != 0) {
@@ -225,7 +317,9 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
     if (try_move(key, 1, stats, budget) == MoveOutcome::Moved) {
       ++stats.demoted;
       stats.cost_ns += config_.per_page_cost_ns;
+      stats.moved_bytes += mem::pages_in(size) << mem::kPageShift;
       free_t1 += mem::pages_in(size);
+      admission_.note_demoted(key);
     }
     // Failed demotions are not deferred: the resident stays in tier 1 and
     // is naturally reconsidered next epoch.
@@ -233,6 +327,7 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
 
   // Promote the desired pages that still live in tier 2, hottest first.
   auto promote = [&](const PageKey& key) {
+    if (admission_rejected(key)) return;
     sim::Process& proc = system_.process(key.pid);
     const mem::PteRef ref = proc.page_table().resolve(key.page_va);
     if (!ref) return;
@@ -246,6 +341,7 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
       case MoveOutcome::Moved:
         ++stats.promoted;
         stats.cost_ns += config_.per_page_cost_ns;
+        stats.moved_bytes += mem::pages_in(ref.size) << mem::kPageShift;
         break;
       case MoveOutcome::NoRoom:
         defer_promotion(key, 0, stats);
@@ -310,6 +406,24 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
     if (assigned != bottom) target.emplace(pr.key, assigned);
   }
 
+  // Admission pre-pass: score upward moves in ranking order before any
+  // demotion is sized (same rationale as reconcile()). Rejected pages keep
+  // their target entry, so the demote loop's `it->second <= tier` check
+  // still protects residents the gate refused to re-promote.
+  if (admission_.enabled()) {
+    admission_.begin_epoch(system_.now(), ranking);
+    admission_memo_.clear();
+    for (const core::PageRank& pr : ranking) {
+      const auto it = target.find(pr.key);
+      if (it == target.end()) continue;
+      sim::Process& proc = system_.process(pr.key.pid);
+      const mem::PteRef ref = proc.page_table().resolve(pr.key.page_va);
+      if (!ref) continue;
+      if (system_.phys().tier_of(ref.pte->pfn()) <= it->second) continue;
+      (void)admit_once(pr.key, ref.size, stats);
+    }
+  }
+
   // Demote first, working the ladder bottom-up: a tier can only shed pages
   // into the tiers below it, so space must open at the bottom before the
   // top can drain. Residents with no (or a slower) target leave when the
@@ -319,6 +433,7 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
     std::uint64_t need = 0;
     for (const auto& [key, t] : target) {
       if (t != tier) continue;
+      if (admission_rejected(key)) continue;  // will not move in
       sim::Process& proc = system_.process(key.pid);
       const mem::PteRef ref = proc.page_table().resolve(key.page_va);
       if (ref && system_.phys().tier_of(ref.pte->pfn()) != tier) {
@@ -334,7 +449,9 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
       if (try_move(key, dest, stats, budget) == MoveOutcome::Moved) {
         ++stats.demoted;
         stats.cost_ns += config_.per_page_cost_ns;
+        stats.moved_bytes += mem::pages_in(size) << mem::kPageShift;
         free_frames += mem::pages_in(size);
+        admission_.note_demoted(key);
       }
     }
   }
@@ -346,6 +463,7 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
     if (!ref) continue;
     const mem::TierId current = system_.phys().tier_of(ref.pte->pfn());
     if (current <= it->second) continue;  // already fast enough
+    if (admission_rejected(pr.key)) continue;
     if (mem::pages_in(ref.size) > system_.phys().free_frames(it->second)) {
       ++stats.no_room;
       defer_promotion(pr.key, it->second, stats);
@@ -355,6 +473,7 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
       case MoveOutcome::Moved:
         ++stats.promoted;
         stats.cost_ns += config_.per_page_cost_ns;
+        stats.moved_bytes += mem::pages_in(ref.size) << mem::kPageShift;
         break;
       case MoveOutcome::NoRoom:
         defer_promotion(pr.key, it->second, stats);

@@ -12,6 +12,13 @@
 /// retry budget; -ENOMEM-style failures (destination tier full) park the
 /// promotion on a deferred queue that is re-attempted in later epochs, so
 /// profiler intent survives a temporarily full fast tier.
+///
+/// Admission layer (docs/ADMISSION.md): when MoverConfig::admission is
+/// enabled, every promotion candidate is scored by the AdmissionController
+/// *before* demotions are sized, so residents are never evicted to make
+/// room for a move the gate then refuses. Rejected candidates keep their
+/// demotion protection (they stay "desired") but neither reserve frames
+/// nor migrate this epoch.
 
 #include <cstdint>
 #include <unordered_set>
@@ -20,6 +27,7 @@
 #include "core/ranking.hpp"
 #include "sim/system.hpp"
 #include "telemetry/metrics.hpp"
+#include "tiering/admission.hpp"
 #include "tiering/policy.hpp"
 #include "util/fault.hpp"
 
@@ -32,6 +40,10 @@ struct MoveStats {
   std::uint64_t deferred = 0;  ///< promotions parked on the deferred queue
   std::uint64_t aborted = 0;   ///< moves dropped after the retry budget ran out
   std::uint64_t no_room = 0;   ///< moves whose destination tier had no room
+  std::uint64_t rejected = 0;  ///< admission: below benefit floor / bandwidth
+  std::uint64_t cooled = 0;    ///< admission: ping-pong cool-down active
+  std::uint64_t shed = 0;      ///< admission: storm brake shed the move
+  std::uint64_t moved_bytes = 0;  ///< bytes actually migrated (both ways)
   util::SimNs cost_ns = 0;     ///< migration cost charged to the clock
   util::SimNs backoff_ns = 0;  ///< retry backoff charged to the clock
 
@@ -46,6 +58,10 @@ struct MoveStats {
     deferred += other.deferred;
     aborted += other.aborted;
     no_room += other.no_room;
+    rejected += other.rejected;
+    cooled += other.cooled;
+    shed += other.shed;
+    moved_bytes += other.moved_bytes;
     cost_ns += other.cost_ns;
     backoff_ns += other.backoff_ns;
   }
@@ -74,6 +90,9 @@ struct MoverConfig {
   std::size_t max_deferred = 4096;
   /// Deterministic fault injection (disabled by default: rate 0).
   util::FaultConfig fault{};
+  /// Migration admission control (docs/ADMISSION.md). Off by default: the
+  /// mover behaves bitwise identically to its pre-admission self.
+  AdmissionConfig admission{};
 };
 
 class PageMover {
@@ -117,6 +136,15 @@ class PageMover {
   [[nodiscard]] std::size_t deferred_pending() const noexcept {
     return deferred_.size();
   }
+  /// The admission gate (docs/ADMISSION.md). Disabled (mode Off) unless
+  /// MoverConfig::admission enables it; the runner checkpoints it as its
+  /// own "admission" section.
+  [[nodiscard]] AdmissionController& admission() noexcept {
+    return admission_;
+  }
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return admission_;
+  }
   /// Injection tallies (all zero unless MoverConfig::fault enables sites).
   [[nodiscard]] const util::FaultStats& fault_stats() const noexcept {
     return fault_.stats();
@@ -145,6 +173,13 @@ class PageMover {
   void defer_promotion(const PageKey& key, mem::TierId dest, MoveStats& stats);
   /// Re-attempt queued promotions whose destination has room again.
   void drain_deferred(MoveStats& stats, std::uint64_t& budget);
+  /// Admission verdict for one promotion candidate, memoized per apply so
+  /// a page consulted by both the pre-pass and the deferred drain is
+  /// decided (and tallied) exactly once per epoch.
+  AdmissionDecision admit_once(const PageKey& key, mem::PageSize size,
+                               MoveStats& stats);
+  /// True when the gate is on and `key` was decided non-Admit this apply.
+  [[nodiscard]] bool admission_rejected(const PageKey& key) const noexcept;
   [[nodiscard]] std::uint64_t budget_for_apply() const noexcept;
   /// Publish one apply batch's stats and span to the telemetry sink.
   void note_apply(const MoveStats& stats, util::SimNs begin_ns);
@@ -157,6 +192,10 @@ class PageMover {
   sim::System& system_;
   MoverConfig config_;
   util::FaultInjector fault_;
+  AdmissionController admission_;
+  /// Per-apply verdict memo (key -> AdmissionDecision as u8); capacity
+  /// retained across epochs like every hot-path scratch map.
+  core::PageMap<std::uint8_t> admission_memo_;
   std::vector<DeferredMove> deferred_;  ///< FIFO, carried across epochs
   std::unordered_set<PageKey, PageKeyHash> deferred_set_;
   std::uint64_t move_seq_ = 0;  ///< distinguishes fault keys across epochs
@@ -168,6 +207,7 @@ class PageMover {
   telemetry::Counter t_deferred_;
   telemetry::Counter t_aborted_;
   telemetry::Counter t_no_room_;
+  telemetry::Counter t_moved_bytes_;
   telemetry::Gauge t_deferred_pending_;
 };
 

@@ -57,6 +57,10 @@ void save_move_stats(util::ckpt::Writer& w, const MoveStats& stats) {
   w.put_u64(stats.deferred);
   w.put_u64(stats.aborted);
   w.put_u64(stats.no_room);
+  w.put_u64(stats.rejected);
+  w.put_u64(stats.cooled);
+  w.put_u64(stats.shed);
+  w.put_u64(stats.moved_bytes);
   w.put_u64(stats.cost_ns);
   w.put_u64(stats.backoff_ns);
 }
@@ -68,6 +72,10 @@ void load_move_stats(util::ckpt::Reader& r, MoveStats& stats) {
   stats.deferred = r.get_u64();
   stats.aborted = r.get_u64();
   stats.no_room = r.get_u64();
+  stats.rejected = r.get_u64();
+  stats.cooled = r.get_u64();
+  stats.shed = r.get_u64();
+  stats.moved_bytes = r.get_u64();
   stats.cost_ns = r.get_u64();
   stats.backoff_ns = r.get_u64();
 }
@@ -174,6 +182,16 @@ RunnerResult run_impl(const WorkloadFactory& factory,
     r.end_section();
     r.enter_section("mover");
     mover.load_state(r);
+    r.end_section();
+    r.enter_section("admission");
+    if (r.get_bool() != mover.admission().enabled()) {
+      throw util::ckpt::CkptError("admission", "admission presence mismatch");
+    }
+    if (r.get_u8() !=
+        static_cast<std::uint8_t>(mover.admission().config().mode)) {
+      throw util::ckpt::CkptError("admission", "admission mode mismatch");
+    }
+    if (mover.admission().enabled()) mover.admission().load_state(r);
     r.end_section();
     r.enter_section("policy");
     if (r.get_bool() != (policy != nullptr)) {
@@ -339,6 +357,11 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       w.begin_section("mover");
       mover.save_state(w);
       w.end_section();
+      w.begin_section("admission");
+      w.put_bool(mover.admission().enabled());
+      w.put_u8(static_cast<std::uint8_t>(mover.admission().config().mode));
+      if (mover.admission().enabled()) mover.admission().save_state(w);
+      w.end_section();
       w.begin_section("policy");
       w.put_bool(policy != nullptr);
       if (policy) policy->save_state(w);
@@ -382,6 +405,9 @@ RunnerResult run_impl(const WorkloadFactory& factory,
   result.protection_faults = trap.total_faults();
   result.profiling_overhead_ns = daemon.driver().overhead_ns();
   result.degrade = daemon.degrade_stats();
+  // The admission gate lives in the mover, not the daemon; fold its
+  // throttle tally into the degradation report here.
+  result.degrade.throttled_epochs = mover.admission().throttled_epochs();
   // Trace-side overhead is not charged inline by the daemon (the driver's
   // interrupt handlers run on the profiled cores); add it here.
   result.runtime_ns = system.now() + daemon.driver().trace_overhead_ns();

@@ -121,6 +121,67 @@ MemRef InitThenServeWorkload::next() {
   return ref;
 }
 
+PhaseShiftWorkload::PhaseShiftWorkload(std::uint64_t stable_bytes,
+                                       std::uint64_t slot_bytes,
+                                       std::uint32_t n_slots,
+                                       std::uint64_t phase_ops,
+                                       double stable_fraction,
+                                       std::uint64_t seed)
+    : stable_bytes_(stable_bytes),
+      slot_bytes_(slot_bytes),
+      n_slots_(n_slots),
+      phase_ops_(phase_ops),
+      stable_fraction_(stable_fraction),
+      rng_(seed) {
+  TMPROF_EXPECTS(stable_bytes >= 64 && slot_bytes >= 64);
+  TMPROF_EXPECTS(n_slots >= 2);
+  TMPROF_EXPECTS(phase_ops >= 1);
+  TMPROF_EXPECTS(stable_fraction >= 0.0 && stable_fraction <= 1.0);
+}
+
+MemRef PhaseShiftWorkload::next() {
+  MemRef ref;
+  if (rng_.chance(stable_fraction_)) {
+    ref.offset = rng_.below(stable_bytes_) & ~7ULL;
+    ref.ip = 1;
+  } else {
+    const std::uint64_t base =
+        stable_bytes_ + static_cast<std::uint64_t>(slot_at(ops_)) * slot_bytes_;
+    ref.offset = base + (rng_.below(slot_bytes_) & ~7ULL);
+    ref.ip = 2;
+  }
+  ref.is_store = rng_.chance(0.05);
+  ++ops_;
+  return ref;
+}
+
+ZipfChurnWorkload::ZipfChurnWorkload(std::uint64_t footprint_bytes,
+                                     std::uint64_t record_bytes, double theta,
+                                     std::uint64_t phase_ops,
+                                     std::uint64_t churn_records,
+                                     std::uint64_t seed)
+    : footprint_(footprint_bytes),
+      record_bytes_(record_bytes),
+      n_records_(footprint_bytes / record_bytes),
+      phase_ops_(phase_ops),
+      churn_records_(churn_records),
+      zipf_(footprint_bytes / record_bytes, theta),
+      rng_(seed) {
+  TMPROF_EXPECTS(record_bytes >= 8 && record_bytes <= footprint_bytes);
+  TMPROF_EXPECTS(phase_ops >= 1);
+}
+
+MemRef ZipfChurnWorkload::next() {
+  const std::uint64_t shift = (ops_ / phase_ops_) * churn_records_;
+  const std::uint64_t record = (zipf_(rng_) + shift) % n_records_;
+  MemRef ref;
+  ref.offset = record * record_bytes_ + (rng_.below(record_bytes_) & ~7ULL);
+  ref.is_store = rng_.chance(0.05);
+  ref.ip = 1;
+  ++ops_;
+  return ref;
+}
+
 
 // ---------------------------------------------------------------------------
 // Checkpoint hooks
@@ -162,6 +223,24 @@ void InitThenServeWorkload::save_state(util::ckpt::Writer& w) const {
 void InitThenServeWorkload::load_state(util::ckpt::Reader& r) {
   util::ckpt::load_rng(r, rng_);
   cursor_ = r.get_u64();
+}
+
+void PhaseShiftWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(ops_);
+}
+void PhaseShiftWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  ops_ = r.get_u64();
+}
+
+void ZipfChurnWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(ops_);
+}
+void ZipfChurnWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  ops_ = r.get_u64();
 }
 
 }  // namespace tmprof::workloads

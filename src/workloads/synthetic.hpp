@@ -132,4 +132,76 @@ class InitThenServeWorkload final : public Workload {
   std::uint64_t cursor_ = 0;  ///< init progress; saturates at cold_bytes_
 };
 
+/// Phase-shift storm generator (docs/ADMISSION.md): a stable region that is
+/// hot in every phase, plus `n_slots` churn slots of which exactly one is
+/// hot at a time; the hot slot rotates every `phase_ops` references. With
+/// n_slots = 2 the rotation is A/B/A/B — each slot's pages are demoted when
+/// their phase ends and re-requested when it returns, the canonical
+/// ping-pong an admission gate must dampen. The stable region is what a
+/// storm must not sacrifice: its hitrate separates "moved fewer bytes" from
+/// "stopped tiering".
+class PhaseShiftWorkload final : public Workload {
+ public:
+  PhaseShiftWorkload(std::uint64_t stable_bytes, std::uint64_t slot_bytes,
+                     std::uint32_t n_slots, std::uint64_t phase_ops,
+                     double stable_fraction, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return stable_bytes_ + static_cast<std::uint64_t>(n_slots_) * slot_bytes_;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "phase-shift";
+  }
+
+  /// Slot hot at reference index `op` (phase = op / phase_ops).
+  [[nodiscard]] std::uint32_t slot_at(std::uint64_t op) const noexcept {
+    return static_cast<std::uint32_t>((op / phase_ops_) % n_slots_);
+  }
+
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
+ private:
+  std::uint64_t stable_bytes_;
+  std::uint64_t slot_bytes_;
+  std::uint32_t n_slots_;
+  std::uint64_t phase_ops_;
+  double stable_fraction_;
+  util::Rng rng_;
+  std::uint64_t ops_ = 0;  ///< references emitted (drives the phase clock)
+};
+
+/// Zipf-churn storm generator: Zipfian skew whose rank-to-record mapping
+/// rotates by `churn_records` every `phase_ops` references, so the hot head
+/// slides across the footprint in bursts. Unlike phase-shift's clean flip,
+/// the head *overlaps* across phases — yesterday's warm pages decay instead
+/// of dying, stressing the benefit predictor's history window rather than
+/// the ping-pong detector.
+class ZipfChurnWorkload final : public Workload {
+ public:
+  ZipfChurnWorkload(std::uint64_t footprint_bytes, std::uint64_t record_bytes,
+                    double theta, std::uint64_t phase_ops,
+                    std::uint64_t churn_records, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return footprint_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "zipf-churn"; }
+
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
+ private:
+  std::uint64_t footprint_;
+  std::uint64_t record_bytes_;
+  std::uint64_t n_records_;
+  std::uint64_t phase_ops_;
+  std::uint64_t churn_records_;
+  util::ZipfDistribution zipf_;
+  util::Rng rng_;
+  std::uint64_t ops_ = 0;  ///< references emitted (drives the churn shift)
+};
+
 }  // namespace tmprof::workloads

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/ranking.hpp"
+#include "tiering/admission.hpp"
 #include "tiering/epoch.hpp"
 #include "tiering/runner.hpp"
 #include "util/rng.hpp"
@@ -211,6 +212,44 @@ std::vector<std::uint8_t> sketch_image() {
   return w.finish();
 }
 
+/// A checkpoint image holding a populated AdmissionController (per-page
+/// rank history, live cool-downs, a drained token bucket, retuned adaptive
+/// threshold and the internal registry) so the corruption matrix also
+/// covers the admission state introduced by docs/ADMISSION.md.
+std::vector<std::uint8_t> admission_image() {
+  tiering::AdmissionConfig cfg;
+  cfg.mode = tiering::AdmissionMode::Adaptive;
+  cfg.min_history = 1;
+  cfg.bandwidth_bytes_per_sec = 64ULL << mem::kPageShift;
+  cfg.burst_bytes = 16ULL << mem::kPageShift;
+  cfg.cooldown_epochs = 2;
+  cfg.max_moves_per_epoch = 8;
+  tiering::AdmissionController adm(cfg);
+  util::Rng rng(11);
+  for (std::uint32_t epoch = 1; epoch <= 6; ++epoch) {
+    std::vector<core::PageRank> ranking;
+    for (std::uint64_t p = 0; p < 24; ++p) {
+      if (rng.below(3) == 0) continue;
+      core::PageRank r;
+      r.key = core::PageKey{1, p << mem::kPageShift};
+      r.rank = 1 + rng.below(16);
+      ranking.push_back(r);
+    }
+    adm.begin_epoch(epoch * util::kMillisecond, ranking);
+    for (const core::PageRank& r : ranking) {
+      const auto verdict = adm.decide(r.key, mem::kPageSize);
+      if (verdict == tiering::AdmissionDecision::Admit && rng.below(2) == 0) {
+        adm.note_demoted(r.key);  // arm the ping-pong detector
+      }
+    }
+  }
+  Writer w;
+  w.begin_section("admission");
+  adm.save_state(w);
+  w.end_section();
+  return w.finish();
+}
+
 /// True when the (possibly corrupted) image is safely rejected: the parse
 /// throws a typed CkptError, or it parses but no longer serves the exact
 /// section set of the intact file (a truncation at a frame boundary yields
@@ -264,6 +303,30 @@ TEST(CkptCorruption, SketchSectionsTruncationAtEveryLengthRejected) {
 
 TEST(CkptCorruption, SketchSectionsEverySingleBitFlipRejected) {
   const std::vector<std::uint8_t> image = sketch_image();
+  const std::vector<std::string> names = Reader(image).section_names();
+  for (std::size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> flipped = image;
+      flipped[byte] = static_cast<std::uint8_t>(flipped[byte] ^ (1U << bit));
+      EXPECT_TRUE(rejected_or_degraded(flipped, names))
+          << "bit flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(CkptCorruption, AdmissionSectionTruncationAtEveryLengthRejected) {
+  const std::vector<std::uint8_t> image = admission_image();
+  const std::vector<std::string> names = Reader(image).section_names();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(
+        image.begin(), image.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_TRUE(rejected_or_degraded(prefix, names))
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(CkptCorruption, AdmissionSectionEverySingleBitFlipRejected) {
+  const std::vector<std::uint8_t> image = admission_image();
   const std::vector<std::string> names = Reader(image).section_names();
   for (std::size_t byte = 0; byte < image.size(); ++byte) {
     for (int bit = 0; bit < 8; ++bit) {
@@ -562,6 +625,11 @@ void expect_bitwise_equal(const RunnerResult& a, const RunnerResult& b) {
   EXPECT_EQ(a.moves.deferred, b.moves.deferred);
   EXPECT_EQ(a.moves.aborted, b.moves.aborted);
   EXPECT_EQ(a.moves.no_room, b.moves.no_room);
+  EXPECT_EQ(a.moves.rejected, b.moves.rejected);
+  EXPECT_EQ(a.moves.cooled, b.moves.cooled);
+  EXPECT_EQ(a.moves.shed, b.moves.shed);
+  EXPECT_EQ(a.moves.moved_bytes, b.moves.moved_bytes);
+  EXPECT_EQ(a.degrade.throttled_epochs, b.degrade.throttled_epochs);
   EXPECT_EQ(a.degrade.hwpc_wraps, b.degrade.hwpc_wraps);
   EXPECT_EQ(a.degrade.scans_aborted, b.degrade.scans_aborted);
   EXPECT_EQ(a.degrade.trace_dropped, b.degrade.trace_dropped);
@@ -732,6 +800,86 @@ TEST(CkptResume, CorruptCheckpointFallsBackToColdStart) {
   std::vector<std::uint8_t> skewed = image;
   skewed[sizeof util::ckpt::kMagic] ^= 0xff;  // version field
   expect_bitwise_equal(run_resume(skewed), reference);
+}
+
+/// Runner options with the admission gate on: low bandwidth and a tight
+/// storm brake so every verdict class (rejected, cooled, shed) has live
+/// state riding in the checkpoint.
+RunnerOptions gated_runner(const std::string& policy, AdmissionMode mode) {
+  RunnerOptions opt = tiny_runner(policy);
+  opt.mover.admission.mode = mode;
+  opt.mover.admission.min_history = 1;
+  opt.mover.admission.bandwidth_bytes_per_sec = 512ULL << mem::kPageShift;
+  opt.mover.admission.burst_bytes = 64ULL << mem::kPageShift;
+  opt.mover.admission.cooldown_epochs = 2;
+  opt.mover.admission.max_moves_per_epoch = 48;
+  return opt;
+}
+
+TEST(CkptResume, GatedRunnerResumesBitwiseIdentical) {
+  // The admission section (history, bucket, cool-downs, registry) rides in
+  // the checkpoint; kill-and-resume under an active gate must be bitwise
+  // identical to the uninterrupted run for both gated modes.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  for (const AdmissionMode mode :
+       {AdmissionMode::Static, AdmissionMode::Adaptive}) {
+    const fs::path dir =
+        fs::path(::testing::TempDir()) /
+        ("tmprof-adm-resume-" + std::string(to_string(mode)));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const RunnerResult reference =
+        EndToEndRunner::run(spec, tiny_config(), gated_runner("history", mode));
+
+    RunnerOptions opt = gated_runner("history", mode);
+    opt.checkpoint.every = 1;
+    opt.checkpoint.dir = dir.string();
+    opt.checkpoint.keep_last = 16;
+    (void)EndToEndRunner::run(spec, tiny_config(), opt);
+
+    RunnerOptions resume = gated_runner("history", mode);
+    resume.checkpoint.resume_from =
+        util::ckpt::checkpoint_path(dir.string(), "ckpt", 3);
+    ASSERT_TRUE(fs::exists(resume.checkpoint.resume_from))
+        << to_string(mode);
+    expect_bitwise_equal(EndToEndRunner::run(spec, tiny_config(), resume),
+                         reference);
+  }
+}
+
+TEST(CkptResume, AdmissionModeMismatchFallsBackToColdStart) {
+  // A checkpoint written with the gate on must not graft onto a gate-off
+  // run (and vice versa): the admission section's presence/mode bytes
+  // reject it and the run cold-starts, bitwise equal to never resuming.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-adm-mismatch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  RunnerOptions opt = gated_runner("history", AdmissionMode::Static);
+  opt.checkpoint.every = 2;
+  opt.checkpoint.dir = dir.string();
+  (void)EndToEndRunner::run(spec, tiny_config(), opt);
+  const std::string latest = util::ckpt::latest_in(dir.string(), "ckpt");
+  ASSERT_NE(latest, "");
+
+  // Gated checkpoint into an ungated run.
+  const RunnerResult off_reference =
+      EndToEndRunner::run(spec, tiny_config(), tiny_runner("history"));
+  RunnerOptions off_resume = tiny_runner("history");
+  off_resume.checkpoint.resume_from = latest;
+  expect_bitwise_equal(EndToEndRunner::run(spec, tiny_config(), off_resume),
+                       off_reference);
+
+  // Gated checkpoint into a run gated in the other mode.
+  const RunnerResult adaptive_reference = EndToEndRunner::run(
+      spec, tiny_config(), gated_runner("history", AdmissionMode::Adaptive));
+  RunnerOptions adaptive_resume =
+      gated_runner("history", AdmissionMode::Adaptive);
+  adaptive_resume.checkpoint.resume_from = latest;
+  expect_bitwise_equal(
+      EndToEndRunner::run(spec, tiny_config(), adaptive_resume),
+      adaptive_reference);
 }
 
 TEST(CkptResume, MissingResumeFileFallsBackToColdStart) {

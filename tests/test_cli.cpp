@@ -177,6 +177,69 @@ TEST(GoldenSchema, RobustnessCsvHeader) {
   EXPECT_EQ(bench::robustness_csv_header(), want);
 }
 
+TEST(GoldenSchema, StormCsvHeader) {
+  // Golden schema for storm.csv (bench/robustness --storm). The CI storm
+  // gate and any plotting script key on these names in this order.
+  const std::vector<std::string> want{
+      "scenario",         "admission",       "runtime_ms",
+      "hitrate",          "migrations",      "moved_mb",
+      "rejected",         "cooled",          "shed",
+      "throttled_epochs", "bytes_saved_pct", "hitrate_delta"};
+  EXPECT_EQ(bench::storm_csv_header(), want);
+}
+
+TEST(AdmissionCli, FlagsParseIntoConfig) {
+  const auto p =
+      parse({"--admission=adaptive", "--mig-bandwidth=200", "--mig-burst=2",
+             "--cooldown-epochs=6", "--min-benefit=5", "--min-history=3",
+             "--max-moves=128"});
+  const tiering::AdmissionConfig adm = bench::admission_from_args(p);
+  EXPECT_EQ(adm.mode, tiering::AdmissionMode::Adaptive);
+  EXPECT_EQ(adm.bandwidth_bytes_per_sec, 200'000'000U);
+  EXPECT_EQ(adm.burst_bytes, 2'000'000U);
+  EXPECT_EQ(adm.cooldown_epochs, 6U);
+  EXPECT_EQ(adm.min_benefit, 5U);
+  EXPECT_EQ(adm.min_history, 3U);
+  EXPECT_EQ(adm.max_moves_per_epoch, 128U);
+}
+
+TEST(AdmissionCli, DefaultIsOff) {
+  const tiering::AdmissionConfig adm = bench::admission_from_args(parse({}));
+  EXPECT_EQ(adm.mode, tiering::AdmissionMode::Off);
+  EXPECT_EQ(adm.bandwidth_bytes_per_sec, 0U);
+}
+
+TEST(AdmissionCli, UnknownModeErrorEnumeratesValidNames) {
+  try {
+    (void)bench::admission_from_args(parse({"--admission=banana"}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("banana"), std::string::npos);
+    EXPECT_NE(msg.find("off"), std::string::npos);
+    EXPECT_NE(msg.find("static"), std::string::npos);
+    EXPECT_NE(msg.find("adaptive"), std::string::npos);
+  }
+}
+
+TEST(AdmissionCli, NegativeBandwidthRejected) {
+  EXPECT_THROW(
+      (void)bench::admission_from_args(parse({"--mig-bandwidth=-100"})),
+      std::invalid_argument);
+  EXPECT_THROW((void)bench::admission_from_args(parse({"--mig-burst=-1"})),
+               std::invalid_argument);
+}
+
+TEST(AdmissionCli, ZeroCooldownWindowRejected) {
+  try {
+    (void)bench::admission_from_args(parse({"--cooldown-epochs=0"}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cooldown-epochs"),
+              std::string::npos);
+  }
+}
+
 TEST(GoldenSchema, CheckpointFlagsParseIntoOptions) {
   const auto p = parse({"--checkpoint-every=4", "--checkpoint-dir=/tmp/ck",
                         "--resume-latest", "--keep-last=5"});

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <unordered_set>
+#include <vector>
 
+#include "util/ckpt.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace tmprof::workloads {
@@ -147,6 +150,106 @@ TEST(Gups, AlternatesLoadStorePairs) {
     EXPECT_FALSE(load.is_store);
     EXPECT_TRUE(store.is_store);
     EXPECT_EQ(load.offset, store.offset);  // read-modify-write
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storm generators (docs/ADMISSION.md): the admission bench's adversaries.
+
+constexpr std::uint64_t kSlot = 64 * 4096;  // 64-page phase slots
+
+TEST(StormWorkloads, PhaseShiftFlipsSlotsAtPhaseBoundaries) {
+  // stable_fraction 0: every reference goes to the currently-hot slot, so
+  // the emitted offsets must track slot_at(op) exactly.
+  PhaseShiftWorkload w(kSlot, kSlot, 2, 100, 0.0, 7);
+  for (std::uint64_t op = 0; op < 1000; ++op) {
+    const std::uint32_t slot = w.slot_at(op);
+    const MemRef ref = w.next();
+    const std::uint64_t lo = kSlot + slot * kSlot;
+    EXPECT_GE(ref.offset, lo) << "op " << op;
+    EXPECT_LT(ref.offset, lo + kSlot) << "op " << op;
+    EXPECT_EQ(ref.ip, 2U);  // slot-region phase marker
+  }
+}
+
+TEST(StormWorkloads, PhaseShiftStableRegionStaysPut) {
+  PhaseShiftWorkload w(kSlot, kSlot, 2, 100, 1.0, 7);
+  for (int i = 0; i < 1000; ++i) {
+    const MemRef ref = w.next();
+    EXPECT_LT(ref.offset, kSlot);
+    EXPECT_EQ(ref.ip, 1U);  // stable-region phase marker
+  }
+}
+
+TEST(StormWorkloads, SameSeedSameStream) {
+  PhaseShiftWorkload a(kSlot, kSlot, 3, 64, 0.5, 11);
+  PhaseShiftWorkload b(kSlot, kSlot, 3, 64, 0.5, 11);
+  ZipfChurnWorkload c(1 << 20, 4096, 0.9, 64, 16, 11);
+  ZipfChurnWorkload d(1 << 20, 4096, 0.9, 64, 16, 11);
+  for (int i = 0; i < 5000; ++i) {
+    const MemRef ra = a.next(), rb = b.next();
+    EXPECT_EQ(ra.offset, rb.offset);
+    EXPECT_EQ(ra.is_store, rb.is_store);
+    EXPECT_EQ(ra.ip, rb.ip);
+    const MemRef rc = c.next(), rd = d.next();
+    EXPECT_EQ(rc.offset, rd.offset);
+    EXPECT_EQ(rc.is_store, rd.is_store);
+  }
+}
+
+TEST(StormWorkloads, ZipfChurnRotatesTheHotHead) {
+  // Rank 0 is the Zipf mode; the churn shifts its record by churn_records
+  // each phase, so the modal record must slide across phases.
+  const std::uint64_t phase_ops = 20000, churn = 32;
+  ZipfChurnWorkload w(1 << 20, 4096, 0.99, phase_ops, churn, 5);
+  for (std::uint64_t phase = 0; phase < 3; ++phase) {
+    std::vector<std::uint64_t> counts(256, 0);
+    for (std::uint64_t i = 0; i < phase_ops; ++i) {
+      ++counts[w.next().offset / 4096];
+    }
+    std::uint64_t modal = 0;
+    for (std::uint64_t r = 1; r < counts.size(); ++r) {
+      if (counts[r] > counts[modal]) modal = r;
+    }
+    EXPECT_EQ(modal, (phase * churn) % 256) << "phase " << phase;
+  }
+}
+
+TEST(StormWorkloads, CheckpointRoundTripsMidStream) {
+  // Save mid-phase, keep drawing the reference stream, then load into a
+  // fresh instance: the resumed stream (rng AND phase clock) must match.
+  PhaseShiftWorkload ps(kSlot, kSlot, 2, 150, 0.5, 13);
+  ZipfChurnWorkload zc(1 << 20, 4096, 0.9, 150, 16, 13);
+  for (int i = 0; i < 1000; ++i) {
+    (void)ps.next();
+    (void)zc.next();
+  }
+  util::ckpt::Writer w;
+  w.begin_section("ps");
+  ps.save_state(w);
+  w.end_section();
+  w.begin_section("zc");
+  zc.save_state(w);
+  w.end_section();
+  const std::vector<std::uint8_t> image = w.finish();
+
+  util::ckpt::Reader r(image);
+  PhaseShiftWorkload ps2(kSlot, kSlot, 2, 150, 0.5, 99);
+  ZipfChurnWorkload zc2(1 << 20, 4096, 0.9, 150, 16, 99);
+  r.enter_section("ps");
+  ps2.load_state(r);
+  r.end_section();
+  r.enter_section("zc");
+  zc2.load_state(r);
+  r.end_section();
+  for (int i = 0; i < 2000; ++i) {
+    const MemRef a = ps.next(), b = ps2.next();
+    EXPECT_EQ(a.offset, b.offset);
+    EXPECT_EQ(a.is_store, b.is_store);
+    EXPECT_EQ(a.ip, b.ip);
+    const MemRef c = zc.next(), d = zc2.next();
+    EXPECT_EQ(c.offset, d.offset);
+    EXPECT_EQ(c.is_store, d.is_store);
   }
 }
 
