@@ -86,6 +86,7 @@ std::string fingerprint(const tiering::RunnerResult& r) {
   u64(r.degrade.fallback_epochs);
   u64(r.degrade.pinned_epochs);
   u64(r.degrade.throttled_epochs);
+  u64(r.degrade.qos_fallback_epochs);
   return s;
 }
 

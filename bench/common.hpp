@@ -17,6 +17,7 @@
 #include "sim/config.hpp"
 #include "telemetry/telemetry.hpp"
 #include "tiering/admission.hpp"
+#include "tiering/tenant.hpp"
 #include "util/ckpt.hpp"
 #include "util/cli.hpp"
 #include "util/fault.hpp"
@@ -180,6 +181,76 @@ inline tiering::AdmissionConfig admission_from_args(
       args.get_u64("min-history", adm.min_history));
   adm.max_moves_per_epoch = args.get_u64("max-moves", adm.max_moves_per_epoch);
   return adm;
+}
+
+/// Fleet-consolidation selection (docs/CONSOLIDATION.md), used by
+/// bench/consolidation --fleet:
+///   --tenants=N          concurrent tenants (>= 2; tenant 0 is the service)
+///   --qos=C              QoS class of the service tenant (latency|batch)
+///   --quota-floor=N      service tenant's guaranteed fast-tier frames (> 0)
+///   --churn-rate=F       fraction of each batch tenant's cycle spent idle,
+///                        exclusive (0, 1): 0 would mean no churn at all and
+///                        1 a tenant that never runs
+///   --isolation-check=1  exit non-zero unless the latency tenant stays
+///                        within 5 pp of its solo hitrate (requires
+///                        --qos=latency; the guarantee protects latency
+///                        tenants only)
+/// Unknown QoS class names enumerate the valid ones; zero/negative tenant
+/// counts, floors and churn rates are rejected with clear errors.
+struct FleetArgs {
+  std::uint32_t n_tenants = 12;
+  tiering::QosClass service_qos = tiering::QosClass::Latency;
+  std::uint64_t quota_floor_frames = 0;  ///< 0 = bench picks its default
+  double churn_rate = 0.5;
+  bool isolation_check = false;
+};
+
+inline FleetArgs fleet_from_args(const util::ArgParser& args) {
+  FleetArgs fleet;
+  fleet.n_tenants =
+      static_cast<std::uint32_t>(args.get_u64("tenants", fleet.n_tenants));
+  if (fleet.n_tenants < 2) {
+    throw std::invalid_argument(
+        "--tenants: a fleet needs at least 2 tenants (one service, one "
+        "neighbor)");
+  }
+  if (args.has("qos")) {
+    fleet.service_qos = tiering::parse_qos_class(args.get("qos", ""));
+  }
+  if (args.has("quota-floor")) {
+    const double floor = args.get_double("quota-floor", 0.0);
+    if (floor <= 0.0) {
+      throw std::invalid_argument(
+          "--quota-floor: the guaranteed floor must be a positive number of "
+          "frames");
+    }
+    fleet.quota_floor_frames = static_cast<std::uint64_t>(floor);
+  }
+  fleet.churn_rate = args.get_double("churn-rate", fleet.churn_rate);
+  if (fleet.churn_rate <= 0.0 || fleet.churn_rate >= 1.0) {
+    throw std::invalid_argument(
+        "--churn-rate: the idle fraction must lie strictly between 0 and 1");
+  }
+  fleet.isolation_check = args.get_bool("isolation-check", false);
+  if (fleet.isolation_check &&
+      (!args.has("qos") ||
+       fleet.service_qos != tiering::QosClass::Latency)) {
+    throw std::invalid_argument(
+        "--isolation-check: requires --qos=latency (the isolation guarantee "
+        "protects latency tenants)");
+  }
+  return fleet;
+}
+
+/// The fleet bench's CSV schema (bench/consolidation --fleet), pinned by
+/// the golden-schema test. One row per (mode, tenant).
+inline const std::vector<std::string>& fleet_csv_header() {
+  static const std::vector<std::string> header{
+      "mode",           "tenant",          "qos",
+      "hitrate",        "floor_frames",    "grant_frames",
+      "occupancy_frames", "quota_shed",    "reclaimed_frames",
+      "bandwidth_rejected"};
+  return header;
 }
 
 /// The robustness bench's CSV schema, shared with the golden-schema test

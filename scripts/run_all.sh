@@ -55,7 +55,15 @@ mkdir -p "$TELEMETRY_DIR"
     fi
     echo
   done
+  # Fleet consolidation (docs/CONSOLIDATION.md) is a separate mode of the
+  # consolidation bench: a latency service plus churning batch tenants
+  # under quota arbitration. Writes fleet.csv plus its own telemetry pair.
+  echo "==================== consolidation --fleet ===================="
+  build/bench/consolidation --fleet --qos=latency \
+    "--metrics-out=$TELEMETRY_DIR/fleet.prom" \
+    "--trace-out=$TELEMETRY_DIR/fleet.trace.json"
+  echo
 } 2>&1 | tee bench_output.txt
 
-echo "Done. See test_output.txt, bench_output.txt, fig*_*.csv," \
+echo "Done. See test_output.txt, bench_output.txt, fig*_*.csv, fleet.csv," \
      "BENCH_hotpath.json and $TELEMETRY_DIR/*.prom / *.trace.json."

@@ -1,5 +1,6 @@
 #include "core/daemon.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "pmu/events.hpp"
@@ -38,6 +39,7 @@ void TmpDaemon::set_telemetry(telemetry::Telemetry* telemetry) {
     t_hwpc_wraps_ = {};
     t_rescaled_ = {};
     t_fallback_ = {};
+    t_qos_fallback_ = {};
     t_pinned_ = {};
     t_tracked_pids_ = {};
     t_ladder_state_ = {};
@@ -51,6 +53,7 @@ void TmpDaemon::set_telemetry(telemetry::Telemetry* telemetry) {
   t_hwpc_wraps_ = m.counter("daemon_hwpc_wraps_total");
   t_rescaled_ = m.counter("daemon_rescaled_epochs_total");
   t_fallback_ = m.counter("daemon_fallback_epochs_total");
+  t_qos_fallback_ = m.counter("daemon_qos_fallback_epochs_total");
   t_pinned_ = m.counter("daemon_pinned_epochs_total");
   t_tracked_pids_ = m.gauge("daemon_tracked_pids");
   t_ladder_state_ = m.gauge("daemon_ladder_state");
@@ -152,6 +155,7 @@ void TmpDaemon::tick_into(ProfileSnapshot& snapshot) {
   snapshot.abit_aborted = scan.aborted;
   snapshot.pinned = false;
   snapshot.trace_fallback = false;
+  snapshot.qos_fallback = false;
   degrade_.scans_aborted = driver_.scans_aborted();
   degrade_.trace_dropped = driver_.trace_samples_dropped();
 
@@ -177,13 +181,30 @@ void TmpDaemon::tick_into(ProfileSnapshot& snapshot) {
     double weight = config_.trace_weight;
     if (loss >= config_.trace_fallback_threshold &&
         fusion != FusionMode::AbitOnly) {
-      fusion = FusionMode::AbitOnly;
-      snapshot.trace_fallback = true;
-      ++degrade_.fallback_epochs;
-      t_fallback_.inc();
-      TMPROF_LOG_WARN << "tmp-daemon: epoch " << snapshot.epoch << " lost "
-                      << dropped_delta << "/" << total
-                      << " trace samples; falling back to abit-only fusion";
+      if (qos_is_batch_ && loss < config_.qos_full_fallback_threshold &&
+          (fusion == FusionMode::Sum || fusion == FusionMode::Weighted)) {
+        // QoS-selective rung (docs/CONSOLIDATION.md): batch tenants shed
+        // their trace signal first — their pages get re-ranked on A bits
+        // alone below — while latency tenants keep the rescaled mixed
+        // ranking until loss reaches qos_full_fallback_threshold.
+        weight = (fusion == FusionMode::Sum ? 1.0 : weight) / (1.0 - loss);
+        fusion = FusionMode::Weighted;
+        snapshot.qos_fallback = true;
+        ++degrade_.qos_fallback_epochs;
+        t_qos_fallback_.inc();
+        TMPROF_LOG_WARN << "tmp-daemon: epoch " << snapshot.epoch << " lost "
+                        << dropped_delta << "/" << total
+                        << " trace samples; degrading batch tenants to "
+                           "abit-only ranking";
+      } else {
+        fusion = FusionMode::AbitOnly;
+        snapshot.trace_fallback = true;
+        ++degrade_.fallback_epochs;
+        t_fallback_.inc();
+        TMPROF_LOG_WARN << "tmp-daemon: epoch " << snapshot.epoch << " lost "
+                        << dropped_delta << "/" << total
+                        << " trace samples; falling back to abit-only fusion";
+      }
     } else if (loss > config_.trace_rescale_threshold &&
                (fusion == FusionMode::Sum || fusion == FusionMode::Weighted)) {
       // Rescaling only changes a *mixed* ranking; Max and TraceOnly orders
@@ -194,13 +215,30 @@ void TmpDaemon::tick_into(ProfileSnapshot& snapshot) {
       ++degrade_.rescaled_epochs;
       t_rescaled_.inc();
     }
-    if (config_.ranking_top_k > 0) {
+    if (config_.ranking_top_k > 0 && !snapshot.qos_fallback) {
       build_ranking_topk_into(snapshot.observation, fusion, weight,
                               config_.ranking_top_k, ranking_scratch_,
                               snapshot.ranking);
     } else {
       build_ranking_into(snapshot.observation, fusion, weight,
                          ranking_scratch_, snapshot.ranking);
+      if (snapshot.qos_fallback) {
+        // Demote batch pages to their A-bit evidence and restore the total
+        // order. The full ranking is built first so the top-K prefix after
+        // stripping matches what a full re-rank would publish.
+        for (PageRank& pr : snapshot.ranking) {
+          if (qos_is_batch_(pr.key.pid)) {
+            pr.rank = pr.abit;
+            pr.trace = 0;
+          }
+        }
+        std::sort(snapshot.ranking.begin(), snapshot.ranking.end(),
+                  RankOrder{});
+        if (config_.ranking_top_k > 0 &&
+            snapshot.ranking.size() > config_.ranking_top_k) {
+          snapshot.ranking.resize(config_.ranking_top_k);
+        }
+      }
     }
   }
 
@@ -235,6 +273,7 @@ void TmpDaemon::tick_into(ProfileSnapshot& snapshot) {
     std::uint64_t ladder = 0;
     if (snapshot.pinned) ladder = 3;
     else if (snapshot.trace_fallback) ladder = 2;
+    else if (snapshot.qos_fallback) ladder = 2;
     else if (snapshot.trace_loss > config_.trace_rescale_threshold) ladder = 1;
     t_ladder_state_.set(ladder);
     telemetry_->span("daemon.tick", tick_begin, system_.now(),
@@ -272,6 +311,7 @@ void TmpDaemon::save_state(util::ckpt::Writer& w) const {
   w.put_u64(degrade_.rescaled_epochs);
   w.put_u64(degrade_.fallback_epochs);
   w.put_u64(degrade_.pinned_epochs);
+  w.put_u64(degrade_.qos_fallback_epochs);
   w.put_u64(last_llc_miss_);
   w.put_u64(last_tlb_walk_);
   w.put_u64(prev_llc_delta_);
@@ -303,6 +343,7 @@ void TmpDaemon::load_state(util::ckpt::Reader& r) {
   degrade_.rescaled_epochs = r.get_u64();
   degrade_.fallback_epochs = r.get_u64();
   degrade_.pinned_epochs = r.get_u64();
+  degrade_.qos_fallback_epochs = r.get_u64();
   last_llc_miss_ = r.get_u64();
   last_tlb_walk_ = r.get_u64();
   prev_llc_delta_ = r.get_u64();

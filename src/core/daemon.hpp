@@ -6,6 +6,7 @@
 /// a numa_maps-style text interface.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,6 +46,11 @@ struct DaemonConfig {
   /// Epochs losing at least this fraction abandon the trace source and fall
   /// back to A-bit-only fusion (the scan evidence is still trustworthy).
   double trace_fallback_threshold = 0.5;
+  /// QoS-aware rung (docs/CONSOLIDATION.md): with a QoS lookup attached,
+  /// losses in [trace_fallback_threshold, this) degrade only *batch*
+  /// tenants to A-bit-only ranking while latency tenants keep the rescaled
+  /// mixed ranking; at or above this fraction everyone falls back.
+  double qos_full_fallback_threshold = 0.9;
   /// Pin the last good ranking after this many consecutive bad scans
   /// (aborted or empty). 0 disables the watchdog.
   std::uint32_t watchdog_threshold = 3;
@@ -65,6 +71,8 @@ struct DegradeStats {
   std::uint64_t rescaled_epochs = 0;  ///< epochs that rescaled trace weight
   std::uint64_t fallback_epochs = 0;  ///< epochs that fell back to A-bit-only
   std::uint64_t pinned_epochs = 0;    ///< epochs served the pinned ranking
+  /// Epochs the QoS-selective rung degraded batch tenants only.
+  std::uint64_t qos_fallback_epochs = 0;
   /// Epochs in which the migration admission gate shed or bandwidth-refused
   /// at least one move (filled by the runner from the AdmissionController;
   /// the daemon itself neither writes nor serializes this field).
@@ -81,6 +89,7 @@ struct ProfileSnapshot {
   bool abit_aborted = false;           ///< scan was cut short mid-walk
   bool pinned = false;                 ///< watchdog served last good ranking
   bool trace_fallback = false;         ///< ladder fell back to A-bit-only
+  bool qos_fallback = false;           ///< batch-only A-bit degradation
   double trace_loss = 0.0;             ///< fraction of trace samples lost
   std::uint64_t trace_dropped = 0;     ///< trace samples lost this epoch
 };
@@ -128,6 +137,19 @@ class TmpDaemon {
   /// attached separately by whoever owns the System.
   void set_telemetry(telemetry::Telemetry* telemetry);
 
+  /// Attach the fleet QoS lookup (docs/CONSOLIDATION.md): true for pids
+  /// owned by a *batch* tenant. Enables the QoS-selective degradation rung;
+  /// unset (default) keeps the ladder bitwise identical to its
+  /// pre-consolidation behavior.
+  void set_qos_lookup(std::function<bool(mem::Pid)> is_batch) {
+    qos_is_batch_ = std::move(is_batch);
+  }
+  /// PIDs the filter must always track regardless of resource share
+  /// (latency tenants in a consolidated fleet). Forwards to the PidFilter.
+  void set_pinned_pids(std::vector<mem::Pid> pids) {
+    pid_filter_.set_pinned(std::move(pids));
+  }
+
   /// numa_maps-style dump of a snapshot's top pages.
   [[nodiscard]] static std::string dump(const ProfileSnapshot& snapshot,
                                         std::size_t top_n = 20);
@@ -159,6 +181,7 @@ class TmpDaemon {
   std::uint64_t tick_seq_ = 0;
   bool filter_ever_ran_ = false;
   util::SimNs last_filter_eval_ = 0;
+  std::function<bool(mem::Pid)> qos_is_batch_;  ///< unset = no QoS rung
 
   telemetry::Telemetry* telemetry_ = nullptr;  ///< not owned; may be null
   telemetry::Counter t_ticks_;
@@ -168,6 +191,7 @@ class TmpDaemon {
   telemetry::Counter t_hwpc_wraps_;
   telemetry::Counter t_rescaled_;
   telemetry::Counter t_fallback_;
+  telemetry::Counter t_qos_fallback_;
   telemetry::Counter t_pinned_;
   telemetry::Gauge t_tracked_pids_;
   telemetry::Gauge t_ladder_state_;

@@ -32,8 +32,10 @@ std::vector<mem::Pid> PidFilter::select(
   struct Candidate {
     mem::Pid pid;
     double combined;
+    bool pinned;
   };
   std::vector<Candidate> kept;
+  std::size_t n_pinned = 0;
   for (std::size_t i = 0; i < processes.size(); ++i) {
     const sim::Process* p = processes[i];
     const double cpu = total_delta == 0
@@ -44,16 +46,32 @@ std::vector<mem::Pid> PidFilter::select(
                            ? 0.0
                            : static_cast<double>(p->rss_pages()) /
                                  static_cast<double>(total_rss);
-    if (cpu >= config_.cpu_threshold || mem >= config_.mem_threshold) {
-      kept.push_back(Candidate{p->pid(), cpu + mem});
+    const bool pinned = is_pinned(p->pid());
+    if (pinned || cpu >= config_.cpu_threshold ||
+        mem >= config_.mem_threshold) {
+      kept.push_back(Candidate{p->pid(), cpu + mem, pinned});
+      if (pinned) ++n_pinned;
     }
   }
   if (config_.restrict_top_n > 0 && kept.size() > config_.restrict_top_n) {
-    std::sort(kept.begin(), kept.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.combined > b.combined;
-              });
-    kept.resize(config_.restrict_top_n);
+    if (pinned_.empty()) {
+      std::sort(kept.begin(), kept.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.combined > b.combined;
+                });
+      kept.resize(config_.restrict_top_n);
+    } else {
+      // Pinned pids survive the trim; the remaining slots go to the
+      // highest combined share. Total order (pid tiebreak) so the trimmed
+      // set is deterministic under share ties.
+      std::sort(kept.begin(), kept.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  if (a.pinned != b.pinned) return a.pinned;
+                  if (a.combined != b.combined) return a.combined > b.combined;
+                  return a.pid < b.pid;
+                });
+      kept.resize(std::max<std::size_t>(config_.restrict_top_n, n_pinned));
+    }
   }
 
   last_ops_.clear();
@@ -66,6 +84,10 @@ std::vector<mem::Pid> PidFilter::select(
   for (const Candidate& c : kept) pids.push_back(c.pid);
   std::sort(pids.begin(), pids.end());
   return pids;
+}
+
+bool PidFilter::is_pinned(mem::Pid pid) const noexcept {
+  return std::find(pinned_.begin(), pinned_.end(), pid) != pinned_.end();
 }
 
 void PidFilter::save_state(util::ckpt::Writer& w) const {

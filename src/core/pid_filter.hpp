@@ -39,12 +39,22 @@ class PidFilter {
     return config_;
   }
 
+  /// PIDs always selected regardless of CPU/memory share, and kept through
+  /// the restrictive top-N trim (latency tenants in a consolidated fleet,
+  /// docs/CONSOLIDATION.md). Empty (default) leaves selection bitwise
+  /// identical to the pre-consolidation filter. Not checkpointed: the
+  /// owner re-attaches it on construction, like the config.
+  void set_pinned(std::vector<mem::Pid> pids) { pinned_ = std::move(pids); }
+
   /// Checkpoint hooks: the per-pid ops baseline used for CPU-share deltas.
   void save_state(util::ckpt::Writer& w) const;
   void load_state(util::ckpt::Reader& r);
 
  private:
+  [[nodiscard]] bool is_pinned(mem::Pid pid) const noexcept;
+
   PidFilterConfig config_;
+  std::vector<mem::Pid> pinned_;
   std::vector<std::pair<mem::Pid, std::uint64_t>> last_ops_;
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "telemetry/telemetry.hpp"
+#include "tiering/tenant.hpp"
 #include "util/ckpt.hpp"
 
 namespace tmprof::tiering {
@@ -256,7 +257,11 @@ AdmissionDecision AdmissionController::decide(const PageKey& key,
     return AdmissionDecision::Shed;
   }
   if (config_.bandwidth_bytes_per_sec != 0) {
-    if (bytes > tokens_) {
+    // Global bucket first, then the tenant's sub-budget: the carve only
+    // deducts when the global bucket could actually fund the move.
+    if (bytes > tokens_ ||
+        (arbiter_ != nullptr &&
+         !arbiter_->try_charge_bandwidth(key.pid, bytes))) {
       mark_throttled();
       c_bandwidth_rejected_.inc();
       c_rejected_.inc();

@@ -44,6 +44,8 @@ class Writer;
 
 namespace tmprof::tiering {
 
+class TenantArbiter;
+
 using core::PageKey;
 using core::PageKeyHash;
 
@@ -173,6 +175,15 @@ class AdmissionController {
   /// when the mode is Off, so disabled runs export byte-identical files.
   void set_telemetry(telemetry::Telemetry* telemetry);
 
+  /// Attach (or with null, detach) the fleet tenant arbiter
+  /// (docs/CONSOLIDATION.md): admitted bytes are additionally charged
+  /// against the tenant's per-epoch bandwidth sub-budget, after the global
+  /// bucket has been found sufficient. Null keeps the controller bitwise
+  /// identical to its pre-arbitration self.
+  void set_tenant_arbiter(TenantArbiter* arbiter) noexcept {
+    arbiter_ = arbiter;
+  }
+
   /// Checkpoint hooks: epoch counter, token bucket (tokens, refill carry,
   /// last refill time), adaptive threshold, brake state, per-page history
   /// in ascending key order, and the internal registry.
@@ -216,6 +227,7 @@ class AdmissionController {
   /// Registry snapshot retune() compares against (previous epoch's
   /// cooled/shed/bandwidth-rejected totals).
   std::uint64_t last_pressure_total_ = 0;
+  TenantArbiter* arbiter_ = nullptr;  ///< not owned; may be null
 
   telemetry::MetricsRegistry registry_;
   telemetry::Counter c_rejected_;

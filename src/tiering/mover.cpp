@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "telemetry/telemetry.hpp"
+#include "tiering/tenant.hpp"
 #include "util/assert.hpp"
 #include "util/ckpt.hpp"
 
@@ -29,6 +30,11 @@ std::vector<std::pair<PageKey, mem::PageSize>> PageMover::residents(
         });
   }
   return pages;
+}
+
+void PageMover::set_tenant_arbiter(TenantArbiter* arbiter) noexcept {
+  arbiter_ = (arbiter != nullptr && arbiter->enabled()) ? arbiter : nullptr;
+  admission_.set_tenant_arbiter(arbiter_);
 }
 
 void PageMover::set_telemetry(telemetry::Telemetry* telemetry) {
@@ -81,12 +87,25 @@ PageMover::MoveOutcome PageMover::try_move(const PageKey& key, mem::TierId dest,
                                            MoveStats& stats,
                                            std::uint64_t& budget) {
   ++move_seq_;
+  // Fault-site identity: with a tenant arbiter attached, migration faults
+  // key on the tenant's *name tag* and its own move sequence, so a churned
+  // fleet draws the same per-tenant fault schedule regardless of arrival
+  // order or pid assignment. Without one, the legacy pid-based key is
+  // preserved bit-for-bit.
+  std::uint64_t site = (static_cast<std::uint64_t>(key.pid) << 8) | dest;
+  std::uint64_t seq = move_seq_;
+  if (arbiter_ != nullptr) {
+    const std::uint32_t tenant = arbiter_->tenant_of(key.pid);
+    if (tenant != TenantArbiter::kNoTenant) {
+      site = (arbiter_->fault_tag(tenant) << 8) | dest;
+      seq = arbiter_->next_move_seq(tenant);
+    }
+  }
   std::uint32_t attempt = 0;
   for (;;) {
     if (fault_.enabled()) {
-      const std::uint64_t fkey = util::fault_key(
-          (static_cast<std::uint64_t>(key.pid) << 8) | dest, key.page_va,
-          (move_seq_ << 8) | attempt);
+      const std::uint64_t fkey =
+          util::fault_key(site, key.page_va, (seq << 8) | attempt);
       if (fault_.fire(util::FaultSite::MigrationBusy, fkey)) {
         // Transient -EBUSY: the page was pinned or its mapcount raced.
         // Back off (exponentially, in simulated time) and retry while the
@@ -149,6 +168,61 @@ bool PageMover::admission_rejected(const PageKey& key) const noexcept {
              AdmissionDecision::Admit;
 }
 
+bool PageMover::quota_denied(const PageKey& key) const noexcept {
+  if (arbiter_ == nullptr) return false;
+  const auto it = quota_memo_.find(key);
+  return it != quota_memo_.end() && it->second == 0;
+}
+
+bool PageMover::quota_charge_once(const PageKey& key, std::uint64_t frames) {
+  const auto [slot, inserted] = quota_memo_.try_emplace(key, std::uint8_t{1});
+  if (!inserted) return *slot != 0;
+  const bool ok = arbiter_->try_charge_frames(key.pid, frames);
+  *slot = ok ? 1 : 0;
+  return ok;
+}
+
+void PageMover::arbitrate_quotas(const PlacementSet& desired,
+                                 const std::vector<core::PageRank>& ranking) {
+  quota_memo_.clear();
+  // Epoch-barrier inputs: per-tenant ranking mass (benefit) and desired
+  // fast-tier frames (demand), both integer sums in deterministic order.
+  std::vector<std::uint64_t> heat(arbiter_->size(), 0);
+  std::vector<std::uint64_t> demand(arbiter_->size(), 0);
+  for (const core::PageRank& pr : ranking) {
+    const std::uint32_t tenant = arbiter_->tenant_of(pr.key.pid);
+    if (tenant != TenantArbiter::kNoTenant) heat[tenant] += pr.rank;
+  }
+  for (const PageKey& key : desired) {
+    const std::uint32_t tenant = arbiter_->tenant_of(key.pid);
+    if (tenant == TenantArbiter::kNoTenant) continue;
+    sim::Process& proc = system_.process(key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(key.page_va);
+    if (ref) demand[tenant] += mem::pages_in(ref.size);
+  }
+  // The bandwidth carve sees the admission bucket's post-refill level
+  // (begin_epoch above already refilled it); 0 disables the sub-budget.
+  const std::uint64_t bw_tokens =
+      admission_.enabled() && admission_.config().bandwidth_bytes_per_sec != 0
+          ? admission_.tokens()
+          : 0;
+  arbiter_->begin_epoch(heat, demand, bw_tokens);
+  // Charge desired pages hottest-first (ranking order, then leftover set
+  // order — the same total order the promote loop walks), so each
+  // tenant's grant covers its hottest pages and the denial boundary is
+  // identical at any thread count.
+  auto charge = [&](const PageKey& key) {
+    sim::Process& proc = system_.process(key.pid);
+    const mem::PteRef ref = proc.page_table().resolve(key.page_va);
+    if (!ref) return;
+    (void)quota_charge_once(key, mem::pages_in(ref.size));
+  };
+  for (const core::PageRank& pr : ranking) {
+    if (desired.count(pr.key) != 0) charge(pr.key);
+  }
+  for (const PageKey& key : desired) charge(key);
+}
+
 void PageMover::defer_promotion(const PageKey& key, mem::TierId dest,
                                 MoveStats& stats) {
   if (deferred_.size() >= config_.max_deferred) return;  // queue full: drop
@@ -175,6 +249,11 @@ void PageMover::drain_deferred(MoveStats& stats, std::uint64_t& budget) {
     if (system_.phys().tier_of(ref.pte->pfn()) <= d.dest) {
       // Already fast enough (another path promoted it).
       deferred_set_.erase(d.key);
+      continue;
+    }
+    if (arbiter_ != nullptr &&
+        !quota_charge_once(d.key, mem::pages_in(ref.size))) {
+      keep.push_back(d);  // over quota this epoch; re-arbitrated next epoch
       continue;
     }
     if (admission_.enabled()) {
@@ -270,7 +349,14 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
   if (admission_.enabled()) {
     admission_.begin_epoch(system_.now(), ranking);
     admission_memo_.clear();
+  }
+  // Tenant quota arbitration (docs/CONSOLIDATION.md) runs after the bucket
+  // refill above — the bandwidth carve splits post-refill tokens — and
+  // before admission verdicts, so quota-denied pages are never scored.
+  if (arbiter_ != nullptr) arbitrate_quotas(desired, ranking);
+  if (admission_.enabled()) {
     auto consider = [&](const PageKey& key) {
+      if (quota_denied(key)) return;
       sim::Process& proc = system_.process(key.pid);
       const mem::PteRef ref = proc.page_table().resolve(key.page_va);
       if (!ref) return;
@@ -291,19 +377,58 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
   rank_of.reserve(ranking.size());
   for (const core::PageRank& pr : ranking) rank_of.emplace(pr.key, pr.rank);
   auto t1_pages = residents(0);
-  std::stable_sort(t1_pages.begin(), t1_pages.end(),
-                   [&](const auto& a, const auto& b) {
-                     const auto ra = rank_of.find(a.first);
-                     const auto rb = rank_of.find(b.first);
-                     const std::uint64_t va =
-                         ra == rank_of.end() ? 0 : ra->second;
-                     const std::uint64_t vb =
-                         rb == rank_of.end() ? 0 : rb->second;
-                     return va < vb;
-                   });
+  if (arbiter_ != nullptr) {
+    // QoS-aware reclaim (docs/CONSOLIDATION.md): batch (and unregistered)
+    // tenants' burst pages go first, latency tenants' pages last; within a
+    // class coldest first, ties on ascending key. A strict total order, so
+    // the reclaim sequence is bitwise thread-count invariant.
+    auto protected_class = [&](const PageKey& key) -> int {
+      const std::uint32_t tenant = arbiter_->tenant_of(key.pid);
+      return tenant != TenantArbiter::kNoTenant &&
+                     arbiter_->spec(tenant).qos == QosClass::Latency
+                 ? 1
+                 : 0;
+    };
+    std::sort(t1_pages.begin(), t1_pages.end(),
+              [&](const auto& a, const auto& b) {
+                const int ca = protected_class(a.first);
+                const int cb = protected_class(b.first);
+                if (ca != cb) return ca < cb;
+                const auto ra = rank_of.find(a.first);
+                const auto rb = rank_of.find(b.first);
+                const std::uint64_t va = ra == rank_of.end() ? 0 : ra->second;
+                const std::uint64_t vb = rb == rank_of.end() ? 0 : rb->second;
+                if (va != vb) return va < vb;
+                return a.first < b.first;
+              });
+  } else {
+    std::stable_sort(t1_pages.begin(), t1_pages.end(),
+                     [&](const auto& a, const auto& b) {
+                       const auto ra = rank_of.find(a.first);
+                       const auto rb = rank_of.find(b.first);
+                       const std::uint64_t va =
+                           ra == rank_of.end() ? 0 : ra->second;
+                       const std::uint64_t vb =
+                           rb == rank_of.end() ? 0 : rb->second;
+                       return va < vb;
+                     });
+  }
+  // Per-tenant fast-tier occupancy, maintained through the demote loop so
+  // the floor guard sees live balances.
+  std::vector<std::uint64_t> occupancy;
+  if (arbiter_ != nullptr) {
+    occupancy.assign(arbiter_->size(), 0);
+    for (const auto& [key, size] : t1_pages) {
+      const std::uint32_t tenant = arbiter_->tenant_of(key.pid);
+      if (tenant != TenantArbiter::kNoTenant) {
+        occupancy[tenant] += mem::pages_in(size);
+      }
+    }
+  }
   std::uint64_t need_frames = 0;
   for (const PageKey& key : desired) {
     if (admission_rejected(key)) continue;  // will not move: reserve nothing
+    if (quota_denied(key)) continue;        // over quota: reserves nothing
     sim::Process& proc = system_.process(key.pid);
     const mem::PteRef ref = proc.page_table().resolve(key.page_va);
     if (ref && system_.phys().tier_of(ref.pte->pfn()) != 0) {
@@ -313,13 +438,29 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
   std::uint64_t free_t1 = system_.phys().free_frames(0);
   for (const auto& [key, size] : t1_pages) {
     if (need_frames <= free_t1) break;
-    if (desired.count(key) != 0) continue;
+    // Desired residents keep demotion protection — unless the arbiter
+    // refused them quota this epoch, in which case they are exactly the
+    // over-quota burst pages reclaim exists to take back.
+    if (desired.count(key) != 0 && !quota_denied(key)) continue;
+    const std::uint64_t frames = mem::pages_in(size);
+    std::uint32_t tenant = TenantArbiter::kNoTenant;
+    if (arbiter_ != nullptr) {
+      tenant = arbiter_->tenant_of(key.pid);
+      if (tenant != TenantArbiter::kNoTenant &&
+          occupancy[tenant] < arbiter_->floor_of(tenant) + frames) {
+        continue;  // the floor is inviolable: only burst is reclaimable
+      }
+    }
     if (try_move(key, 1, stats, budget) == MoveOutcome::Moved) {
       ++stats.demoted;
       stats.cost_ns += config_.per_page_cost_ns;
-      stats.moved_bytes += mem::pages_in(size) << mem::kPageShift;
-      free_t1 += mem::pages_in(size);
+      stats.moved_bytes += frames << mem::kPageShift;
+      free_t1 += frames;
       admission_.note_demoted(key);
+      if (tenant != TenantArbiter::kNoTenant) {
+        occupancy[tenant] -= frames;
+        arbiter_->note_reclaimed(key.pid, frames);
+      }
     }
     // Failed demotions are not deferred: the resident stays in tier 1 and
     // is naturally reconsidered next epoch.
@@ -327,6 +468,7 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
 
   // Promote the desired pages that still live in tier 2, hottest first.
   auto promote = [&](const PageKey& key) {
+    if (quota_denied(key)) return;
     if (admission_rejected(key)) return;
     sim::Process& proc = system_.process(key.pid);
     const mem::PteRef ref = proc.page_table().resolve(key.page_va);
@@ -369,6 +511,20 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
   }
 
   drain_deferred(stats, budget);
+  if (arbiter_ != nullptr) {
+    // Post-reconcile occupancy snapshot: what each tenant actually holds
+    // after demotions, promotions and the deferred drain.
+    std::vector<std::uint64_t> held(arbiter_->size(), 0);
+    for (const auto& [key, size] : residents(0)) {
+      const std::uint32_t tenant = arbiter_->tenant_of(key.pid);
+      if (tenant != TenantArbiter::kNoTenant) {
+        held[tenant] += mem::pages_in(size);
+      }
+    }
+    for (std::uint32_t t = 0; t < arbiter_->size(); ++t) {
+      arbiter_->set_occupancy(t, held[t]);
+    }
+  }
   system_.advance_time(stats.cost_ns + stats.backoff_ns);
   note_apply(stats, apply_begin);
   return stats;

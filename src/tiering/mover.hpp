@@ -33,6 +33,8 @@
 
 namespace tmprof::tiering {
 
+class TenantArbiter;
+
 struct MoveStats {
   std::uint64_t promoted = 0;  ///< pages moved to a faster tier
   std::uint64_t demoted = 0;   ///< pages moved to a slower tier
@@ -149,6 +151,14 @@ class PageMover {
   [[nodiscard]] const util::FaultStats& fault_stats() const noexcept {
     return fault_.stats();
   }
+  /// Attach (or with null, detach) the fleet tenant arbiter
+  /// (docs/CONSOLIDATION.md): per-tenant fast-tier quotas gate promotions,
+  /// reclaim takes batch tenants' burst pages first (never below a floor),
+  /// and migration fault keys switch to arrival-order-invariant tenant
+  /// tags. Null (default) keeps the mover bitwise identical to its
+  /// pre-arbitration self. Forwards to the admission gate for the
+  /// per-tenant bandwidth sub-budget.
+  void set_tenant_arbiter(TenantArbiter* arbiter) noexcept;
 
   /// Attach (or with null, detach) the telemetry sink: per-apply move
   /// counters, the deferred-queue gauge and a "mover.apply" span per batch
@@ -180,6 +190,16 @@ class PageMover {
                                MoveStats& stats);
   /// True when the gate is on and `key` was decided non-Admit this apply.
   [[nodiscard]] bool admission_rejected(const PageKey& key) const noexcept;
+  /// True when the arbiter is on and `key` was refused quota this apply.
+  [[nodiscard]] bool quota_denied(const PageKey& key) const noexcept;
+  /// Quota verdict for one desired page, memoized per apply (the pre-pass
+  /// and the deferred drain may both consult a key).
+  [[nodiscard]] bool quota_charge_once(const PageKey& key,
+                                       std::uint64_t frames);
+  /// Tenant arbitration pre-pass: decay benefits, grant quotas and charge
+  /// every desired page in promote order (hottest first).
+  void arbitrate_quotas(const PlacementSet& desired,
+                        const std::vector<core::PageRank>& ranking);
   [[nodiscard]] std::uint64_t budget_for_apply() const noexcept;
   /// Publish one apply batch's stats and span to the telemetry sink.
   void note_apply(const MoveStats& stats, util::SimNs begin_ns);
@@ -196,6 +216,9 @@ class PageMover {
   /// Per-apply verdict memo (key -> AdmissionDecision as u8); capacity
   /// retained across epochs like every hot-path scratch map.
   core::PageMap<std::uint8_t> admission_memo_;
+  TenantArbiter* arbiter_ = nullptr;  ///< not owned; may be null
+  /// Per-apply quota memo (key -> 1 granted / 0 denied).
+  core::PageMap<std::uint8_t> quota_memo_;
   std::vector<DeferredMove> deferred_;  ///< FIFO, carried across epochs
   std::unordered_set<PageKey, PageKeyHash> deferred_set_;
   std::uint64_t move_seq_ = 0;  ///< distinguishes fault keys across epochs

@@ -98,8 +98,15 @@ RunnerResult run_impl(const WorkloadFactory& factory,
   }
   if (options.n_threads >= 1) config.sharded_engine = true;
   sim::System system(config);
-  for (auto& generator : factory(options.seed)) {
-    system.add_process(std::move(generator));
+  {
+    std::size_t i = 0;
+    for (auto& generator : factory(options.seed)) {
+      const double weight = i < options.process_weights.size()
+                                ? options.process_weights[i]
+                                : 1.0;
+      system.add_process(std::move(generator), weight);
+      ++i;
+    }
   }
 
   monitors::BadgerTrap trap(options.badgertrap);
@@ -116,6 +123,25 @@ RunnerResult run_impl(const WorkloadFactory& factory,
   mover_config.fault = options.fault;
   PageMover mover(system, mover_config);
 
+  // Fleet consolidation (docs/CONSOLIDATION.md): tenants[i] owns the i-th
+  // process. Registration order is the factory's yield order, so tenant
+  // indices — and everything arbitrated from them — are reproducible.
+  TenantArbiter arbiter;
+  if (!options.tenants.empty()) {
+    TMPROF_EXPECTS(options.tenants.size() <= system.processes().size());
+    arbiter.set_capacity(config.tier1_frames);
+    std::vector<mem::Pid> pinned;
+    for (std::size_t i = 0; i < options.tenants.size(); ++i) {
+      const mem::Pid pid = system.processes()[i]->pid();
+      arbiter.register_tenant(pid, options.tenants[i]);
+      if (options.tenants[i].qos == QosClass::Latency) pinned.push_back(pid);
+    }
+    mover.set_tenant_arbiter(&arbiter);
+    daemon.set_qos_lookup(
+        [&arbiter](mem::Pid pid) { return arbiter.is_batch(pid); });
+    daemon.set_pinned_pids(std::move(pinned));
+  }
+
   // Telemetry attaches before any resume load: handles resolve registry
   // cells in place, and load_state later overwrites those same cells, so
   // resolution order never affects restored values.
@@ -128,6 +154,7 @@ RunnerResult run_impl(const WorkloadFactory& factory,
     system.set_telemetry(telemetry);
     daemon.set_telemetry(telemetry);
     mover.set_telemetry(telemetry);
+    arbiter.set_telemetry(telemetry);
     epochs_counter = telemetry->metrics().counter("runner_epochs_total");
   }
 
@@ -192,6 +219,13 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       throw util::ckpt::CkptError("admission", "admission mode mismatch");
     }
     if (mover.admission().enabled()) mover.admission().load_state(r);
+    r.end_section();
+    r.enter_section("tenant");
+    if (r.get_bool() != arbiter.enabled()) {
+      throw util::ckpt::CkptError("tenant",
+                                  "tenant arbitration presence mismatch");
+    }
+    if (arbiter.enabled()) arbiter.load_state(r);
     r.end_section();
     r.enter_section("policy");
     if (r.get_bool() != (policy != nullptr)) {
@@ -325,6 +359,17 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       for (const core::PageRank& pr : snapshot.ranking) hot.insert(pr.key);
       sync_poison(system, trap, hot);
     }
+    if (arbiter.enabled()) {
+      // Feed per-tenant hitrates back before the checkpoint below, so the
+      // arbiter's saved image — and its exported telemetry — includes this
+      // epoch on a resume.
+      for (std::uint32_t t = 0; t < arbiter.size(); ++t) {
+        arbiter.note_hitrate_bp(
+            t, static_cast<std::uint64_t>(
+                   system.processes()[t]->tier0_hitrate() * 10000.0));
+      }
+      arbiter.publish_telemetry();
+    }
     // Record the epoch's telemetry before any checkpoint below, so the
     // saved span ring and counters include this epoch — a resumed run
     // replays the remaining epochs and exports identical artifacts.
@@ -361,6 +406,10 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       w.put_bool(mover.admission().enabled());
       w.put_u8(static_cast<std::uint8_t>(mover.admission().config().mode));
       if (mover.admission().enabled()) mover.admission().save_state(w);
+      w.end_section();
+      w.begin_section("tenant");
+      w.put_bool(arbiter.enabled());
+      if (arbiter.enabled()) arbiter.save_state(w);
       w.end_section();
       w.begin_section("policy");
       w.put_bool(policy != nullptr);
@@ -408,6 +457,16 @@ RunnerResult run_impl(const WorkloadFactory& factory,
   // The admission gate lives in the mover, not the daemon; fold its
   // throttle tally into the degradation report here.
   result.degrade.throttled_epochs = mover.admission().throttled_epochs();
+  result.process_hitrates.reserve(system.processes().size());
+  for (const sim::Process* p : system.processes()) {
+    result.process_hitrates.push_back(p->tier0_hitrate());
+  }
+  if (arbiter.enabled()) {
+    result.tenants = arbiter.snapshot_outcomes();
+    for (std::size_t t = 0; t < result.tenants.size(); ++t) {
+      result.tenants[t].hitrate = system.processes()[t]->tier0_hitrate();
+    }
+  }
   // Trace-side overhead is not charged inline by the daemon (the driver's
   // interrupt handlers run on the profiled cores); add it here.
   result.runtime_ns = system.now() + daemon.driver().trace_overhead_ns();

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/daemon.hpp"
 #include "monitors/badgertrap.hpp"
@@ -23,6 +24,7 @@
 #include "tiering/epoch.hpp"
 #include "tiering/mover.hpp"
 #include "tiering/policies.hpp"
+#include "tiering/tenant.hpp"
 #include "workloads/registry.hpp"
 
 namespace tmprof::tiering {
@@ -59,6 +61,14 @@ struct RunnerOptions {
   telemetry::Telemetry* telemetry = nullptr;
   /// Chrome-trace process label for this run ("" = use the policy name).
   std::string telemetry_label;
+  /// Fleet consolidation (docs/CONSOLIDATION.md): tenants[i] owns the i-th
+  /// process the factory yields. Empty (default) disables arbitration and
+  /// keeps every layer bitwise identical to its pre-fleet behavior. The
+  /// arbiter checkpoints in its own "tenant" section; a resumed run with a
+  /// different tenant shape rejects the section and cold-starts.
+  std::vector<TenantSpec> tenants;
+  /// Scheduler weight of the i-th process (missing entries default 1.0).
+  std::vector<double> process_weights;
 };
 
 struct RunnerResult {
@@ -69,6 +79,11 @@ struct RunnerResult {
   util::SimNs profiling_overhead_ns = 0;
   MoveStats moves;                     ///< mover tallies summed over epochs
   core::DegradeStats degrade;          ///< daemon degradation tallies
+  /// Per-tenant summaries (empty unless RunnerOptions::tenants was set).
+  std::vector<TenantOutcome> tenants;
+  /// Final tier-1 hitrate of every process, in factory yield order (always
+  /// filled; lets benches attribute hitrates with arbitration off).
+  std::vector<double> process_hitrates;
 };
 
 class EndToEndRunner {

@@ -1,0 +1,282 @@
+#include "tiering/tenant.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/telemetry.hpp"
+#include "util/ckpt.hpp"
+#include "util/rng.hpp"
+
+namespace tmprof::tiering {
+
+QosClass parse_qos_class(const std::string& text) {
+  if (text == "latency") return QosClass::Latency;
+  if (text == "batch") return QosClass::Batch;
+  throw std::invalid_argument(
+      "--qos: unknown class '" + text +
+      "' (valid classes: \"latency\", \"batch\")");
+}
+
+namespace {
+
+/// FNV-1a over the name, finished with splitmix64: the tag depends only on
+/// the tenant's *name*, never on registration order or pid assignment.
+std::uint64_t name_tag(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return util::splitmix64(h);  // h is the splitmix state; mixed value returned
+}
+
+}  // namespace
+
+void TenantArbiter::register_tenant(mem::Pid pid, const TenantSpec& spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("tenant name must not be empty");
+  }
+  for (const char c : spec.name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) {
+      throw std::invalid_argument("tenant name '" + spec.name +
+                                  "' must match [a-z0-9_]+");
+    }
+  }
+  for (const TenantState& t : tenants_) {
+    if (t.spec.name == spec.name) {
+      throw std::invalid_argument("tenant name '" + spec.name +
+                                  "' already registered");
+    }
+  }
+  if (pid_to_tenant_.count(pid) != 0) {
+    throw std::invalid_argument("tenant pid already registered");
+  }
+  TenantState state;
+  state.spec = spec;
+  state.pid = pid;
+  state.fault_tag = name_tag(spec.name);
+  pid_to_tenant_.emplace(pid, static_cast<std::uint32_t>(tenants_.size()));
+  tenants_.push_back(std::move(state));
+}
+
+void TenantArbiter::begin_epoch(const std::vector<std::uint64_t>& heat,
+                                const std::vector<std::uint64_t>& demand,
+                                std::uint64_t bandwidth_tokens) {
+  if (!enabled()) return;
+  ++epoch_;
+  const std::size_t n = tenants_.size();
+
+  // Decayed benefit (integer): half-life of one epoch, so a tenant that
+  // went idle sheds its burst claim within a few epochs while a steadily
+  // hot tenant holds it.
+  for (std::size_t t = 0; t < n; ++t) {
+    TenantState& s = tenants_[t];
+    s.benefit = s.benefit / 2 + (t < heat.size() ? heat[t] : 0);
+    s.demand = t < demand.size() ? demand[t] : 0;
+    s.charged = 0;
+  }
+
+  // Floors first: each tenant is guaranteed min(demand, floor). Floors are
+  // never diluted — if Σfloors exceeds capacity the operator oversold the
+  // tier, and the burst pool is simply empty.
+  std::uint64_t floor_total = 0;
+  for (TenantState& s : tenants_) {
+    s.grant = std::min(s.demand, s.spec.floor_frames);
+    floor_total += s.grant;
+  }
+  std::uint64_t burst =
+      capacity_frames_ > floor_total ? capacity_frames_ - floor_total : 0;
+
+  // Burst split: tenants still short of their demand share the pool in
+  // proportion to benefit+1 (the +1 keeps a new tenant from being starved
+  // before it has history). Exact integer arithmetic in index order.
+  const std::uint64_t burst_pool = burst;
+  std::uint64_t weight_total = 0;
+  for (const TenantState& s : tenants_) {
+    if (s.demand > s.grant) weight_total += s.benefit + 1;
+  }
+  if (weight_total != 0) {
+    for (TenantState& s : tenants_) {
+      if (s.demand <= s.grant || burst == 0) continue;
+      const auto share = static_cast<std::uint64_t>(
+          static_cast<unsigned __int128>(burst_pool) * (s.benefit + 1) /
+          weight_total);
+      const std::uint64_t extra =
+          std::min({s.demand - s.grant, share, burst});
+      s.grant += extra;
+      burst -= extra;
+    }
+  }
+  // Rounding leftover: latency tenants top up before batch, index order.
+  for (const QosClass qos : {QosClass::Latency, QosClass::Batch}) {
+    for (TenantState& s : tenants_) {
+      if (burst == 0) break;
+      if (s.spec.qos != qos || s.demand <= s.grant) continue;
+      const std::uint64_t extra = std::min(s.demand - s.grant, burst);
+      s.grant += extra;
+      burst -= extra;
+    }
+  }
+
+  // Bandwidth carve: the admission bucket's post-refill tokens split by
+  // registered weight. Zero tokens (bucket off or drained) disables the
+  // per-tenant check entirely for the epoch.
+  bw_active_ = bandwidth_tokens != 0;
+  if (bw_active_) {
+    std::uint64_t bw_weight_total = 0;
+    for (const TenantState& s : tenants_) {
+      bw_weight_total += s.spec.bandwidth_weight;
+    }
+    for (TenantState& s : tenants_) {
+      s.bw_tokens = bw_weight_total == 0
+                        ? 0
+                        : static_cast<std::uint64_t>(
+                              static_cast<unsigned __int128>(bandwidth_tokens) *
+                              s.spec.bandwidth_weight / bw_weight_total);
+    }
+  } else {
+    for (TenantState& s : tenants_) s.bw_tokens = 0;
+  }
+}
+
+bool TenantArbiter::try_charge_frames(mem::Pid pid, std::uint64_t frames) {
+  const std::uint32_t t = tenant_of(pid);
+  if (t == kNoTenant) return true;
+  TenantState& s = tenants_[t];
+  if (s.charged + frames <= s.grant) {
+    s.charged += frames;
+    return true;
+  }
+  s.quota_shed += frames;
+  return false;
+}
+
+bool TenantArbiter::try_charge_bandwidth(mem::Pid pid, std::uint64_t bytes) {
+  if (!bw_active_) return true;
+  const std::uint32_t t = tenant_of(pid);
+  if (t == kNoTenant) return true;
+  TenantState& s = tenants_[t];
+  if (bytes <= s.bw_tokens) {
+    s.bw_tokens -= bytes;
+    return true;
+  }
+  ++s.bandwidth_rejected;
+  return false;
+}
+
+void TenantArbiter::note_reclaimed(mem::Pid pid, std::uint64_t frames) {
+  const std::uint32_t t = tenant_of(pid);
+  if (t == kNoTenant) return;
+  tenants_[t].reclaimed += frames;
+}
+
+std::vector<TenantOutcome> TenantArbiter::snapshot_outcomes() const {
+  std::vector<TenantOutcome> out;
+  out.reserve(tenants_.size());
+  for (const TenantState& s : tenants_) {
+    TenantOutcome o;
+    o.name = s.spec.name;
+    o.qos = s.spec.qos;
+    o.hitrate = static_cast<double>(s.hitrate_bp) / 10000.0;
+    o.floor_frames = s.spec.floor_frames;
+    o.grant_frames = s.grant;
+    o.demand_frames = s.demand;
+    o.occupancy_frames = s.occupancy;
+    o.quota_shed = s.quota_shed;
+    o.reclaimed_frames = s.reclaimed;
+    o.bandwidth_rejected = s.bandwidth_rejected;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+void TenantArbiter::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = (telemetry != nullptr && enabled()) ? telemetry : nullptr;
+  for (TenantState& s : tenants_) {
+    if (telemetry_ == nullptr) {
+      s.x_shed = {};
+      s.x_reclaimed = {};
+      s.x_grant = {};
+      s.x_occupancy = {};
+      s.x_hitrate_bp = {};
+      continue;
+    }
+    telemetry::MetricsRegistry& m = telemetry_->metrics();
+    const std::string prefix = "tenant_" + s.spec.name + "_";
+    s.x_shed = m.counter(prefix + "shed_total");
+    s.x_reclaimed = m.counter(prefix + "reclaimed_frames_total");
+    s.x_grant = m.gauge(prefix + "grant_frames");
+    s.x_occupancy = m.gauge(prefix + "occupancy_frames");
+    s.x_hitrate_bp = m.gauge(prefix + "hitrate_bp");
+  }
+}
+
+void TenantArbiter::publish_telemetry() {
+  if (telemetry_ == nullptr) return;
+  for (TenantState& s : tenants_) {
+    s.x_shed.add(s.quota_shed - s.published_shed);
+    s.published_shed = s.quota_shed;
+    s.x_reclaimed.add(s.reclaimed - s.published_reclaimed);
+    s.published_reclaimed = s.reclaimed;
+    s.x_grant.set(s.grant);
+    s.x_occupancy.set(s.occupancy);
+    s.x_hitrate_bp.set(s.hitrate_bp);
+  }
+}
+
+void TenantArbiter::save_state(util::ckpt::Writer& w) const {
+  w.put_u32(static_cast<std::uint32_t>(tenants_.size()));
+  w.put_u32(epoch_);
+  w.put_bool(bw_active_);
+  for (const TenantState& s : tenants_) {
+    w.put_u64(s.benefit);
+    w.put_u64(s.grant);
+    w.put_u64(s.demand);
+    w.put_u64(s.charged);
+    w.put_u64(s.occupancy);
+    w.put_u64(s.quota_shed);
+    w.put_u64(s.reclaimed);
+    w.put_u64(s.bandwidth_rejected);
+    w.put_u64(s.bw_tokens);
+    w.put_u64(s.move_seq);
+    w.put_u64(s.hitrate_bp);
+    w.put_u64(s.published_shed);
+    w.put_u64(s.published_reclaimed);
+  }
+}
+
+void TenantArbiter::load_state(util::ckpt::Reader& r) {
+  const std::uint32_t count = r.get_u32();
+  if (count != tenants_.size()) {
+    throw util::ckpt::CkptError("tenant", "tenant count mismatch");
+  }
+  epoch_ = r.get_u32();
+  bw_active_ = r.get_bool();
+  for (TenantState& s : tenants_) {
+    s.benefit = r.get_u64();
+    s.grant = r.get_u64();
+    s.demand = r.get_u64();
+    s.charged = r.get_u64();
+    s.occupancy = r.get_u64();
+    s.quota_shed = r.get_u64();
+    s.reclaimed = r.get_u64();
+    s.bandwidth_rejected = r.get_u64();
+    s.bw_tokens = r.get_u64();
+    s.move_seq = r.get_u64();
+    s.hitrate_bp = r.get_u64();
+    s.published_shed = r.get_u64();
+    s.published_reclaimed = r.get_u64();
+    if (s.charged > s.grant) {
+      throw util::ckpt::CkptError("tenant", "charged frames exceed grant");
+    }
+    if (s.published_shed > s.quota_shed ||
+        s.published_reclaimed > s.reclaimed) {
+      throw util::ckpt::CkptError("tenant",
+                                  "published tally exceeds live tally");
+    }
+  }
+}
+
+}  // namespace tmprof::tiering

@@ -1,0 +1,218 @@
+#pragma once
+/// \file tenant.hpp
+/// Fleet-scale tenant arbitration (docs/CONSOLIDATION.md). The consolidation
+/// scenario shares one fast tier between many tenants; a single global
+/// ranking lets any noisy neighbor starve the rest. The TenantArbiter sits
+/// between the policy's desired set and the mover and arbitrates the fast
+/// tier per tenant:
+///
+///  * QoS class — `latency` tenants are protected: the degradation ladder
+///    sheds their profiling last, and reclaim takes batch pages first;
+///  * quota — a guaranteed floor of fast-tier frames plus a burstable share
+///    of the remaining capacity, split by decayed per-tenant benefit
+///    (hot tenants earn burst, idle tenants shed it);
+///  * bandwidth — a per-tenant sub-budget carved each epoch from the
+///    AdmissionController's token bucket by registered weight.
+///
+/// Everything is integer arithmetic over epoch-barrier inputs, so grants
+/// are bitwise invariant across thread counts, and the arbiter checkpoints
+/// in its own CRC-framed "tenant" section (shape mismatch -> cold start).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tmprof::telemetry {
+class Telemetry;
+}  // namespace tmprof::telemetry
+
+namespace tmprof::util::ckpt {
+class Reader;
+class Writer;
+}  // namespace tmprof::util::ckpt
+
+namespace tmprof::tiering {
+
+enum class QosClass : std::uint8_t {
+  Latency = 0,  ///< protected: degrades last, reclaimed last
+  Batch = 1,    ///< best-effort: sheds burst (and profiling) first
+};
+
+[[nodiscard]] constexpr std::string_view to_string(QosClass qos) noexcept {
+  switch (qos) {
+    case QosClass::Latency: return "latency";
+    case QosClass::Batch: return "batch";
+  }
+  return "?";
+}
+
+/// Parse a `--qos=` value. Throws std::invalid_argument enumerating the
+/// valid class names on anything unrecognized.
+[[nodiscard]] QosClass parse_qos_class(const std::string& text);
+
+/// One tenant's registration. Names must match [a-z0-9_]+ (they become
+/// telemetry metric name segments) and be unique within an arbiter.
+struct TenantSpec {
+  std::string name;
+  QosClass qos = QosClass::Batch;
+  /// Guaranteed fast-tier floor in frames. The arbiter never reclaims a
+  /// tenant below its floor, and the floor is granted before any burst.
+  std::uint64_t floor_frames = 0;
+  /// Relative share of the admission token bucket carved for this tenant
+  /// each epoch (proportional split over all registered weights).
+  std::uint32_t bandwidth_weight = 1;
+};
+
+/// Per-tenant summary filled at the end of a run (fleet.csv rows).
+struct TenantOutcome {
+  std::string name;
+  QosClass qos = QosClass::Batch;
+  double hitrate = 0.0;  ///< filled by the runner from the process
+  std::uint64_t floor_frames = 0;
+  std::uint64_t grant_frames = 0;      ///< last epoch's quota grant
+  std::uint64_t demand_frames = 0;     ///< last epoch's desired frames
+  std::uint64_t occupancy_frames = 0;  ///< fast-tier frames held at the end
+  std::uint64_t quota_shed = 0;        ///< frames refused over-quota (total)
+  std::uint64_t reclaimed_frames = 0;  ///< burst frames reclaimed (total)
+  std::uint64_t bandwidth_rejected = 0;  ///< sub-budget refusals (total)
+};
+
+class TenantArbiter {
+ public:
+  static constexpr std::uint32_t kNoTenant = 0xffffffffu;
+
+  TenantArbiter() = default;
+
+  /// Fast-tier capacity the grants are arbitrated over.
+  void set_capacity(std::uint64_t tier1_frames) noexcept {
+    capacity_frames_ = tier1_frames;
+  }
+
+  /// Register one tenant owning `pid`. Validates the name charset and
+  /// uniqueness (std::invalid_argument). Registration order defines the
+  /// tenant index used everywhere else.
+  void register_tenant(mem::Pid pid, const TenantSpec& spec);
+
+  [[nodiscard]] bool enabled() const noexcept { return !tenants_.empty(); }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(tenants_.size());
+  }
+  /// Tenant index owning `pid`, or kNoTenant.
+  [[nodiscard]] std::uint32_t tenant_of(mem::Pid pid) const noexcept {
+    const auto it = pid_to_tenant_.find(pid);
+    return it == pid_to_tenant_.end() ? kNoTenant : it->second;
+  }
+  /// True only for a registered batch tenant (latency/unknown -> false);
+  /// the daemon's QoS-aware degradation ladder keys off this.
+  [[nodiscard]] bool is_batch(mem::Pid pid) const noexcept {
+    const std::uint32_t t = tenant_of(pid);
+    return t != kNoTenant && tenants_[t].spec.qos == QosClass::Batch;
+  }
+  [[nodiscard]] const TenantSpec& spec(std::uint32_t tenant) const {
+    return tenants_[tenant].spec;
+  }
+  [[nodiscard]] std::uint64_t floor_of(std::uint32_t tenant) const noexcept {
+    return tenants_[tenant].spec.floor_frames;
+  }
+  [[nodiscard]] std::uint64_t grant_of(std::uint32_t tenant) const noexcept {
+    return tenants_[tenant].grant;
+  }
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+  /// Stable per-tenant fault-site tag: a hash of the tenant *name*, so
+  /// churn faults are tenant-deterministic and independent of arrival
+  /// order or pid assignment (docs/ROBUSTNESS.md).
+  [[nodiscard]] std::uint64_t fault_tag(std::uint32_t tenant) const noexcept {
+    return tenants_[tenant].fault_tag;
+  }
+  /// Per-tenant move sequence number (advances; checkpointed) so fault
+  /// keys never repeat across a resume.
+  [[nodiscard]] std::uint64_t next_move_seq(std::uint32_t tenant) noexcept {
+    return ++tenants_[tenant].move_seq;
+  }
+
+  /// Epoch-barrier arbitration. `heat[t]` is the tenant's summed ranking
+  /// mass this epoch, `demand[t]` its desired fast-tier frames, and
+  /// `bandwidth_tokens` the admission bucket's post-refill level (0 when
+  /// the bucket is off). Grants: floor first (capped at demand), then the
+  /// leftover burst split proportionally to decayed benefit among tenants
+  /// still short, then any remainder to latency tenants before batch.
+  void begin_epoch(const std::vector<std::uint64_t>& heat,
+                   const std::vector<std::uint64_t>& demand,
+                   std::uint64_t bandwidth_tokens);
+
+  /// Charge `frames` of fast-tier quota to `pid`'s tenant. Unregistered
+  /// pids always pass. Over-grant charges are refused and tallied.
+  [[nodiscard]] bool try_charge_frames(mem::Pid pid, std::uint64_t frames);
+
+  /// Charge `bytes` against the tenant's bandwidth sub-budget. Always
+  /// passes when no bucket was carved this epoch or the pid is unknown.
+  [[nodiscard]] bool try_charge_bandwidth(mem::Pid pid, std::uint64_t bytes);
+
+  /// A demotion reclaimed `frames` from `pid`'s tenant.
+  void note_reclaimed(mem::Pid pid, std::uint64_t frames);
+  /// Fast-tier frames the tenant holds after reconciliation.
+  void set_occupancy(std::uint32_t tenant, std::uint64_t frames) noexcept {
+    tenants_[tenant].occupancy = frames;
+  }
+  /// Latest per-tenant tier-1 hitrate in basis points (runner-fed).
+  void note_hitrate_bp(std::uint32_t tenant, std::uint64_t bp) noexcept {
+    tenants_[tenant].hitrate_bp = bp;
+  }
+
+  [[nodiscard]] std::vector<TenantOutcome> snapshot_outcomes() const;
+
+  /// Mirror per-tenant counters/gauges (tenant_<name>_*) into an external
+  /// telemetry sink. Null detaches; never registers anything when no
+  /// tenant is registered, so fleets-off runs export byte-identical files.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+  /// Push the current per-tenant tallies to the attached sink (cheap no-op
+  /// when detached). The runner calls this at each epoch barrier.
+  void publish_telemetry();
+
+  /// Checkpoint hooks. save_state leads with the tenant count so a resumed
+  /// fleet with a different shape is rejected ("tenant count mismatch")
+  /// and cold-starts instead of mixing state across tenants.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
+
+ private:
+  struct TenantState {
+    TenantSpec spec;
+    mem::Pid pid = 0;
+    std::uint64_t fault_tag = 0;  ///< hash of spec.name (arrival-invariant)
+    std::uint64_t benefit = 0;    ///< decayed heat: b/2 + heat each epoch
+    std::uint64_t grant = 0;
+    std::uint64_t demand = 0;
+    std::uint64_t charged = 0;  ///< frames charged against grant this epoch
+    std::uint64_t occupancy = 0;
+    std::uint64_t quota_shed = 0;
+    std::uint64_t reclaimed = 0;
+    std::uint64_t bandwidth_rejected = 0;
+    std::uint64_t bw_tokens = 0;  ///< this epoch's bandwidth carve
+    std::uint64_t move_seq = 0;
+    std::uint64_t hitrate_bp = 0;
+    /// External telemetry mirrors + last published counter values.
+    telemetry::Counter x_shed;
+    telemetry::Counter x_reclaimed;
+    telemetry::Gauge x_grant;
+    telemetry::Gauge x_occupancy;
+    telemetry::Gauge x_hitrate_bp;
+    std::uint64_t published_shed = 0;
+    std::uint64_t published_reclaimed = 0;
+  };
+
+  std::vector<TenantState> tenants_;
+  std::unordered_map<mem::Pid, std::uint32_t> pid_to_tenant_;
+  std::uint64_t capacity_frames_ = 0;
+  std::uint32_t epoch_ = 0;  ///< 1-based; 0 = begin_epoch never called
+  bool bw_active_ = false;   ///< a bandwidth carve exists this epoch
+  telemetry::Telemetry* telemetry_ = nullptr;  ///< not owned; may be null
+};
+
+}  // namespace tmprof::tiering

@@ -183,6 +183,48 @@ MemRef ZipfChurnWorkload::next() {
 }
 
 
+ChurnSessionWorkload::ChurnSessionWorkload(
+    std::uint64_t footprint_bytes, std::uint64_t record_bytes, double theta,
+    std::uint64_t session_ops, std::uint64_t idle_ops,
+    std::uint32_t n_generations, std::uint64_t phase_offset_ops,
+    std::uint64_t seed)
+    : footprint_(footprint_bytes),
+      record_bytes_(record_bytes),
+      n_records_(footprint_bytes / record_bytes),
+      session_ops_(session_ops),
+      idle_ops_(idle_ops),
+      n_generations_(n_generations),
+      phase_offset_ops_(phase_offset_ops),
+      zipf_(footprint_bytes / record_bytes, theta),
+      rng_(seed) {
+  TMPROF_EXPECTS(record_bytes >= 8 && record_bytes <= footprint_bytes);
+  TMPROF_EXPECTS(session_ops >= 1);
+  TMPROF_EXPECTS(n_generations >= 1);
+}
+
+MemRef ChurnSessionWorkload::next() {
+  const std::uint64_t clock = ops_ + phase_offset_ops_;
+  const std::uint64_t cycle = session_ops_ + idle_ops_;
+  const std::uint64_t generation = (clock / cycle) % n_generations_;
+  const std::uint64_t rotate = generation * (n_records_ / n_generations_);
+  MemRef ref;
+  if (clock % cycle < session_ops_) {
+    const std::uint64_t record = (zipf_(rng_) + rotate) % n_records_;
+    ref.offset = record * record_bytes_ + (rng_.below(record_bytes_) & ~7ULL);
+    ref.is_store = rng_.chance(0.05);
+    ref.ip = 1;
+  } else {
+    // Idle heartbeat: the tenant stays resident but cold — no rng draw, so
+    // the session stream is unchanged by how long the gap lasted.
+    ref.offset = rotate * record_bytes_;
+    ref.is_store = false;
+    ref.ip = 2;
+  }
+  ++ops_;
+  return ref;
+}
+
+
 // ---------------------------------------------------------------------------
 // Checkpoint hooks
 
@@ -239,6 +281,15 @@ void ZipfChurnWorkload::save_state(util::ckpt::Writer& w) const {
   w.put_u64(ops_);
 }
 void ZipfChurnWorkload::load_state(util::ckpt::Reader& r) {
+  util::ckpt::load_rng(r, rng_);
+  ops_ = r.get_u64();
+}
+
+void ChurnSessionWorkload::save_state(util::ckpt::Writer& w) const {
+  util::ckpt::save_rng(w, rng_);
+  w.put_u64(ops_);
+}
+void ChurnSessionWorkload::load_state(util::ckpt::Reader& r) {
   util::ckpt::load_rng(r, rng_);
   ops_ = r.get_u64();
 }

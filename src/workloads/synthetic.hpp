@@ -204,4 +204,51 @@ class ZipfChurnWorkload final : public Workload {
   std::uint64_t ops_ = 0;  ///< references emitted (drives the churn shift)
 };
 
+/// Tenant-churn session generator (docs/CONSOLIDATION.md): alternating
+/// active sessions and idle gaps, modeling a batch tenant that arrives,
+/// runs a job, and departs. Each session serves Zipfian traffic whose
+/// rank-to-record mapping is rotated by the session's generation number, so
+/// a "new arrival" brings a fresh hot set instead of rewarming the old one;
+/// during the idle gap the process stays resident but emits only a cold
+/// heartbeat reference, so its fast-tier heat decays the way a departed
+/// tenant's would. `phase_offset_ops` staggers tenants so the fleet's
+/// arrivals and departures interleave rather than synchronize.
+class ChurnSessionWorkload final : public Workload {
+ public:
+  ChurnSessionWorkload(std::uint64_t footprint_bytes,
+                       std::uint64_t record_bytes, double theta,
+                       std::uint64_t session_ops, std::uint64_t idle_ops,
+                       std::uint32_t n_generations,
+                       std::uint64_t phase_offset_ops, std::uint64_t seed);
+
+  MemRef next() override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return footprint_;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "churn-session";
+  }
+
+  /// True when reference index `op` falls inside an active session.
+  [[nodiscard]] bool active_at(std::uint64_t op) const noexcept {
+    return (op + phase_offset_ops_) % (session_ops_ + idle_ops_) <
+           session_ops_;
+  }
+
+  void save_state(util::ckpt::Writer& w) const override;
+  void load_state(util::ckpt::Reader& r) override;
+
+ private:
+  std::uint64_t footprint_;
+  std::uint64_t record_bytes_;
+  std::uint64_t n_records_;
+  std::uint64_t session_ops_;
+  std::uint64_t idle_ops_;
+  std::uint32_t n_generations_;
+  std::uint64_t phase_offset_ops_;
+  util::ZipfDistribution zipf_;
+  util::Rng rng_;
+  std::uint64_t ops_ = 0;  ///< references emitted (drives the session clock)
+};
+
 }  // namespace tmprof::workloads

@@ -14,8 +14,10 @@
 #include "tiering/admission.hpp"
 #include "tiering/epoch.hpp"
 #include "tiering/runner.hpp"
+#include "tiering/tenant.hpp"
 #include "util/rng.hpp"
 #include "workloads/registry.hpp"
+#include "workloads/synthetic.hpp"
 
 namespace tmprof::util::ckpt {
 namespace {
@@ -338,6 +340,74 @@ TEST(CkptCorruption, AdmissionSectionEverySingleBitFlipRejected) {
   }
 }
 
+/// A checkpoint image holding a populated TenantArbiter (decayed benefit,
+/// live grants, partial charges, reclaim/shed tallies and a bandwidth
+/// carve) framed exactly the way the runner writes its "tenant" section,
+/// so the corruption matrix also covers the fleet arbitration state
+/// introduced by docs/CONSOLIDATION.md.
+std::vector<std::uint8_t> tenant_image() {
+  tiering::TenantArbiter arbiter;
+  arbiter.set_capacity(512);
+  const auto make = [](const char* name, tiering::QosClass qos,
+                       std::uint64_t floor, std::uint32_t bw) {
+    tiering::TenantSpec spec;
+    spec.name = name;
+    spec.qos = qos;
+    spec.floor_frames = floor;
+    spec.bandwidth_weight = bw;
+    return spec;
+  };
+  arbiter.register_tenant(1, make("service", tiering::QosClass::Latency,
+                                  256, 4));
+  arbiter.register_tenant(2, make("batch_1", tiering::QosClass::Batch, 0, 1));
+  arbiter.register_tenant(3, make("batch_2", tiering::QosClass::Batch, 0, 1));
+  util::Rng rng(17);
+  for (std::uint32_t epoch = 1; epoch <= 5; ++epoch) {
+    const std::vector<std::uint64_t> heat{rng.below(5000), rng.below(900),
+                                          rng.below(900)};
+    const std::vector<std::uint64_t> demand{200 + rng.below(200),
+                                            rng.below(256), rng.below(256)};
+    arbiter.begin_epoch(heat, demand, 64ULL << mem::kPageShift);
+    for (mem::Pid pid = 1; pid <= 3; ++pid) {
+      (void)arbiter.try_charge_frames(pid, 1 + rng.below(64));
+      (void)arbiter.try_charge_bandwidth(pid, rng.below(32) << mem::kPageShift);
+      (void)arbiter.next_move_seq(arbiter.tenant_of(pid));
+    }
+    arbiter.note_reclaimed(2, rng.below(16));
+    arbiter.note_hitrate_bp(0, 9000 + rng.below(1000));
+  }
+  Writer w;
+  w.begin_section("tenant");
+  w.put_bool(true);
+  arbiter.save_state(w);
+  w.end_section();
+  return w.finish();
+}
+
+TEST(CkptCorruption, TenantSectionTruncationAtEveryLengthRejected) {
+  const std::vector<std::uint8_t> image = tenant_image();
+  const std::vector<std::string> names = Reader(image).section_names();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(
+        image.begin(), image.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_TRUE(rejected_or_degraded(prefix, names))
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(CkptCorruption, TenantSectionEverySingleBitFlipRejected) {
+  const std::vector<std::uint8_t> image = tenant_image();
+  const std::vector<std::string> names = Reader(image).section_names();
+  for (std::size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> flipped = image;
+      flipped[byte] = static_cast<std::uint8_t>(flipped[byte] ^ (1U << bit));
+      EXPECT_TRUE(rejected_or_degraded(flipped, names))
+          << "bit flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
 TEST(CkptCorruption, PayloadFlipNamesItsSection) {
   // A flip inside a section's payload must be attributed to that section.
   Writer w;
@@ -635,6 +705,27 @@ void expect_bitwise_equal(const RunnerResult& a, const RunnerResult& b) {
   EXPECT_EQ(a.degrade.trace_dropped, b.degrade.trace_dropped);
   EXPECT_EQ(a.degrade.pinned_epochs, b.degrade.pinned_epochs);
   EXPECT_EQ(a.degrade.fallback_epochs, b.degrade.fallback_epochs);
+  EXPECT_EQ(a.degrade.qos_fallback_epochs, b.degrade.qos_fallback_epochs);
+  const auto bits = [](double v) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+  };
+  ASSERT_EQ(a.process_hitrates.size(), b.process_hitrates.size());
+  for (std::size_t i = 0; i < a.process_hitrates.size(); ++i) {
+    EXPECT_EQ(bits(a.process_hitrates[i]), bits(b.process_hitrates[i]));
+  }
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    EXPECT_EQ(a.tenants[i].name, b.tenants[i].name);
+    EXPECT_EQ(bits(a.tenants[i].hitrate), bits(b.tenants[i].hitrate));
+    EXPECT_EQ(a.tenants[i].grant_frames, b.tenants[i].grant_frames);
+    EXPECT_EQ(a.tenants[i].demand_frames, b.tenants[i].demand_frames);
+    EXPECT_EQ(a.tenants[i].occupancy_frames, b.tenants[i].occupancy_frames);
+    EXPECT_EQ(a.tenants[i].quota_shed, b.tenants[i].quota_shed);
+    EXPECT_EQ(a.tenants[i].reclaimed_frames, b.tenants[i].reclaimed_frames);
+    EXPECT_EQ(a.tenants[i].bandwidth_rejected, b.tenants[i].bandwidth_rejected);
+  }
 }
 
 TEST(CkptResume, CheckpointingDoesNotPerturbResults) {
@@ -880,6 +971,114 @@ TEST(CkptResume, AdmissionModeMismatchFallsBackToColdStart) {
   expect_bitwise_equal(
       EndToEndRunner::run(spec, tiny_config(), adaptive_resume),
       adaptive_reference);
+}
+
+/// Small churned fleet (docs/CONSOLIDATION.md): a latency service plus two
+/// staggered batch sessions that arrive and depart mid-run, all three
+/// quota-arbitrated over the tiny fast tier.
+WorkloadFactory fleet_factory() {
+  return [](std::uint64_t seed) {
+    std::vector<workloads::WorkloadPtr> v;
+    v.push_back(std::make_unique<workloads::ZipfWorkload>(
+        3ULL << 19, 4096, 0.9, 0.05, seed));
+    v.push_back(std::make_unique<workloads::ChurnSessionWorkload>(
+        1ULL << 19, 4096, 0.9, 6000, 6000, 4, 0, seed + 1));
+    v.push_back(std::make_unique<workloads::ChurnSessionWorkload>(
+        1ULL << 19, 4096, 0.9, 6000, 6000, 4, 4000, seed + 2));
+    return v;
+  };
+}
+
+std::vector<TenantSpec> small_fleet(std::size_t n_batch) {
+  std::vector<TenantSpec> tenants;
+  TenantSpec service;
+  service.name = "service";
+  service.qos = QosClass::Latency;
+  service.floor_frames = 192;
+  service.bandwidth_weight = 4;
+  tenants.push_back(service);
+  for (std::size_t i = 1; i <= n_batch; ++i) {
+    TenantSpec batch;
+    batch.name = "batch_" + std::to_string(i);
+    batch.qos = QosClass::Batch;
+    batch.floor_frames = 0;
+    batch.bandwidth_weight = 1;
+    tenants.push_back(batch);
+  }
+  return tenants;
+}
+
+RunnerOptions fleet_runner() {
+  RunnerOptions opt = tiny_runner("history");
+  opt.tenants = small_fleet(2);
+  opt.process_weights = {2.0, 1.0, 1.0};
+  opt.mover.min_rank = 1;
+  return opt;
+}
+
+TEST(CkptResume, TenantChurnRunnerResumesBitwiseIdentical) {
+  // The arbiter's "tenant" section (benefit, grants, charges, tallies,
+  // move sequence numbers) rides in the checkpoint; killing a churned
+  // fleet mid-run and resuming must be bitwise identical to the
+  // uninterrupted run, per-tenant outcomes included.
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-tenant-resume";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const RunnerResult reference =
+      EndToEndRunner::run(fleet_factory(), tiny_config(), fleet_runner());
+  ASSERT_EQ(reference.tenants.size(), 3U);
+
+  RunnerOptions opt = fleet_runner();
+  opt.checkpoint.every = 1;
+  opt.checkpoint.dir = dir.string();
+  opt.checkpoint.keep_last = 16;
+  (void)EndToEndRunner::run(fleet_factory(), tiny_config(), opt);
+
+  RunnerOptions resume = fleet_runner();
+  resume.checkpoint.resume_from =
+      util::ckpt::checkpoint_path(dir.string(), "ckpt", 3);
+  ASSERT_TRUE(fs::exists(resume.checkpoint.resume_from));
+  expect_bitwise_equal(
+      EndToEndRunner::run(fleet_factory(), tiny_config(), resume), reference);
+}
+
+TEST(CkptResume, TenantCountMismatchFallsBackToColdStart) {
+  // A checkpoint from a 3-tenant fleet must not graft onto a 2-tenant run
+  // (state would cross tenants), nor onto an arbiter-off run: the tenant
+  // section's count / presence bytes reject it and the run cold-starts.
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-tenant-mismatch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  RunnerOptions opt = fleet_runner();
+  opt.checkpoint.every = 2;
+  opt.checkpoint.dir = dir.string();
+  (void)EndToEndRunner::run(fleet_factory(), tiny_config(), opt);
+  const std::string latest = util::ckpt::latest_in(dir.string(), "ckpt");
+  ASSERT_NE(latest, "");
+
+  // Fewer tenants than the checkpoint holds: count mismatch, cold start.
+  RunnerOptions fewer = fleet_runner();
+  fewer.tenants = small_fleet(1);
+  fewer.tenants[1].name = "batch_1";
+  const RunnerResult fewer_reference =
+      EndToEndRunner::run(fleet_factory(), tiny_config(), fewer);
+  RunnerOptions fewer_resume = fewer;
+  fewer_resume.checkpoint.resume_from = latest;
+  expect_bitwise_equal(
+      EndToEndRunner::run(fleet_factory(), tiny_config(), fewer_resume),
+      fewer_reference);
+
+  // Arbiter off entirely: presence mismatch, cold start.
+  RunnerOptions off = fleet_runner();
+  off.tenants.clear();
+  const RunnerResult off_reference =
+      EndToEndRunner::run(fleet_factory(), tiny_config(), off);
+  RunnerOptions off_resume = off;
+  off_resume.checkpoint.resume_from = latest;
+  expect_bitwise_equal(
+      EndToEndRunner::run(fleet_factory(), tiny_config(), off_resume),
+      off_reference);
 }
 
 TEST(CkptResume, MissingResumeFileFallsBackToColdStart) {

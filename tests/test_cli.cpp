@@ -240,6 +240,100 @@ TEST(AdmissionCli, ZeroCooldownWindowRejected) {
   }
 }
 
+TEST(GoldenSchema, FleetCsvHeader) {
+  // Golden schema for fleet.csv (bench/consolidation --fleet). The CI
+  // isolation gate and per-tenant plotting scripts key on these names in
+  // this order.
+  const std::vector<std::string> want{
+      "mode",           "tenant",          "qos",
+      "hitrate",        "floor_frames",    "grant_frames",
+      "occupancy_frames", "quota_shed",    "reclaimed_frames",
+      "bandwidth_rejected"};
+  EXPECT_EQ(bench::fleet_csv_header(), want);
+}
+
+TEST(TenantCli, FleetFlagsParseIntoArgs) {
+  const auto p = parse({"--tenants=24", "--qos=batch", "--quota-floor=640",
+                        "--churn-rate=0.8", "--fleet"});
+  const bench::FleetArgs fleet = bench::fleet_from_args(p);
+  EXPECT_EQ(fleet.n_tenants, 24U);
+  EXPECT_EQ(fleet.service_qos, tiering::QosClass::Batch);
+  EXPECT_EQ(fleet.quota_floor_frames, 640U);
+  EXPECT_DOUBLE_EQ(fleet.churn_rate, 0.8);
+  EXPECT_FALSE(fleet.isolation_check);
+}
+
+TEST(TenantCli, DefaultsWhenUnset) {
+  const bench::FleetArgs fleet = bench::fleet_from_args(parse({"--fleet"}));
+  EXPECT_EQ(fleet.n_tenants, 12U);
+  EXPECT_EQ(fleet.service_qos, tiering::QosClass::Latency);
+  EXPECT_EQ(fleet.quota_floor_frames, 0U);  // bench picks its default
+  EXPECT_DOUBLE_EQ(fleet.churn_rate, 0.5);
+}
+
+TEST(TenantCli, UnknownQosClassErrorEnumeratesValidNames) {
+  try {
+    (void)bench::fleet_from_args(parse({"--qos=besteffort"}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("besteffort"), std::string::npos);
+    EXPECT_NE(msg.find("latency"), std::string::npos);
+    EXPECT_NE(msg.find("batch"), std::string::npos);
+  }
+}
+
+TEST(TenantCli, TooFewTenantsRejected) {
+  for (const char* flag : {"--tenants=0", "--tenants=1"}) {
+    try {
+      (void)bench::fleet_from_args(parse({flag}));
+      FAIL() << "expected std::invalid_argument for " << flag;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--tenants"), std::string::npos);
+    }
+  }
+  // Negative counts die in the integer parser with the flag named.
+  EXPECT_THROW((void)bench::fleet_from_args(parse({"--tenants=-4"})),
+               std::invalid_argument);
+}
+
+TEST(TenantCli, NonPositiveFloorRejected) {
+  for (const char* flag : {"--quota-floor=0", "--quota-floor=-128"}) {
+    try {
+      (void)bench::fleet_from_args(parse({flag}));
+      FAIL() << "expected std::invalid_argument for " << flag;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--quota-floor"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(TenantCli, ChurnRateMustBeStrictlyBetweenZeroAndOne) {
+  for (const char* flag :
+       {"--churn-rate=0", "--churn-rate=1", "--churn-rate=-0.5",
+        "--churn-rate=1.5"}) {
+    try {
+      (void)bench::fleet_from_args(parse({flag}));
+      FAIL() << "expected std::invalid_argument for " << flag;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--churn-rate"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(TenantCli, IsolationCheckRequiresLatencyQos) {
+  EXPECT_THROW((void)bench::fleet_from_args(parse({"--isolation-check=1"})),
+               std::invalid_argument);
+  EXPECT_THROW((void)bench::fleet_from_args(
+                   parse({"--isolation-check=1", "--qos=batch"})),
+               std::invalid_argument);
+  const bench::FleetArgs fleet = bench::fleet_from_args(
+      parse({"--isolation-check=1", "--qos=latency"}));
+  EXPECT_TRUE(fleet.isolation_check);
+}
+
 TEST(GoldenSchema, CheckpointFlagsParseIntoOptions) {
   const auto p = parse({"--checkpoint-every=4", "--checkpoint-dir=/tmp/ck",
                         "--resume-latest", "--keep-last=5"});

@@ -1,0 +1,393 @@
+#include "tiering/tenant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+#include "tiering/runner.hpp"
+#include "util/ckpt.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace tmprof::tiering {
+namespace {
+
+TenantSpec make_spec(const char* name, QosClass qos, std::uint64_t floor,
+                     std::uint32_t bw_weight) {
+  TenantSpec spec;
+  spec.name = name;
+  spec.qos = qos;
+  spec.floor_frames = floor;
+  spec.bandwidth_weight = bw_weight;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// QoS parsing and registration validation.
+
+TEST(TenantQos, ParseAcceptsBothClasses) {
+  EXPECT_EQ(parse_qos_class("latency"), QosClass::Latency);
+  EXPECT_EQ(parse_qos_class("batch"), QosClass::Batch);
+}
+
+TEST(TenantQos, ParseRejectsUnknownClassEnumeratingValidNames) {
+  try {
+    (void)parse_qos_class("bestish-effort");
+    FAIL() << "unknown QoS class accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bestish-effort"), std::string::npos);
+    EXPECT_NE(what.find("latency"), std::string::npos);
+    EXPECT_NE(what.find("batch"), std::string::npos);
+  }
+}
+
+TEST(TenantRegistration, RejectsInvalidNamesAndDuplicates) {
+  TenantArbiter arbiter;
+  EXPECT_THROW(
+      arbiter.register_tenant(1, make_spec("", QosClass::Batch, 0, 1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      arbiter.register_tenant(1, make_spec("Shouty", QosClass::Batch, 0, 1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      arbiter.register_tenant(1, make_spec("has-dash", QosClass::Batch, 0, 1)),
+      std::invalid_argument);
+  arbiter.register_tenant(1, make_spec("svc_0", QosClass::Latency, 8, 1));
+  EXPECT_THROW(  // duplicate name
+      arbiter.register_tenant(2, make_spec("svc_0", QosClass::Batch, 0, 1)),
+      std::invalid_argument);
+  EXPECT_THROW(  // duplicate pid
+      arbiter.register_tenant(1, make_spec("svc_1", QosClass::Batch, 0, 1)),
+      std::invalid_argument);
+  EXPECT_EQ(arbiter.size(), 1U);
+  EXPECT_EQ(arbiter.tenant_of(1), 0U);
+  EXPECT_EQ(arbiter.tenant_of(7), TenantArbiter::kNoTenant);
+}
+
+TEST(TenantRegistration, FaultTagDependsOnlyOnName) {
+  // Fault-site keys mix in a hash of the tenant *name*, so a tenant that
+  // re-arrives later (different pid, different registration order) faults
+  // at the same deterministic sites (docs/ROBUSTNESS.md).
+  TenantArbiter a;
+  a.register_tenant(1, make_spec("alpha", QosClass::Latency, 0, 1));
+  a.register_tenant(2, make_spec("beta", QosClass::Batch, 0, 1));
+  TenantArbiter b;
+  b.register_tenant(5, make_spec("beta", QosClass::Batch, 0, 1));
+  b.register_tenant(9, make_spec("alpha", QosClass::Latency, 0, 1));
+  EXPECT_EQ(a.fault_tag(0), b.fault_tag(1));
+  EXPECT_EQ(a.fault_tag(1), b.fault_tag(0));
+  EXPECT_NE(a.fault_tag(0), a.fault_tag(1));
+}
+
+// ---------------------------------------------------------------------------
+// Quota grants: floors first, burst by decayed benefit, leftover to
+// latency before batch. All integer arithmetic — assertions are exact.
+
+TEST(TenantQuota, FloorsGrantedBeforeBenefitSplitBurst) {
+  TenantArbiter arbiter;
+  arbiter.set_capacity(1000);
+  arbiter.register_tenant(1, make_spec("service", QosClass::Latency, 600, 1));
+  arbiter.register_tenant(2, make_spec("batch_1", QosClass::Batch, 0, 1));
+  arbiter.register_tenant(3, make_spec("batch_2", QosClass::Batch, 0, 1));
+  arbiter.begin_epoch({0, 1000, 1000}, {800, 500, 500}, 0);
+  // Floor: min(800, 600) = 600. Burst pool 400 splits over benefit+1 =
+  // {1, 1001, 1001}: service floor(400/2003) = 0, each batch 199. The
+  // 2-frame rounding leftover goes to the latency tenant first.
+  EXPECT_EQ(arbiter.grant_of(0), 602U);
+  EXPECT_EQ(arbiter.grant_of(1), 199U);
+  EXPECT_EQ(arbiter.grant_of(2), 199U);
+}
+
+TEST(TenantQuota, OversoldFloorsAreNeverDiluted) {
+  // If the operator oversells floors, every floor is still granted in
+  // full (capped at demand) and the burst pool is simply empty.
+  TenantArbiter arbiter;
+  arbiter.set_capacity(500);
+  arbiter.register_tenant(1, make_spec("svc_a", QosClass::Latency, 400, 1));
+  arbiter.register_tenant(2, make_spec("svc_b", QosClass::Latency, 300, 1));
+  arbiter.begin_epoch({10, 10}, {1000, 1000}, 0);
+  EXPECT_EQ(arbiter.grant_of(0), 400U);
+  EXPECT_EQ(arbiter.grant_of(1), 300U);
+}
+
+TEST(TenantQuota, RoundingLeftoverGoesToLatencyBeforeBatch) {
+  TenantArbiter arbiter;
+  arbiter.set_capacity(11);
+  arbiter.register_tenant(1, make_spec("batch_1", QosClass::Batch, 0, 1));
+  arbiter.register_tenant(2, make_spec("service", QosClass::Latency, 0, 1));
+  arbiter.begin_epoch({0, 0}, {10, 10}, 0);
+  // Equal zero benefit: each share is 11/2 = 5; the leftover frame goes
+  // to the latency tenant even though it registered second.
+  EXPECT_EQ(arbiter.grant_of(0), 5U);
+  EXPECT_EQ(arbiter.grant_of(1), 6U);
+}
+
+TEST(TenantQuota, ChargesBeyondGrantRefusedAndTallied) {
+  TenantArbiter arbiter;
+  arbiter.set_capacity(100);
+  arbiter.register_tenant(1, make_spec("service", QosClass::Latency, 60, 1));
+  arbiter.begin_epoch({5}, {80}, 0);
+  ASSERT_EQ(arbiter.grant_of(0), 80U);  // floor 60 + entire 40-frame burst
+  EXPECT_TRUE(arbiter.try_charge_frames(1, 50));
+  EXPECT_TRUE(arbiter.try_charge_frames(1, 30));
+  EXPECT_FALSE(arbiter.try_charge_frames(1, 1));  // grant exhausted
+  EXPECT_TRUE(arbiter.try_charge_frames(99, 1000));  // unregistered pid
+  const std::vector<TenantOutcome> out = arbiter.snapshot_outcomes();
+  EXPECT_EQ(out.at(0).quota_shed, 1U);
+}
+
+TEST(TenantQuota, BandwidthCarvedByWeightAndRefusalsTallied) {
+  TenantArbiter arbiter;
+  arbiter.set_capacity(100);
+  arbiter.register_tenant(1, make_spec("service", QosClass::Latency, 0, 3));
+  arbiter.register_tenant(2, make_spec("batch_1", QosClass::Batch, 0, 1));
+  arbiter.begin_epoch({0, 0}, {0, 0}, 100);
+  // 100 tokens carve 3:1 — service 75, batch 25.
+  EXPECT_TRUE(arbiter.try_charge_bandwidth(1, 50));
+  EXPECT_FALSE(arbiter.try_charge_bandwidth(1, 30));  // 25 left
+  EXPECT_TRUE(arbiter.try_charge_bandwidth(2, 25));
+  EXPECT_FALSE(arbiter.try_charge_bandwidth(2, 1));
+  EXPECT_TRUE(arbiter.try_charge_bandwidth(42, 1 << 30));  // unknown pid
+  const std::vector<TenantOutcome> out = arbiter.snapshot_outcomes();
+  EXPECT_EQ(out.at(0).bandwidth_rejected, 1U);
+  EXPECT_EQ(out.at(1).bandwidth_rejected, 1U);
+
+  // A zero-token epoch (bucket off or drained) disables the carve.
+  arbiter.begin_epoch({0, 0}, {0, 0}, 0);
+  EXPECT_TRUE(arbiter.try_charge_bandwidth(1, 1 << 30));
+}
+
+TEST(TenantQuota, BenefitDecaysWhenTenantGoesIdle) {
+  // A tenant that stops producing heat sheds its burst claim within a few
+  // epochs: benefit halves each epoch, so the still-hot tenant's share of
+  // the pool grows monotonically.
+  TenantArbiter arbiter;
+  arbiter.set_capacity(100);
+  arbiter.register_tenant(1, make_spec("idle", QosClass::Batch, 0, 1));
+  arbiter.register_tenant(2, make_spec("hot", QosClass::Batch, 0, 1));
+  arbiter.begin_epoch({1000, 1000}, {100, 100}, 0);
+  const std::uint64_t equal_grant = arbiter.grant_of(0);
+  EXPECT_EQ(equal_grant, arbiter.grant_of(1));
+  std::uint64_t last_idle = equal_grant;
+  for (int e = 0; e < 4; ++e) {
+    arbiter.begin_epoch({0, 1000}, {100, 100}, 0);
+    EXPECT_LE(arbiter.grant_of(0), last_idle);
+    EXPECT_GE(arbiter.grant_of(1), arbiter.grant_of(0));
+    last_idle = arbiter.grant_of(0);
+  }
+  EXPECT_LT(last_idle, equal_grant);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry mirrors.
+
+TEST(TenantTelemetry, PerTenantMetricsUseNameSegments) {
+  telemetry::Telemetry sink{telemetry::TelemetryConfig{}};
+  TenantArbiter arbiter;
+  arbiter.set_capacity(100);
+  arbiter.register_tenant(1, make_spec("service", QosClass::Latency, 10, 1));
+  arbiter.register_tenant(2, make_spec("batch_1", QosClass::Batch, 0, 1));
+  arbiter.set_telemetry(&sink);
+  arbiter.begin_epoch({50, 50}, {40, 40}, 0);
+  (void)arbiter.try_charge_frames(1, 40);
+  EXPECT_FALSE(arbiter.try_charge_frames(1, 10));
+  arbiter.note_reclaimed(2, 7);
+  arbiter.note_hitrate_bp(0, 9876);
+  arbiter.set_occupancy(0, 33);
+  arbiter.publish_telemetry();
+  const telemetry::MetricsRegistry& m = sink.metrics();
+  EXPECT_EQ(m.gauge_value("tenant_service_grant_frames"),
+            arbiter.grant_of(0));
+  EXPECT_EQ(m.gauge_value("tenant_service_occupancy_frames"), 33U);
+  EXPECT_EQ(m.gauge_value("tenant_service_hitrate_bp"), 9876U);
+  EXPECT_EQ(m.counter_value("tenant_service_shed_total"), 10U);
+  EXPECT_EQ(m.counter_value("tenant_batch_1_reclaimed_frames_total"), 7U);
+}
+
+TEST(TenantTelemetry, NoTenantsRegistersNothing) {
+  // Fleet-off runs must export byte-identical telemetry, so an empty
+  // arbiter never touches the registry.
+  telemetry::Telemetry sink{telemetry::TelemetryConfig{}};
+  TenantArbiter arbiter;
+  arbiter.set_telemetry(&sink);
+  arbiter.publish_telemetry();
+  for (const auto& [name, value] : sink.metrics().counters()) {
+    EXPECT_EQ(name.rfind("tenant_", 0), std::string::npos) << name;
+  }
+  for (const auto& [name, value] : sink.metrics().gauges()) {
+    EXPECT_EQ(name.rfind("tenant_", 0), std::string::npos) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing.
+
+TenantArbiter populated_arbiter() {
+  TenantArbiter arbiter;
+  arbiter.set_capacity(512);
+  arbiter.register_tenant(1, make_spec("service", QosClass::Latency, 256, 4));
+  arbiter.register_tenant(2, make_spec("batch_1", QosClass::Batch, 0, 1));
+  arbiter.register_tenant(3, make_spec("batch_2", QosClass::Batch, 0, 1));
+  util::Rng rng(23);
+  for (std::uint32_t epoch = 1; epoch <= 4; ++epoch) {
+    arbiter.begin_epoch(
+        {rng.below(4000), rng.below(800), rng.below(800)},
+        {200 + rng.below(120), rng.below(200), rng.below(200)},
+        32ULL << mem::kPageShift);
+    for (mem::Pid pid = 1; pid <= 3; ++pid) {
+      (void)arbiter.try_charge_frames(pid, 1 + rng.below(48));
+      (void)arbiter.try_charge_bandwidth(pid,
+                                         rng.below(16) << mem::kPageShift);
+      (void)arbiter.next_move_seq(arbiter.tenant_of(pid));
+    }
+    arbiter.note_reclaimed(3, rng.below(12));
+    arbiter.note_hitrate_bp(0, 9000 + rng.below(900));
+    arbiter.set_occupancy(0, 180 + rng.below(76));
+  }
+  return arbiter;
+}
+
+std::vector<std::uint8_t> state_image(const TenantArbiter& arbiter) {
+  util::ckpt::Writer w;
+  w.begin_section("tenant");
+  arbiter.save_state(w);
+  w.end_section();
+  return w.finish();
+}
+
+TEST(TenantCkpt, RoundTripIsByteIdentical) {
+  const TenantArbiter src = populated_arbiter();
+  const std::vector<std::uint8_t> first = state_image(src);
+
+  TenantArbiter dst;
+  dst.set_capacity(512);
+  dst.register_tenant(1, make_spec("service", QosClass::Latency, 256, 4));
+  dst.register_tenant(2, make_spec("batch_1", QosClass::Batch, 0, 1));
+  dst.register_tenant(3, make_spec("batch_2", QosClass::Batch, 0, 1));
+  util::ckpt::Reader r(first);
+  r.enter_section("tenant");
+  dst.load_state(r);
+  r.end_section();
+  EXPECT_EQ(state_image(dst), first);
+  EXPECT_EQ(dst.epoch(), src.epoch());
+}
+
+TEST(TenantCkpt, CountMismatchRejectedAsTenantSection) {
+  const std::vector<std::uint8_t> image = state_image(populated_arbiter());
+  TenantArbiter smaller;
+  smaller.set_capacity(512);
+  smaller.register_tenant(1, make_spec("service", QosClass::Latency, 256, 4));
+  smaller.register_tenant(2, make_spec("batch_1", QosClass::Batch, 0, 1));
+  util::ckpt::Reader r(image);
+  r.enter_section("tenant");
+  try {
+    smaller.load_state(r);
+    FAIL() << "tenant count mismatch accepted";
+  } catch (const util::ckpt::CkptError& e) {
+    EXPECT_EQ(e.section(), "tenant");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fleet properties through the runner.
+
+sim::SimConfig fleet_config() {
+  sim::SimConfig cfg;
+  cfg.cores = 2;
+  cfg.llc_bytes = 1 << 18;
+  cfg.tier1_frames = 1 << 9;
+  cfg.tier2_frames = 1 << 14;
+  return cfg;
+}
+
+WorkloadFactory fleet_factory() {
+  return [](std::uint64_t seed) {
+    std::vector<workloads::WorkloadPtr> v;
+    v.push_back(std::make_unique<workloads::ZipfWorkload>(
+        3ULL << 19, 4096, 0.9, 0.05, seed));
+    v.push_back(std::make_unique<workloads::ChurnSessionWorkload>(
+        1ULL << 19, 4096, 0.9, 6000, 6000, 4, 0, seed + 1));
+    v.push_back(std::make_unique<workloads::ChurnSessionWorkload>(
+        1ULL << 19, 4096, 0.9, 6000, 6000, 4, 4000, seed + 2));
+    return v;
+  };
+}
+
+RunnerOptions fleet_runner() {
+  RunnerOptions opt;
+  opt.policy = "history";
+  opt.n_epochs = 5;
+  opt.ops_per_epoch = 30000;
+  opt.daemon.driver.ibs = monitors::IbsConfig::with_period(256);
+  opt.mover.min_rank = 1;
+  opt.tenants.push_back(make_spec("service", QosClass::Latency, 192, 4));
+  opt.tenants.push_back(make_spec("batch_1", QosClass::Batch, 0, 1));
+  opt.tenants.push_back(make_spec("batch_2", QosClass::Batch, 0, 1));
+  opt.process_weights = {2.0, 1.0, 1.0};
+  return opt;
+}
+
+TEST(TenantRunner, FloorHeldAndBatchReclaimedFirstUnderPressure) {
+  // 384 service pages + 2x128 batch pages over a 512-frame fast tier:
+  // genuine pressure. The latency tenant must end at or above its floor
+  // with nothing shed, while reclaim falls on the batch neighbors.
+  const RunnerResult result =
+      EndToEndRunner::run(fleet_factory(), fleet_config(), fleet_runner());
+  ASSERT_EQ(result.tenants.size(), 3U);
+  const TenantOutcome& service = result.tenants.at(0);
+  EXPECT_EQ(service.name, "service");
+  EXPECT_EQ(service.qos, QosClass::Latency);
+  EXPECT_GE(service.occupancy_frames, service.floor_frames);
+  const std::uint64_t batch_reclaimed = result.tenants.at(1).reclaimed_frames +
+                                        result.tenants.at(2).reclaimed_frames;
+  EXPECT_GT(batch_reclaimed, 0U);
+  EXPECT_LE(service.reclaimed_frames, batch_reclaimed);
+  ASSERT_EQ(result.process_hitrates.size(), 3U);
+  for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+    EXPECT_EQ(result.tenants[i].hitrate, result.process_hitrates[i]);
+  }
+}
+
+TEST(TenantRunner, FleetBitwiseInvariantAcrossThreadCounts) {
+  // Arbitration is integer arithmetic over epoch-barrier inputs, so the
+  // whole churned fleet — grants, tallies, hitrates — must be bitwise
+  // identical at 1 and 8 threads.
+  RunnerOptions one = fleet_runner();
+  one.n_threads = 1;
+  RunnerOptions eight = fleet_runner();
+  eight.n_threads = 8;
+  const RunnerResult a =
+      EndToEndRunner::run(fleet_factory(), fleet_config(), one);
+  const RunnerResult b =
+      EndToEndRunner::run(fleet_factory(), fleet_config(), eight);
+  EXPECT_EQ(a.runtime_ns, b.runtime_ns);
+  std::uint64_t ha = 0, hb = 0;
+  std::memcpy(&ha, &a.tier1_hitrate, sizeof ha);
+  std::memcpy(&hb, &b.tier1_hitrate, sizeof hb);
+  EXPECT_EQ(ha, hb);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.moves.promoted, b.moves.promoted);
+  EXPECT_EQ(a.moves.demoted, b.moves.demoted);
+  EXPECT_EQ(a.moves.shed, b.moves.shed);
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    EXPECT_EQ(a.tenants[i].grant_frames, b.tenants[i].grant_frames);
+    EXPECT_EQ(a.tenants[i].demand_frames, b.tenants[i].demand_frames);
+    EXPECT_EQ(a.tenants[i].occupancy_frames, b.tenants[i].occupancy_frames);
+    EXPECT_EQ(a.tenants[i].quota_shed, b.tenants[i].quota_shed);
+    EXPECT_EQ(a.tenants[i].reclaimed_frames, b.tenants[i].reclaimed_frames);
+    std::uint64_t ta = 0, tb = 0;
+    std::memcpy(&ta, &a.tenants[i].hitrate, sizeof ta);
+    std::memcpy(&tb, &b.tenants[i].hitrate, sizeof tb);
+    EXPECT_EQ(ta, tb);
+  }
+}
+
+}  // namespace
+}  // namespace tmprof::tiering
