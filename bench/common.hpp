@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/hotness.hpp"
+#include "monitors/devmon.hpp"
 #include "monitors/ibs.hpp"
 #include "sim/config.hpp"
 #include "telemetry/telemetry.hpp"
@@ -240,6 +241,137 @@ inline FleetArgs fleet_from_args(const util::ArgParser& args) {
         "protects latency tenants)");
   }
   return fleet;
+}
+
+/// Tier-chain selection shared by the benches (docs/TOPOLOGY.md):
+///   --tiers=name:frames:read_ns:write_ns[:bw_gbps],...   fastest first
+/// e.g. --tiers=dram:8192:80:80,cxl:16384:150:200:32,nvm:262144:300:600:8
+/// The optional bandwidth term (GB/s) adds a per-cache-line transfer cost
+/// of ~64/bw ns to every fill the tier serves. Returns an empty vector
+/// when --tiers is absent (the SimConfig shim fields stay in charge).
+/// Rejects malformed specs, empty names, zero-frame tiers, chains shorter
+/// than 2 or longer than mem::kMaxTiers tiers, and chains whose read
+/// latency descends (the chain must be ordered fastest first).
+inline std::vector<mem::TierSpec> tiers_from_args(const util::ArgParser& args) {
+  std::vector<mem::TierSpec> tiers;
+  if (!args.has("tiers")) return tiers;
+  const std::string value = args.get("tiers", "");
+  const auto parse_u64 = [](const std::string& field,
+                            const char* what) -> std::uint64_t {
+    try {
+      std::size_t pos = 0;
+      const std::uint64_t v = std::stoull(field, &pos);
+      if (pos != field.size()) throw std::invalid_argument(field);
+      return v;
+    } catch (const std::exception&) {
+      throw std::invalid_argument(std::string("--tiers: bad ") + what +
+                                  " '" + field + "' (expected an integer)");
+    }
+  };
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string spec_str =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    start = comma == std::string::npos ? value.size() + 1 : comma + 1;
+    std::vector<std::string> fields;
+    std::size_t f = 0;
+    while (f <= spec_str.size()) {
+      const std::size_t colon = spec_str.find(':', f);
+      fields.push_back(spec_str.substr(
+          f, colon == std::string::npos ? std::string::npos : colon - f));
+      f = colon == std::string::npos ? spec_str.size() + 1 : colon + 1;
+    }
+    if (fields.size() < 4 || fields.size() > 5) {
+      throw std::invalid_argument(
+          "--tiers: each tier is name:frames:read_ns:write_ns[:bw_gbps], "
+          "got '" + spec_str + "'");
+    }
+    mem::TierSpec spec;
+    spec.name = fields[0];
+    if (spec.name.empty()) {
+      throw std::invalid_argument("--tiers: tier names must be non-empty");
+    }
+    spec.frames = parse_u64(fields[1], "frame count");
+    if (spec.frames == 0) {
+      throw std::invalid_argument("--tiers: tier '" + spec.name +
+                                  "' has zero frames; every tier must hold "
+                                  "at least one page");
+    }
+    spec.read_latency_ns = parse_u64(fields[2], "read latency");
+    spec.write_latency_ns = parse_u64(fields[3], "write latency");
+    if (fields.size() == 5) {
+      double bw = 0.0;
+      try {
+        std::size_t pos = 0;
+        bw = std::stod(fields[4], &pos);
+        if (pos != fields[4].size()) throw std::invalid_argument(fields[4]);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("--tiers: bad bandwidth '" + fields[4] +
+                                    "' (expected GB/s as a number)");
+      }
+      if (bw <= 0.0) {
+        throw std::invalid_argument(
+            "--tiers: bandwidth must be positive (GB/s)");
+      }
+      spec.line_transfer_ns =
+          static_cast<util::SimNs>(64.0 / bw + 0.5);  // one 64 B line
+    }
+    tiers.push_back(std::move(spec));
+  }
+  if (tiers.size() < 2) {
+    throw std::invalid_argument(
+        "--tiers: a chain needs at least 2 tiers (fast + capacity)");
+  }
+  if (tiers.size() > mem::kMaxTiers) {
+    throw std::invalid_argument("--tiers: at most " +
+                                std::to_string(mem::kMaxTiers) +
+                                " tiers are supported");
+  }
+  for (std::size_t t = 1; t < tiers.size(); ++t) {
+    if (tiers[t].read_latency_ns < tiers[t - 1].read_latency_ns) {
+      throw std::invalid_argument(
+          "--tiers: chain must be ordered fastest first, but '" +
+          tiers[t].name + "' (read " + std::to_string(tiers[t].read_latency_ns) +
+          " ns) is faster than '" + tiers[t - 1].name + "' (read " +
+          std::to_string(tiers[t - 1].read_latency_ns) + " ns)");
+    }
+  }
+  return tiers;
+}
+
+/// Device-monitor selection shared by the benches (docs/TOPOLOGY.md):
+///   --devmon=0|1       enable per-device hot-page counters (default off)
+///   --devmon-slots=N   counter slots per device (>= 1)
+///   --devmon-topk=N    entries reported per device per epoch (1..slots)
+/// Rejects zero slot counts and report sizes outside [1, slots].
+inline monitors::DevMonConfig devmon_from_args(const util::ArgParser& args) {
+  monitors::DevMonConfig dm;
+  dm.enabled = args.get_bool("devmon", false);
+  dm.slots =
+      static_cast<std::uint32_t>(args.get_u64("devmon-slots", dm.slots));
+  if (dm.slots == 0) {
+    throw std::invalid_argument(
+        "--devmon-slots: a device needs at least 1 counter slot");
+  }
+  dm.top_k =
+      static_cast<std::uint32_t>(args.get_u64("devmon-topk", dm.top_k));
+  if (dm.top_k == 0 || dm.top_k > dm.slots) {
+    throw std::invalid_argument(
+        "--devmon-topk: the per-epoch report size must lie in [1, slots]");
+  }
+  return dm;
+}
+
+/// The topology bench's CSV schema (bench/topology), pinned by the
+/// golden-schema test. One row per (workload, chain, devmon setting).
+inline const std::vector<std::string>& topology_csv_header() {
+  static const std::vector<std::string> header{
+      "workload", "chain",      "tiers",    "devmon",
+      "runtime_ms", "dram_hitrate", "migrations", "promoted",
+      "demoted",  "devmon_reported"};
+  return header;
 }
 
 /// The fleet bench's CSV schema (bench/consolidation --fleet), pinned by

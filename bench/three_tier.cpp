@@ -5,88 +5,30 @@
 /// the cold tail in NVM. Compared against a two-tier split with identical
 /// DRAM capacity, so the middle tier's contribution is isolated.
 ///
+/// Since the N-tier generalization this bench is a thin wrapper over the
+/// bench/topology chain engine (topology_common.hpp): the 2t and 3t rows
+/// are the DRAM+NVM and DRAM+CXL+NVM points of the topology sweep, and the
+/// default output is byte-identical to the pre-generalization bench.
+///
 /// Usage: three_tier [--workload=<name>] [--scale=F] [--epochs=N]
 ///        [--ops-per-epoch=N]
 
 #include <iostream>
 
-#include "common.hpp"
-#include "core/daemon.hpp"
-#include "pmu/events.hpp"
-#include "tiering/epoch.hpp"
-#include "tiering/mover.hpp"
+#include "topology_common.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-using namespace tmprof;
-
-struct TierRun {
-  util::SimNs runtime_ns = 0;
-  double dram_hitrate = 0.0;
-  std::uint64_t migrations = 0;
-};
-
-TierRun run(const workloads::WorkloadSpec& spec, bool with_middle_tier,
-            std::uint32_t epochs, std::uint64_t ops_per_epoch,
-            std::uint64_t seed) {
-  sim::SimConfig cfg = bench::testbed_config(spec.total_bytes);
-  const std::uint64_t dram_frames = (32ULL << 20) >> mem::kPageShift;
-  const std::uint64_t middle_frames = (64ULL << 20) >> mem::kPageShift;
-  cfg.tier1_frames = dram_frames;
-  if (with_middle_tier) {
-    cfg.tier2_frames = middle_frames;
-    cfg.tier2_read_ns = 150;   // CXL-attached DRAM class
-    cfg.tier2_write_ns = 200;
-    cfg.tier3_frames = (spec.total_bytes >> mem::kPageShift) * 5 / 4 + 4096;
-    cfg.tier3_read_ns = 300;   // NVM class
-    cfg.tier3_write_ns = 600;
-  } else {
-    cfg.tier2_frames = (spec.total_bytes >> mem::kPageShift) * 5 / 4 + 4096;
-    cfg.tier2_read_ns = 300;
-    cfg.tier2_write_ns = 600;
-  }
-
-  sim::System system(cfg);
-  tiering::add_spec_processes(system, spec, seed);
-  core::DaemonConfig dcfg;
-  dcfg.driver.ibs = bench::scaled_ibs(4);
-  core::TmpDaemon daemon(system, dcfg);
-  tiering::MoverConfig mcfg;
-  mcfg.per_page_cost_ns = 2500;
-  mcfg.min_rank = 3;
-  tiering::PageMover mover(system, mcfg);
-
-  TierRun result;
-  for (std::uint32_t e = 0; e < epochs; ++e) {
-    system.step(ops_per_epoch);
-    const core::ProfileSnapshot snap = daemon.tick();
-    tiering::MoveStats moved;
-    if (with_middle_tier) {
-      moved = mover.apply_tiers(snap.ranking,
-                                {dram_frames - 64, middle_frames - 64});
-    } else {
-      moved = mover.apply(snap.ranking, dram_frames - 64);
-    }
-    result.migrations += moved.promoted + moved.demoted;
-  }
-  const std::uint64_t t1 = system.pmu().truth_total(pmu::Event::MemReadTier1);
-  const std::uint64_t t2 = system.pmu().truth_total(pmu::Event::MemReadTier2);
-  result.dram_hitrate = (t1 + t2) == 0 ? 1.0
-                                       : static_cast<double>(t1) /
-                                             static_cast<double>(t1 + t2);
-  result.runtime_ns = system.now();
-  return result;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace tmprof;
   const util::ArgParser args(argc, argv);
-  const std::uint32_t epochs =
-      static_cast<std::uint32_t>(args.get_u64("epochs", 8));
-  const std::uint64_t ops_per_epoch = args.get_u64("ops-per-epoch", 500'000);
-  const std::uint64_t seed = args.get_u64("seed", 42);
+  bench::ChainOptions opt;
+  opt.epochs = static_cast<std::uint32_t>(args.get_u64("epochs", 8));
+  opt.ops_per_epoch = args.get_u64("ops-per-epoch", 500'000);
+  opt.seed = args.get_u64("seed", 42);
+  // The pre-generalization bench charged migrations a flat per-move cost;
+  // keep that here so the table reproduces byte-for-byte (bench/topology
+  // uses the hop-scaled model).
+  opt.hop_scaled_cost = false;
 
   std::cout << "Extension: two-tier vs three-tier ladder (same 32 MiB DRAM; "
                "3-tier adds a 64 MiB CXL-class middle tier)\n\n";
@@ -94,8 +36,10 @@ int main(int argc, char** argv) {
                          "speedup(3t)", "dram hit (2t)", "dram hit (3t)",
                          "migrations 2t/3t"});
   for (const auto& spec : bench::selected_specs(args)) {
-    const TierRun two = run(spec, false, epochs, ops_per_epoch, seed);
-    const TierRun three = run(spec, true, epochs, ops_per_epoch, seed);
+    const bench::ChainRun two =
+        bench::run_chain(spec, bench::two_tier_chain(spec), opt);
+    const bench::ChainRun three =
+        bench::run_chain(spec, bench::three_tier_chain(spec), opt);
     table.add_row(
         {spec.name, util::TextTable::num(two.runtime_ns / util::kMillisecond),
          util::TextTable::num(three.runtime_ns / util::kMillisecond),

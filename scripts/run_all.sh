@@ -22,7 +22,8 @@ BENCHES=(
   fig2_ptw_ratio fig3_heatmap_ibs fig4_heatmap_abit fig5_cdf fig6_hitrate
   table4_detected_pages table_overhead table_speedup profiler_compare
   ablation_fusion ablation_epoch ablation_shootdown ablation_gating
-  robustness chaos three_tier consolidation arch_compare micro_hotpath
+  robustness chaos three_tier topology consolidation arch_compare
+  micro_hotpath
 )
 missing=0
 for b in "${BENCHES[@]}"; do
@@ -50,6 +51,9 @@ mkdir -p "$TELEMETRY_DIR"
       "build/bench/$b" \
         "--metrics-out=$TELEMETRY_DIR/$b.prom" \
         "--trace-out=$TELEMETRY_DIR/$b.trace.json"
+    elif [ "$b" = "topology" ]; then
+      # N-tier ladder x devmon ablation (docs/TOPOLOGY.md); keeps the CSV.
+      build/bench/topology --csv-out=topology.csv
     else
       "build/bench/$b"
     fi
@@ -66,4 +70,5 @@ mkdir -p "$TELEMETRY_DIR"
 } 2>&1 | tee bench_output.txt
 
 echo "Done. See test_output.txt, bench_output.txt, fig*_*.csv, fleet.csv," \
-     "BENCH_hotpath.json and $TELEMETRY_DIR/*.prom / *.trace.json."
+     "topology.csv, BENCH_hotpath.json and $TELEMETRY_DIR/*.prom /" \
+     "*.trace.json."

@@ -215,12 +215,13 @@ void TmpDaemon::tick_into(ProfileSnapshot& snapshot) {
       ++degrade_.rescaled_epochs;
       t_rescaled_.inc();
     }
+    const FusionParams fusion_params{fusion, weight, config_.devmon_weight};
     if (config_.ranking_top_k > 0 && !snapshot.qos_fallback) {
-      build_ranking_topk_into(snapshot.observation, fusion, weight,
+      build_ranking_topk_into(snapshot.observation, fusion_params,
                               config_.ranking_top_k, ranking_scratch_,
                               snapshot.ranking);
     } else {
-      build_ranking_into(snapshot.observation, fusion, weight,
+      build_ranking_into(snapshot.observation, fusion_params,
                          ranking_scratch_, snapshot.ranking);
       if (snapshot.qos_fallback) {
         // Demote batch pages to their A-bit evidence and restore the total

@@ -34,6 +34,11 @@ struct DaemonConfig {
   util::SimNs pid_filter_period_ns = 0;
   FusionMode fusion = FusionMode::Sum;
   double trace_weight = 1.0;
+  /// Weight of the device-counter signal under FusionMode::SumDev. The
+  /// device sees every fill its tier serves while sampling sees a sparse
+  /// subset, so a fractional weight keeps the signals comparable
+  /// (docs/TOPOLOGY.md).
+  double devmon_weight = 1.0;
   /// Charge modeled profiling overhead to the system clock (on for
   /// end-to-end experiments, off for pure visibility studies).
   bool charge_overhead = false;

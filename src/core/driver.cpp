@@ -43,6 +43,18 @@ TmpDriver::TmpDriver(sim::System& system, const DriverConfig& config)
     });
     system_.add_observer(pml_.get());
   }
+  if (config_.devmon.enabled) {
+    devmon_ = std::make_unique<monitors::DevMonitor>(
+        config_.devmon, system.phys(), system.config().cores);
+    devmon_->set_drain(
+        [this](std::span<const monitors::DevMonReportEntry> report) {
+          on_devmon(report);
+        });
+    // Per-core lanes make the monitor shard-safe; the fold into the device
+    // arrays happens at the epoch barrier on the main thread.
+    if (system.config().sharded_engine) devmon_->enable_sharded();
+    system_.add_observer(devmon_.get());
+  }
   scanner_.set_shootdown(
       [this](mem::Pid pid, mem::VirtAddr page_va, mem::PageSize size) {
         return system_.shootdown(pid, page_va, size);
@@ -53,6 +65,7 @@ TmpDriver::TmpDriver(sim::System& system, const DriverConfig& config)
 TmpDriver::~TmpDriver() {
   set_trace_enabled(false);
   if (pml_) system_.remove_observer(pml_.get());
+  if (devmon_) system_.remove_observer(devmon_.get());
 }
 
 void TmpDriver::set_telemetry(telemetry::Telemetry* telemetry) {
@@ -66,6 +79,10 @@ void TmpDriver::set_telemetry(telemetry::Telemetry* telemetry) {
     t_mon_samples_ = {};
     t_mon_tags_lost_ = {};
     t_mon_interrupts_ = {};
+    t_devmon_observed_ = {};
+    t_devmon_reported_ = {};
+    t_devmon_evictions_ = {};
+    t_devmon_occupied_.clear();
     return;
   }
   telemetry::MetricsRegistry& m = telemetry->metrics();
@@ -77,6 +94,19 @@ void TmpDriver::set_telemetry(telemetry::Telemetry* telemetry) {
   t_mon_samples_ = m.gauge("monitor_trace_samples_taken");
   t_mon_tags_lost_ = m.gauge("monitor_trace_tags_lost");
   t_mon_interrupts_ = m.gauge("monitor_trace_interrupts");
+  t_devmon_occupied_.clear();
+  if (devmon_) {
+    t_devmon_observed_ = m.gauge("devmon_accesses_observed");
+    t_devmon_reported_ = m.gauge("devmon_entries_reported");
+    t_devmon_evictions_ = m.gauge("devmon_slot_evictions");
+    // One occupancy gauge per device (tiers 1..N-1); the tier index keeps
+    // the name inside the exporter's [a-z0-9_] charset.
+    const std::size_t tiers = system_.phys().tier_count();
+    for (std::size_t t = 1; t < tiers; ++t) {
+      t_devmon_occupied_.push_back(
+          m.gauge("devmon_tier" + std::to_string(t) + "_occupied"));
+    }
+  }
 }
 
 void TmpDriver::set_trace_enabled(bool enabled) {
@@ -167,6 +197,20 @@ void TmpDriver::on_pml(std::span<const mem::PhysAddr> addresses) {
   }
 }
 
+void TmpDriver::on_devmon(
+    std::span<const monitors::DevMonReportEntry> report) {
+  for (const monitors::DevMonReportEntry& e : report) {
+    // phys_to_page(): the device counts physical frames; the driver maps
+    // them back to page identity. A frame freed (or migrated away) since
+    // it was counted no longer names a page on this device — drop it.
+    const mem::FrameInfo& frame = system_.phys().frame(e.pfn);
+    if (!frame.allocated) continue;
+    // += rather than =: a huge page's 4 KiB frames aggregate into one
+    // descriptor, and multiple devices may report the same mapping.
+    cur_devmon_[PageKey{frame.pid, frame.page_va}] += e.count;
+  }
+}
+
 EpochObservation TmpDriver::end_epoch() {
   EpochObservation closed;
   end_epoch_into(closed);
@@ -178,12 +222,15 @@ void TmpDriver::end_epoch_into(EpochObservation& out) {
   if (ibs_) ibs_->drain();
   if (pebs_) pebs_->drain();
   if (pml_) pml_->drain();
+  if (devmon_) devmon_->drain();
   out.epoch = epoch_;
   // Exact mode swaps the accumulator maps out, adopting out's previous
   // buffers — the same two-buffer protocol the swap-based path used.
   cur_abit_.end_epoch_into(out.abit);
   cur_trace_.end_epoch_into(out.trace);
   cur_writes_.end_epoch_into(out.writes);
+  out.devmon.swap(cur_devmon_);
+  cur_devmon_.clear();
   ++epoch_;
   overflow_seen_.clear();
   // Monitor-level gauges: cumulative values read from the backend at each
@@ -195,6 +242,15 @@ void TmpDriver::end_epoch_into(EpochObservation& out) {
   } else if (pebs_) {
     t_mon_samples_.set(pebs_->samples_taken());
     t_mon_interrupts_.set(pebs_->interrupts());
+  }
+  if (devmon_) {
+    t_devmon_observed_.set(devmon_->observed());
+    t_devmon_reported_.set(devmon_->reported());
+    t_devmon_evictions_.set(devmon_->evictions());
+    for (std::size_t i = 0; i < t_devmon_occupied_.size(); ++i) {
+      t_devmon_occupied_[i].set(
+          devmon_->occupied(static_cast<mem::TierId>(i + 1)));
+    }
   }
 }
 
@@ -255,6 +311,23 @@ void TmpDriver::load_state(util::ckpt::Reader& r) {
   load_page_counts(r, overflow_seen_);
   cumulative_trace_4k_.load_state(r, "driver");
   cumulative_abit_.load_state(r, "driver");
+}
+
+void TmpDriver::save_devmon_state(util::ckpt::Writer& w) const {
+  w.put_bool(devmon_ != nullptr);
+  if (!devmon_) return;
+  devmon_->save_state(w);
+  save_page_counts(w, cur_devmon_);
+}
+
+void TmpDriver::load_devmon_state(util::ckpt::Reader& r) {
+  const bool has_devmon = r.get_bool();
+  if (has_devmon != (devmon_ != nullptr)) {
+    throw util::ckpt::CkptError("devmon", "device monitor presence mismatch");
+  }
+  if (!devmon_) return;
+  devmon_->load_state(r);
+  load_page_counts(r, cur_devmon_);
 }
 
 }  // namespace tmprof::core

@@ -18,6 +18,7 @@
 #include "core/page_stats.hpp"
 #include "core/ranking.hpp"
 #include "monitors/abit.hpp"
+#include "monitors/devmon.hpp"
 #include "monitors/ibs.hpp"
 #include "monitors/pebs.hpp"
 #include "monitors/pml.hpp"
@@ -49,6 +50,10 @@ struct DriverConfig {
   /// write-aware policies. Off by default: TMP's focus is demand loads.
   bool use_pml = false;
   monitors::PmlConfig pml;
+  /// Device-side hot-page counters at each non-fastest tier's memory
+  /// controller (docs/TOPOLOGY.md). Off by default; `devmon.enabled`
+  /// gates construction, so disabled runs are bitwise unchanged.
+  monitors::DevMonConfig devmon;
   /// Hotness front-end: exact FlatHashMap counters (default, historical
   /// bit-exact behavior) or the count-min-sketch store (docs/SKETCH.md).
   /// Selected per run through DaemonConfig::driver.
@@ -133,21 +138,36 @@ class TmpDriver {
   /// (docs/OBSERVABILITY.md).
   void set_telemetry(telemetry::Telemetry* telemetry);
 
+  /// The device-side monitor, if DriverConfig::devmon enabled it (null
+  /// otherwise). Exposed for telemetry/tests; owned by the driver.
+  [[nodiscard]] const monitors::DevMonitor* devmon() const noexcept {
+    return devmon_.get();
+  }
+
   /// Checkpoint hooks: monitor state, the descriptor store, the open
   /// epoch's observation maps, and the cumulative CDF inputs. The backend
   /// configuration must match the constructed driver on load.
   void save_state(util::ckpt::Writer& w) const;
   void load_state(util::ckpt::Reader& r);
 
+  /// Device-monitor checkpoint state (counter arrays, lanes, the open
+  /// epoch's translated page counts). Framed by the runner in its own
+  /// "devmon" section; a presence mismatch throws CkptError("devmon", ...)
+  /// so a resume with a different devmon config cold-starts.
+  void save_devmon_state(util::ckpt::Writer& w) const;
+  void load_devmon_state(util::ckpt::Reader& r);
+
  private:
   void on_trace(std::span<const monitors::TraceSample> samples);
   void on_pml(std::span<const mem::PhysAddr> addresses);
+  void on_devmon(std::span<const monitors::DevMonReportEntry> report);
 
   sim::System& system_;
   DriverConfig config_;
   std::unique_ptr<monitors::IbsMonitor> ibs_;
   std::unique_ptr<monitors::PebsMonitor> pebs_;
   std::unique_ptr<monitors::PmlMonitor> pml_;
+  std::unique_ptr<monitors::DevMonitor> devmon_;
   monitors::AbitScanner scanner_;
   PageStatsStore store_;
   /// The open epoch's per-source accumulators (HotnessStore-backed; exact
@@ -155,6 +175,9 @@ class TmpDriver {
   HotnessCounts cur_abit_;
   HotnessCounts cur_trace_;
   HotnessCounts cur_writes_;
+  /// Open epoch's device-counter evidence, translated to page identity at
+  /// each drain. Always exact: the reports are already top-K bounded.
+  PageCountMap cur_devmon_;
   std::uint32_t epoch_ = 0;
   bool trace_enabled_ = false;
   std::uint64_t trace_samples_kept_ = 0;
@@ -168,6 +191,10 @@ class TmpDriver {
   telemetry::Gauge t_mon_samples_;
   telemetry::Gauge t_mon_tags_lost_;
   telemetry::Gauge t_mon_interrupts_;
+  telemetry::Gauge t_devmon_observed_;
+  telemetry::Gauge t_devmon_reported_;
+  telemetry::Gauge t_devmon_evictions_;
+  std::vector<telemetry::Gauge> t_devmon_occupied_;  ///< per non-fast tier
   std::uint64_t trace_samples_dropped_ = 0;
   std::uint64_t scans_aborted_ = 0;
   /// Per-epoch occurrence index per page, so overflow-drop decisions are a

@@ -15,19 +15,20 @@ namespace {
 /// sweep of `out` rather than a strided walk of a wide hash table. Output
 /// order here is slot order, but every caller sorts (fully or top-K) under
 /// the total RankOrder, which erases it.
-void merge_observation(const EpochObservation& obs, FusionMode mode,
-                       double trace_weight, RankingScratch& scratch,
-                       std::vector<PageRank>& out) {
+void merge_observation(const EpochObservation& obs, const FusionParams& params,
+                       RankingScratch& scratch, std::vector<PageRank>& out) {
+  const FusionMode mode = params.mode;
   PageMap<std::uint32_t>& index = scratch.index;
   index.clear();
-  // Size for the larger source, not the sum: the sources overlap heavily
+  // Size for the largest source, not the sum: the sources overlap heavily
   // (same hot pages), and summing would double the table — and the probe
   // miss rate — for nothing. If an epoch's overlap is low the table grows
   // once and keeps that capacity for every later epoch.
-  index.reserve(std::max(obs.abit.size(), obs.trace.size()));
+  index.reserve(
+      std::max({obs.abit.size(), obs.trace.size(), obs.devmon.size()}));
   out.clear();
-  out.reserve(obs.abit.size() + obs.trace.size());
-  if (mode != FusionMode::TraceOnly) {
+  out.reserve(obs.abit.size() + obs.trace.size() + obs.devmon.size());
+  if (mode != FusionMode::TraceOnly && mode != FusionMode::DevOnly) {
     for (const auto& [key, count] : obs.abit) {
       // Keys are unique within one source: always a fresh entry.
       index.try_emplace(key, static_cast<std::uint32_t>(out.size()));
@@ -37,7 +38,7 @@ void merge_observation(const EpochObservation& obs, FusionMode mode,
       out.push_back(pr);
     }
   }
-  if (mode != FusionMode::AbitOnly) {
+  if (mode != FusionMode::AbitOnly && mode != FusionMode::DevOnly) {
     for (const auto& [key, count] : obs.trace) {
       const auto [pos, inserted] =
           index.try_emplace(key, static_cast<std::uint32_t>(out.size()));
@@ -49,6 +50,28 @@ void merge_observation(const EpochObservation& obs, FusionMode mode,
       } else {
         out[*pos].trace = count;
       }
+    }
+  }
+  // Device-counter evidence: in the devmon fusion modes a frame the device
+  // saw but sampling missed still earns an entry (that coverage is DevMon's
+  // whole point); in every other mode it rides along like writes.
+  const bool devmon_ranks =
+      mode == FusionMode::SumDev || mode == FusionMode::DevOnly;
+  for (const auto& [key, count] : obs.devmon) {
+    if (devmon_ranks) {
+      const auto [pos, inserted] =
+          index.try_emplace(key, static_cast<std::uint32_t>(out.size()));
+      if (inserted) {
+        PageRank pr;
+        pr.key = key;
+        pr.devmon = count;
+        out.push_back(pr);
+      } else {
+        out[*pos].devmon = count;
+      }
+    } else {
+      const auto it = index.find(key);
+      if (it != index.end()) out[it->second].devmon = count;
     }
   }
   // Write evidence rides along without contributing to the fused rank;
@@ -68,9 +91,19 @@ void merge_observation(const EpochObservation& obs, FusionMode mode,
         pr.rank = std::max<std::uint64_t>(pr.abit, pr.trace);
         break;
       case FusionMode::Weighted:
-        TMPROF_EXPECTS(trace_weight >= 0.0);
+        TMPROF_EXPECTS(params.trace_weight >= 0.0);
         pr.rank = pr.abit + static_cast<std::uint64_t>(
-                                static_cast<double>(pr.trace) * trace_weight);
+                                static_cast<double>(pr.trace) *
+                                params.trace_weight);
+        break;
+      case FusionMode::SumDev:
+        TMPROF_EXPECTS(params.devmon_weight >= 0.0);
+        pr.rank = static_cast<std::uint64_t>(pr.abit) + pr.trace +
+                  static_cast<std::uint64_t>(static_cast<double>(pr.devmon) *
+                                             params.devmon_weight);
+        break;
+      case FusionMode::DevOnly:
+        pr.rank = pr.devmon;
         break;
     }
   }
@@ -78,12 +111,18 @@ void merge_observation(const EpochObservation& obs, FusionMode mode,
 
 }  // namespace
 
+void build_ranking_into(const EpochObservation& obs,
+                        const FusionParams& params, RankingScratch& scratch,
+                        std::vector<PageRank>& out) {
+  merge_observation(obs, params, scratch, out);
+  // Descending rank; ties broken by key for determinism.
+  std::sort(out.begin(), out.end(), RankOrder{});
+}
+
 void build_ranking_into(const EpochObservation& obs, FusionMode mode,
                         double trace_weight, RankingScratch& scratch,
                         std::vector<PageRank>& out) {
-  merge_observation(obs, mode, trace_weight, scratch, out);
-  // Descending rank; ties broken by key for determinism.
-  std::sort(out.begin(), out.end(), RankOrder{});
+  build_ranking_into(obs, FusionParams{mode, trace_weight, 1.0}, scratch, out);
 }
 
 std::vector<PageRank> build_ranking(const EpochObservation& obs,
@@ -94,11 +133,11 @@ std::vector<PageRank> build_ranking(const EpochObservation& obs,
   return ranked;
 }
 
-void build_ranking_topk_into(const EpochObservation& obs, FusionMode mode,
-                             double trace_weight, std::size_t k,
+void build_ranking_topk_into(const EpochObservation& obs,
+                             const FusionParams& params, std::size_t k,
                              RankingScratch& scratch,
                              std::vector<PageRank>& out) {
-  merge_observation(obs, mode, trace_weight, scratch, out);
+  merge_observation(obs, params, scratch, out);
   if (k >= out.size()) {
     std::sort(out.begin(), out.end(), RankOrder{});
     return;
@@ -111,6 +150,14 @@ void build_ranking_topk_into(const EpochObservation& obs, FusionMode mode,
                    out.end(), RankOrder{});
   out.resize(k);
   std::sort(out.begin(), out.end(), RankOrder{});
+}
+
+void build_ranking_topk_into(const EpochObservation& obs, FusionMode mode,
+                             double trace_weight, std::size_t k,
+                             RankingScratch& scratch,
+                             std::vector<PageRank>& out) {
+  build_ranking_topk_into(obs, FusionParams{mode, trace_weight, 1.0}, k,
+                          scratch, out);
 }
 
 std::vector<PageRank> build_ranking_topk(const EpochObservation& obs,
@@ -149,6 +196,7 @@ void save_observation(util::ckpt::Writer& w, const EpochObservation& obs) {
   save_page_counts(w, obs.abit);
   save_page_counts(w, obs.trace);
   save_page_counts(w, obs.writes);
+  save_page_counts(w, obs.devmon);
 }
 
 void load_observation(util::ckpt::Reader& r, EpochObservation& obs) {
@@ -156,6 +204,7 @@ void load_observation(util::ckpt::Reader& r, EpochObservation& obs) {
   load_page_counts(r, obs.abit);
   load_page_counts(r, obs.trace);
   load_page_counts(r, obs.writes);
+  load_page_counts(r, obs.devmon);
 }
 
 void save_ranking(util::ckpt::Writer& w, const std::vector<PageRank>& ranking) {
@@ -167,6 +216,7 @@ void save_ranking(util::ckpt::Writer& w, const std::vector<PageRank>& ranking) {
     w.put_u32(pr.abit);
     w.put_u32(pr.trace);
     w.put_u32(pr.writes);
+    w.put_u32(pr.devmon);
   }
 }
 
@@ -182,6 +232,7 @@ void load_ranking(util::ckpt::Reader& r, std::vector<PageRank>& ranking) {
     pr.abit = r.get_u32();
     pr.trace = r.get_u32();
     pr.writes = r.get_u32();
+    pr.devmon = r.get_u32();
     ranking.push_back(pr);
   }
 }

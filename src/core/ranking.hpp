@@ -60,11 +60,17 @@ struct EpochObservation {
   /// enables Page-Modification Logging). Counts D-bit 0→1 transitions, a
   /// write-history signal for NVM-write-averse policies.
   PageCountMap writes;
+  /// Device-side hot-page counts per page (DevMon top-K reports; only
+  /// populated when DriverConfig::devmon is enabled). Counts every line
+  /// fill the page's slow-tier device served — no sampling sparsity, but
+  /// zero for fast-tier residents (the device is blind to other tiers).
+  PageCountMap devmon;
 
   void clear() {
     abit.clear();
     trace.clear();
     writes.clear();
+    devmon.clear();
   }
 
   /// Constant-time exchange — the driver hands a finished epoch out and
@@ -74,16 +80,19 @@ struct EpochObservation {
     abit.swap(other.abit);
     trace.swap(other.trace);
     writes.swap(other.writes);
+    devmon.swap(other.devmon);
   }
 };
 
-/// How to fuse the two sources into one rank.
+/// How to fuse the sources into one rank.
 enum class FusionMode : std::uint8_t {
   Sum,        ///< abit + trace (the paper's choice)
   AbitOnly,   ///< "piecemeal" baseline 1
   TraceOnly,  ///< "piecemeal" baseline 2
   Max,        ///< max(abit, trace)
   Weighted,   ///< abit + weight * trace
+  SumDev,     ///< abit + trace + devmon_weight * devmon (docs/TOPOLOGY.md)
+  DevOnly,    ///< devmon alone (device-counter ablation baseline)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FusionMode mode) noexcept {
@@ -93,6 +102,8 @@ enum class FusionMode : std::uint8_t {
     case FusionMode::TraceOnly: return "trace-only";
     case FusionMode::Max: return "max";
     case FusionMode::Weighted: return "weighted";
+    case FusionMode::SumDev: return "sum-dev";
+    case FusionMode::DevOnly: return "devmon-only";
   }
   return "?";
 }
@@ -104,6 +115,16 @@ struct PageRank {
   std::uint32_t abit = 0;
   std::uint32_t trace = 0;
   std::uint32_t writes = 0;  ///< PML evidence (0 unless PML enabled)
+  std::uint32_t devmon = 0;  ///< device-counter evidence (0 unless DevMon on)
+};
+
+/// Fusion mode plus its per-source weights, bundled so call sites that grow
+/// a new signal don't grow a new positional double. The two-argument
+/// build_ranking* forms below forward here with default weights.
+struct FusionParams {
+  FusionMode mode = FusionMode::Sum;
+  double trace_weight = 1.0;   ///< FusionMode::Weighted
+  double devmon_weight = 1.0;  ///< FusionMode::SumDev
 };
 
 /// The strict total order rankings are sorted by: descending rank, ties
@@ -138,6 +159,16 @@ struct RankingScratch {
 void build_ranking_into(const EpochObservation& obs, FusionMode mode,
                         double trace_weight, RankingScratch& scratch,
                         std::vector<PageRank>& out);
+
+/// Full-parameter forms (all fusion weights). The FusionMode overloads
+/// above forward here with FusionParams defaults.
+void build_ranking_into(const EpochObservation& obs,
+                        const FusionParams& params, RankingScratch& scratch,
+                        std::vector<PageRank>& out);
+void build_ranking_topk_into(const EpochObservation& obs,
+                             const FusionParams& params, std::size_t k,
+                             RankingScratch& scratch,
+                             std::vector<PageRank>& out);
 
 /// Top-K selection ranking: the first min(k, n) entries of the full
 /// ranking, bitwise identical to `build_ranking(...)` truncated to k, via

@@ -37,7 +37,16 @@ struct TierSpec {
   std::uint64_t frames = 0;          ///< capacity in 4 KiB frames
   util::SimNs read_latency_ns = 0;   ///< loaded access latency
   util::SimNs write_latency_ns = 0;
+  /// Per-cache-line bandwidth term charged on every access that reaches
+  /// this tier's device (~64 B / device GB/s). 0 (default) models an
+  /// unconstrained link and keeps pre-chain behavior bitwise.
+  util::SimNs line_transfer_ns = 0;
 };
+
+/// Largest tier-chain length the simulator supports. Per-process fill
+/// accounting uses fixed arrays of this size so the epoch hot path stays
+/// allocation-free regardless of chain depth.
+inline constexpr std::size_t kMaxTiers = 8;
 
 /// Per-frame ownership record (the simulator's struct page).
 struct FrameInfo {

@@ -1,0 +1,194 @@
+#include "monitors/devmon.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/ckpt.hpp"
+
+namespace tmprof::monitors {
+
+DevMonitor::DevMonitor(const DevMonConfig& config, const mem::PhysMemory& phys,
+                       std::uint32_t cores)
+    : config_(config), phys_(&phys) {
+  TMPROF_EXPECTS(cores >= 1);
+  TMPROF_EXPECTS(config.slots >= 1);
+  TMPROF_EXPECTS(config.top_k >= 1);
+  TMPROF_EXPECTS(config.counter_max >= 1);
+  lanes_.resize(cores);
+  devices_.resize(phys.tier_count());
+  for (std::size_t t = 1; t < devices_.size(); ++t) {
+    devices_[t].resize(config_.slots);
+  }
+  report_.reserve(config_.slots);
+}
+
+void DevMonitor::on_mem_op(const MemOpEvent& event) {
+  if (!mem::is_memory(event.source)) return;
+  const mem::Pfn pfn = mem::pfn_of(event.paddr);
+  if (phys_->tier_of(pfn) == 0) return;  // fastest tier has no device counter
+  CoreLane& lane = lanes_[event.core];
+  ++lane.counts[pfn];
+  ++lane.observed;
+}
+
+void DevMonitor::merge_lanes() {
+  for (CoreLane& lane : lanes_) {
+    observed_ += lane.observed;
+    lane.observed = 0;
+    if (lane.counts.empty()) continue;
+    lane.counts.fold_sorted(
+        [this](const std::uint64_t pfn, const std::uint32_t add) {
+          // A frame's tier is static geometry, so the device a lane entry
+          // belongs to is recoverable at the barrier.
+          fold(devices_[phys_->tier_of(pfn)], pfn, add);
+        });
+    lane.counts.clear();
+  }
+}
+
+void DevMonitor::fold(std::vector<CounterSlot>& device, mem::Pfn pfn,
+                      std::uint32_t add) {
+  CounterSlot* free_slot = nullptr;
+  CounterSlot* min_slot = nullptr;
+  for (CounterSlot& s : device) {
+    if (s.used) {
+      if (s.pfn == pfn) {
+        s.count = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(std::uint64_t{s.count} + add,
+                                    config_.counter_max));
+        return;
+      }
+      if (min_slot == nullptr || s.count < min_slot->count) min_slot = &s;
+    } else if (free_slot == nullptr) {
+      free_slot = &s;
+    }
+  }
+  if (free_slot != nullptr) {
+    free_slot->used = true;
+    free_slot->pfn = pfn;
+    free_slot->count = std::min(add, config_.counter_max);
+    return;
+  }
+  // Space-saving replacement: evict the coldest slot (ties → lowest index)
+  // and let the newcomer inherit its count, bounding the undercount.
+  ++evictions_;
+  min_slot->pfn = pfn;
+  min_slot->count = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::uint64_t{min_slot->count} + add, config_.counter_max));
+}
+
+void DevMonitor::drain() {
+  merge_lanes();
+  ++drains_;
+  for (std::size_t t = 1; t < devices_.size(); ++t) {
+    std::vector<CounterSlot>& device = devices_[t];
+    report_.clear();
+    for (const CounterSlot& s : device) {
+      if (s.used) {
+        report_.push_back(DevMonReportEntry{
+            s.pfn, s.count, static_cast<mem::TierId>(t)});
+      }
+    }
+    if (!report_.empty()) {
+      std::sort(report_.begin(), report_.end(),
+                [](const DevMonReportEntry& a, const DevMonReportEntry& b) {
+                  if (a.count != b.count) return a.count > b.count;
+                  return a.pfn < b.pfn;
+                });
+      if (report_.size() > config_.top_k) report_.resize(config_.top_k);
+      reported_ += report_.size();
+      if (drain_) drain_(std::span<const DevMonReportEntry>(report_));
+    }
+    if (config_.decay) {
+      for (CounterSlot& s : device) {
+        if (!s.used) continue;
+        s.count >>= 1;
+        if (s.count == 0) s.used = false;
+      }
+    }
+  }
+}
+
+std::uint64_t DevMonitor::observed() const noexcept {
+  std::uint64_t total = observed_;
+  for (const CoreLane& lane : lanes_) total += lane.observed;
+  return total;
+}
+
+std::uint32_t DevMonitor::occupied(mem::TierId tier) const {
+  if (tier >= devices_.size()) return 0;
+  std::uint32_t n = 0;
+  for (const CounterSlot& s : devices_[tier]) n += s.used ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint hooks
+
+void DevMonitor::save_state(util::ckpt::Writer& w) const {
+  w.put_u32(config_.slots);
+  w.put_u32(config_.top_k);
+  w.put_u32(config_.counter_max);
+  w.put_bool(config_.decay);
+  w.put_u64(devices_.size());
+  for (std::size_t t = 1; t < devices_.size(); ++t) {
+    for (const CounterSlot& s : devices_[t]) {
+      w.put_bool(s.used);
+      w.put_u64(s.pfn);
+      w.put_u32(s.count);
+    }
+  }
+  w.put_u64(observed_);
+  w.put_u64(evictions_);
+  w.put_u64(reported_);
+  w.put_u64(drains_);
+  w.put_u64(lanes_.size());
+  for (const CoreLane& lane : lanes_) {
+    w.put_u64(lane.observed);
+    w.put_u64(lane.counts.size());
+    lane.counts.fold_sorted(
+        [&w](const std::uint64_t pfn, const std::uint32_t count) {
+          w.put_u64(pfn);
+          w.put_u32(count);
+        });
+  }
+}
+
+void DevMonitor::load_state(util::ckpt::Reader& r) {
+  const std::uint32_t slots = r.get_u32();
+  const std::uint32_t top_k = r.get_u32();
+  const std::uint32_t counter_max = r.get_u32();
+  const bool decay = r.get_bool();
+  if (slots != config_.slots || top_k != config_.top_k ||
+      counter_max != config_.counter_max || decay != config_.decay) {
+    throw util::ckpt::CkptError("devmon", "device-monitor config mismatch");
+  }
+  if (r.get_u64() != devices_.size()) {
+    throw util::ckpt::CkptError("devmon", "tier-chain length mismatch");
+  }
+  for (std::size_t t = 1; t < devices_.size(); ++t) {
+    for (CounterSlot& s : devices_[t]) {
+      s.used = r.get_bool();
+      s.pfn = r.get_u64();
+      s.count = r.get_u32();
+    }
+  }
+  observed_ = r.get_u64();
+  evictions_ = r.get_u64();
+  reported_ = r.get_u64();
+  drains_ = r.get_u64();
+  if (r.get_u64() != lanes_.size()) {
+    throw util::ckpt::CkptError("devmon", "core-lane count mismatch");
+  }
+  for (CoreLane& lane : lanes_) {
+    lane.observed = r.get_u64();
+    lane.counts.clear();
+    const std::uint64_t n = r.get_u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t pfn = r.get_u64();
+      lane.counts[pfn] = r.get_u32();
+    }
+  }
+}
+
+}  // namespace tmprof::monitors

@@ -1,0 +1,124 @@
+#pragma once
+/// \file devmon.hpp
+/// Device-side hotness monitor (the NeoMem idiom, PAPERS.md). Unlike the
+/// core-pipeline profilers (IBS/PEBS sampling, A-bit scans, HWPC), a DevMon
+/// sits at the memory controller of each *non-fastest* tier: it sees every
+/// line fill its own device serves — no sampling sparsity — but is blind to
+/// traffic absorbed by caches or served by other tiers. Each device keeps a
+/// small bounded counter array (space-saving replacement, saturating
+/// counters) over the physical frames it serves and reports its top-K
+/// hottest frames when drained at the epoch barrier.
+///
+/// Determinism: events are tallied into per-core lanes (each shard thread
+/// owns its lane exclusively) and folded into the shared device arrays only
+/// on the main thread — at the epoch barrier in sharded mode, at drain() in
+/// serial mode — in ascending core order, ascending PFN within a lane. The
+/// report is therefore bitwise identical across engine thread counts.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mem/tiers.hpp"
+#include "monitors/event.hpp"
+#include "util/flat_map.hpp"
+
+namespace tmprof::monitors {
+
+/// Geometry of every per-tier device counter array.
+struct DevMonConfig {
+  bool enabled = false;       ///< DriverConfig gate; the monitor itself
+                              ///< only exists when enabled
+  std::uint32_t slots = 256;  ///< counter entries per tier device
+  std::uint32_t top_k = 64;   ///< hottest frames reported per drain
+  std::uint32_t counter_max = 65535;  ///< saturation (16-bit HW counters)
+  bool decay = true;          ///< halve counters after each report
+};
+
+/// One row of a device's top-K report.
+struct DevMonReportEntry {
+  mem::Pfn pfn = 0;
+  std::uint32_t count = 0;
+  mem::TierId tier = 0;       ///< device (tier) that counted the frame
+};
+
+class DevMonitor final : public AccessObserver {
+ public:
+  using DrainFn = std::function<void(std::span<const DevMonReportEntry>)>;
+
+  /// `phys` provides the static frame→tier geometry (which device a fill
+  /// lands on); it must outlive the monitor. One lane per simulated core.
+  DevMonitor(const DevMonConfig& config, const mem::PhysMemory& phys,
+             std::uint32_t cores);
+
+  /// Install the top-K report consumer (the TMP driver).
+  void set_drain(DrainFn drain) { drain_ = std::move(drain); }
+
+  /// Switch to sharded operation: lanes are already per-core, so this only
+  /// opts into running on_mem_op from shard threads. Call before events.
+  void enable_sharded() { sharded_ = true; }
+  [[nodiscard]] bool sharded() const noexcept { return sharded_; }
+
+  void on_mem_op(const MemOpEvent& event) override;
+
+  AccessObserver* shard_sink(std::uint32_t /*core*/) override {
+    return sharded_ ? this : nullptr;
+  }
+  void merge_shards() override { merge_lanes(); }
+
+  /// Fold outstanding lane tallies into the device arrays, then emit each
+  /// device's top-K report (count descending, PFN ascending on ties) via
+  /// the drain callback and apply decay. Called at the epoch horizon.
+  void drain();
+
+  [[nodiscard]] const DevMonConfig& config() const noexcept { return config_; }
+  /// Device accesses counted (line fills on non-fastest tiers).
+  [[nodiscard]] std::uint64_t observed() const noexcept;
+  /// Counter-slot replacements forced by full arrays.
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  /// Report entries emitted to the drain callback.
+  [[nodiscard]] std::uint64_t reported() const noexcept { return reported_; }
+  [[nodiscard]] std::uint64_t drains() const noexcept { return drains_; }
+  /// Occupied counter slots on tier `tier`'s device (0 for the fast tier).
+  [[nodiscard]] std::uint32_t occupied(mem::TierId tier) const;
+
+  /// Checkpoint hooks (util/ckpt.hpp): device arrays, statistics, and any
+  /// unmerged lane tallies. Geometry (slots, chain length, lane count) must
+  /// match the constructed monitor or a CkptError("devmon", ...) is thrown.
+  void save_state(util::ckpt::Writer& w) const;
+  void load_state(util::ckpt::Reader& r);
+
+ private:
+  /// One entry of a device's bounded counter array.
+  struct CounterSlot {
+    mem::Pfn pfn = 0;
+    std::uint32_t count = 0;
+    bool used = false;
+  };
+
+  /// Per-core tally a shard's worker thread owns exclusively.
+  struct CoreLane {
+    util::FlatHashMap<std::uint64_t, std::uint32_t, util::U64Hash> counts;
+    std::uint64_t observed = 0;
+  };
+
+  void merge_lanes();
+  void fold(std::vector<CounterSlot>& device, mem::Pfn pfn,
+            std::uint32_t add);
+
+  DevMonConfig config_;
+  const mem::PhysMemory* phys_;
+  DrainFn drain_;
+  bool sharded_ = false;
+  std::vector<CoreLane> lanes_;
+  /// Indexed by tier id; tier 0 (fastest) has no device counter array.
+  std::vector<std::vector<CounterSlot>> devices_;
+  std::vector<DevMonReportEntry> report_;  ///< drain scratch, capacity kept
+  std::uint64_t observed_ = 0;             ///< merged-lane total
+  std::uint64_t evictions_ = 0;
+  std::uint64_t reported_ = 0;
+  std::uint64_t drains_ = 0;
+};
+
+}  // namespace tmprof::monitors

@@ -5,7 +5,9 @@
 /// slow tier has NVM-class latency.
 
 #include <cstdint>
+#include <vector>
 
+#include "mem/tiers.hpp"
 #include "mem/tlb.hpp"
 #include "util/time.hpp"
 
@@ -38,9 +40,19 @@ struct SimConfig {
   util::SimNs tier2_read_ns = 300;
   util::SimNs tier2_write_ns = 600;
   /// Optional third tier (e.g., DRAM + CXL-attached + NVM). 0 disables it.
+  /// Deprecated alongside the tier1_*/tier2_* fields above: new code should
+  /// describe the machine with `tiers` below; these remain as a
+  /// compatibility shim for existing two/three-tier experiments.
   std::uint64_t tier3_frames = 0;
   util::SimNs tier3_read_ns = 900;
   util::SimNs tier3_write_ns = 1800;
+
+  /// Explicit tier chain, fastest first (DRAM + CXL + NVM + ...). When
+  /// non-empty this takes precedence over the tierN_* shim fields and may
+  /// describe up to mem::kMaxTiers tiers with per-tier latency/bandwidth.
+  /// Empty (default) preserves the legacy two/three-tier construction
+  /// bitwise. See sim::tier_specs() and docs/TOPOLOGY.md.
+  std::vector<mem::TierSpec> tiers;
 
   // Access-latency model for cache hits.
   util::SimNs l1_hit_ns = 1;

@@ -22,7 +22,7 @@ void Process::save_state(util::ckpt::Writer& w) {
   w.put_u64(ops_issued_);
   w.put_u64(rss_pages_);
   w.put_u64(mem_fills_);
-  w.put_u64(tier0_fills_);
+  for (const std::uint64_t fills : tier_fills_) w.put_u64(fills);
 }
 
 void Process::load_state(util::ckpt::Reader& r) {
@@ -31,7 +31,7 @@ void Process::load_state(util::ckpt::Reader& r) {
   ops_issued_ = r.get_u64();
   rss_pages_ = r.get_u64();
   mem_fills_ = r.get_u64();
-  tier0_fills_ = r.get_u64();
+  for (std::uint64_t& fills : tier_fills_) fills = r.get_u64();
 }
 
 }  // namespace tmprof::sim

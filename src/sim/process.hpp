@@ -4,6 +4,7 @@
 /// and resource accounting (CPU share, RSS) that the TMP daemon's PID
 /// filter consumes.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -51,9 +52,11 @@ class Process {
   }
   /// A demand line fill reached memory tier `tier` on this process's
   /// behalf (memory-bandwidth monitoring + per-process hitrate input).
+  /// Per-tier tallies use a fixed mem::kMaxTiers-wide array so the access
+  /// hot path never allocates, whatever the chain depth.
   void note_mem_fill(mem::TierId tier) noexcept {
     ++mem_fills_;
-    if (tier == 0) ++tier0_fills_;
+    ++tier_fills_[tier < mem::kMaxTiers ? tier : mem::kMaxTiers - 1];
   }
   [[nodiscard]] std::uint64_t ops_issued() const noexcept {
     return ops_issued_;
@@ -61,12 +64,16 @@ class Process {
   [[nodiscard]] std::uint64_t rss_pages() const noexcept { return rss_pages_; }
   [[nodiscard]] std::uint64_t mem_fills() const noexcept { return mem_fills_; }
   [[nodiscard]] std::uint64_t tier0_fills() const noexcept {
-    return tier0_fills_;
+    return tier_fills_[0];
+  }
+  /// Fills served by memory tier `tier` (0 for tiers past the chain).
+  [[nodiscard]] std::uint64_t tier_fills(mem::TierId tier) const noexcept {
+    return tier < mem::kMaxTiers ? tier_fills_[tier] : 0;
   }
   /// Fraction of this process's memory accesses served by the fast tier.
   [[nodiscard]] double tier0_hitrate() const noexcept {
     return mem_fills_ == 0 ? 1.0
-                           : static_cast<double>(tier0_fills_) /
+                           : static_cast<double>(tier_fills_[0]) /
                                  static_cast<double>(mem_fills_);
   }
 
@@ -83,7 +90,7 @@ class Process {
   std::uint64_t ops_issued_ = 0;
   std::uint64_t rss_pages_ = 0;
   std::uint64_t mem_fills_ = 0;
-  std::uint64_t tier0_fills_ = 0;
+  std::array<std::uint64_t, mem::kMaxTiers> tier_fills_{};
 };
 
 }  // namespace tmprof::sim

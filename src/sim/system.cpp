@@ -16,8 +16,13 @@ namespace tmprof::sim {
 
 using pmu::Event;
 
-namespace {
 std::vector<mem::TierSpec> tier_specs(const SimConfig& config) {
+  if (!config.tiers.empty()) {
+    TMPROF_EXPECTS(config.tiers.size() <= mem::kMaxTiers);
+    return config.tiers;
+  }
+  // Legacy shim: the historical two/three-tier fields, with the historical
+  // tier names, so every pre-chain experiment stays bitwise identical.
   std::vector<mem::TierSpec> specs{
       mem::TierSpec{"tier1-dram", config.tier1_frames, config.tier1_read_ns,
                     config.tier1_write_ns},
@@ -31,6 +36,7 @@ std::vector<mem::TierSpec> tier_specs(const SimConfig& config) {
   return specs;
 }
 
+namespace {
 std::uint64_t pow2_floor(std::uint64_t v) {
   std::uint64_t p = 1;
   while (p * 2 <= v) p *= 2;
@@ -532,6 +538,7 @@ AccessResult System::access_impl(Process& proc, mem::VirtAddr vaddr,
       const mem::TierId tier = phys_.tier_of(mem::pfn_of(paddr));
       const mem::TierSpec& spec = phys_.tier(tier);
       latency += is_store ? spec.write_latency_ns : spec.read_latency_ns;
+      latency += spec.line_transfer_ns;
       proc.note_mem_fill(tier);
       if (tier == 0) {
         result.source = mem::DataSource::MemTier1;

@@ -246,7 +246,8 @@ void PageMover::drain_deferred(MoveStats& stats, std::uint64_t& budget) {
       deferred_set_.erase(d.key);
       continue;
     }
-    if (system_.phys().tier_of(ref.pte->pfn()) <= d.dest) {
+    const mem::TierId src = system_.phys().tier_of(ref.pte->pfn());
+    if (src <= d.dest) {
       // Already fast enough (another path promoted it).
       deferred_set_.erase(d.key);
       continue;
@@ -291,7 +292,7 @@ void PageMover::drain_deferred(MoveStats& stats, std::uint64_t& budget) {
     switch (try_move(d.key, d.dest, stats, budget)) {
       case MoveOutcome::Moved:
         ++stats.promoted;
-        stats.cost_ns += config_.per_page_cost_ns;
+        stats.cost_ns += hop_cost(src, d.dest);
         stats.moved_bytes += mem::pages_in(ref.size) << mem::kPageShift;
         deferred_set_.erase(d.key);
         break;
@@ -453,7 +454,7 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
     }
     if (try_move(key, 1, stats, budget) == MoveOutcome::Moved) {
       ++stats.demoted;
-      stats.cost_ns += config_.per_page_cost_ns;
+      stats.cost_ns += hop_cost(0, 1);
       stats.moved_bytes += frames << mem::kPageShift;
       free_t1 += frames;
       admission_.note_demoted(key);
@@ -473,7 +474,8 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
     sim::Process& proc = system_.process(key.pid);
     const mem::PteRef ref = proc.page_table().resolve(key.page_va);
     if (!ref) return;
-    if (system_.phys().tier_of(ref.pte->pfn()) == 0) return;
+    const mem::TierId src = system_.phys().tier_of(ref.pte->pfn());
+    if (src == 0) return;
     if (mem::pages_in(ref.size) > system_.phys().free_frames(0)) {
       ++stats.no_room;
       defer_promotion(key, 0, stats);
@@ -482,7 +484,7 @@ MoveStats PageMover::reconcile(const PlacementSet& desired,
     switch (try_move(key, 0, stats, budget)) {
       case MoveOutcome::Moved:
         ++stats.promoted;
-        stats.cost_ns += config_.per_page_cost_ns;
+        stats.cost_ns += hop_cost(src, 0);
         stats.moved_bytes += mem::pages_in(ref.size) << mem::kPageShift;
         break;
       case MoveOutcome::NoRoom:
@@ -604,7 +606,7 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
       const mem::TierId dest = it == target.end() ? bottom : it->second;
       if (try_move(key, dest, stats, budget) == MoveOutcome::Moved) {
         ++stats.demoted;
-        stats.cost_ns += config_.per_page_cost_ns;
+        stats.cost_ns += hop_cost(tier, dest);
         stats.moved_bytes += mem::pages_in(size) << mem::kPageShift;
         free_frames += mem::pages_in(size);
         admission_.note_demoted(key);
@@ -628,7 +630,7 @@ MoveStats PageMover::apply_tiers(const std::vector<core::PageRank>& ranking,
     switch (try_move(pr.key, it->second, stats, budget)) {
       case MoveOutcome::Moved:
         ++stats.promoted;
-        stats.cost_ns += config_.per_page_cost_ns;
+        stats.cost_ns += hop_cost(current, it->second);
         stats.moved_bytes += mem::pages_in(ref.size) << mem::kPageShift;
         break;
       case MoveOutcome::NoRoom:

@@ -92,9 +92,17 @@ RunnerResult run_impl(const WorkloadFactory& factory,
   }
   sim::SimConfig config = sim_config;
   if (options.slow_model == SlowMemoryModel::BadgerTrapEmulation) {
-    // Both tiers are physically DRAM; slowness comes from injected faults.
+    // All tiers are physically DRAM; slowness comes from injected faults.
     config.tier2_read_ns = config.tier1_read_ns;
     config.tier2_write_ns = config.tier1_write_ns;
+    if (!config.tiers.empty()) {
+      const mem::TierSpec fastest = config.tiers.front();
+      for (mem::TierSpec& spec : config.tiers) {
+        spec.read_latency_ns = fastest.read_latency_ns;
+        spec.write_latency_ns = fastest.write_latency_ns;
+        spec.line_transfer_ns = fastest.line_transfer_ns;
+      }
+    }
   }
   if (options.n_threads >= 1) config.sharded_engine = true;
   sim::System system(config);
@@ -147,6 +155,12 @@ RunnerResult run_impl(const WorkloadFactory& factory,
   // resolution order never affects restored values.
   telemetry::Telemetry* const telemetry = options.telemetry;
   telemetry::Counter epochs_counter;
+  // Per-tier occupancy / fill gauges, named from the chain's tier names
+  // sanitized to the registry charset ("tier1-dram" -> tier_tier1_dram_*).
+  // Updated once per epoch from deterministic epoch-barrier state, so the
+  // exported values are byte-identical across thread counts and resumes.
+  std::vector<telemetry::Gauge> tier_occupied_gauges;
+  std::vector<telemetry::Gauge> tier_fill_gauges;
   if (telemetry != nullptr) {
     telemetry->begin_run(options.telemetry_label.empty()
                              ? options.policy
@@ -156,6 +170,17 @@ RunnerResult run_impl(const WorkloadFactory& factory,
     mover.set_telemetry(telemetry);
     arbiter.set_telemetry(telemetry);
     epochs_counter = telemetry->metrics().counter("runner_epochs_total");
+    for (const mem::TierSpec& spec : sim::tier_specs(config)) {
+      std::string name = spec.name;
+      for (char& c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+        if (!ok) c = '_';
+      }
+      tier_occupied_gauges.push_back(
+          telemetry->metrics().gauge("tier_" + name + "_occupied_frames"));
+      tier_fill_gauges.push_back(
+          telemetry->metrics().gauge("tier_" + name + "_fills"));
+    }
   }
 
   const bool migrate = options.policy != "first-touch";
@@ -206,6 +231,9 @@ RunnerResult run_impl(const WorkloadFactory& factory,
     r.end_section();
     r.enter_section("daemon");
     daemon.load_state(r);
+    r.end_section();
+    r.enter_section("devmon");
+    daemon.driver().load_devmon_state(r);
     r.end_section();
     r.enter_section("mover");
     mover.load_state(r);
@@ -370,6 +398,15 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       }
       arbiter.publish_telemetry();
     }
+    for (std::size_t t = 0; t < tier_occupied_gauges.size(); ++t) {
+      tier_occupied_gauges[t].set(
+          system.phys().used_frames(static_cast<mem::TierId>(t)));
+      std::uint64_t fills = 0;
+      for (const sim::Process* p : system.processes()) {
+        fills += p->tier_fills(static_cast<mem::TierId>(t));
+      }
+      tier_fill_gauges[t].set(fills);
+    }
     // Record the epoch's telemetry before any checkpoint below, so the
     // saved span ring and counters include this epoch — a resumed run
     // replays the remaining epochs and exports identical artifacts.
@@ -398,6 +435,9 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       w.end_section();
       w.begin_section("daemon");
       daemon.save_state(w);
+      w.end_section();
+      w.begin_section("devmon");
+      daemon.driver().save_devmon_state(w);
       w.end_section();
       w.begin_section("mover");
       mover.save_state(w);

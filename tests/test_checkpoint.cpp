@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/ranking.hpp"
+#include "monitors/devmon.hpp"
 #include "tiering/admission.hpp"
 #include "tiering/epoch.hpp"
 #include "tiering/runner.hpp"
@@ -252,6 +253,43 @@ std::vector<std::uint8_t> admission_image() {
   return w.finish();
 }
 
+/// A checkpoint image holding a populated DevMonitor over a three-tier
+/// chain (occupied counter slots on two devices, live statistics, and
+/// unmerged per-core lane tallies) so the corruption matrix also covers
+/// the device-counter state introduced by docs/TOPOLOGY.md.
+std::vector<std::uint8_t> devmon_image() {
+  const mem::PhysMemory phys({mem::TierSpec{"dram", 16, 80, 80, 0},
+                              mem::TierSpec{"cxl", 32, 150, 200, 0},
+                              mem::TierSpec{"nvm", 64, 300, 600, 0}});
+  monitors::DevMonConfig cfg;
+  cfg.enabled = true;
+  cfg.slots = 8;
+  cfg.top_k = 4;
+  monitors::DevMonitor mon(cfg, phys, 2);
+  Rng rng(7);
+  const auto fill = [&mon](mem::Pfn pfn, std::uint32_t core) {
+    monitors::MemOpEvent ev;
+    ev.core = core;
+    ev.paddr = pfn << mem::kPageShift;
+    ev.source = mem::DataSource::MemTier2;
+    mon.on_mem_op(ev);
+  };
+  // Slow-tier pfns are 16..111; overfill the 8-slot arrays so evictions
+  // and saturated counters ride in the image too.
+  for (int i = 0; i < 300; ++i) {
+    fill(16 + rng.below(96), static_cast<std::uint32_t>(rng.below(2)));
+  }
+  mon.drain();  // merged + decayed device arrays
+  for (int i = 0; i < 50; ++i) {
+    fill(16 + rng.below(96), static_cast<std::uint32_t>(rng.below(2)));
+  }
+  Writer w;
+  w.begin_section("devmon");
+  mon.save_state(w);
+  w.end_section();
+  return w.finish();
+}
+
 /// True when the (possibly corrupted) image is safely rejected: the parse
 /// throws a typed CkptError, or it parses but no longer serves the exact
 /// section set of the intact file (a truncation at a frame boundary yields
@@ -338,6 +376,68 @@ TEST(CkptCorruption, AdmissionSectionEverySingleBitFlipRejected) {
           << "bit flip at byte " << byte << " bit " << bit << " accepted";
     }
   }
+}
+
+TEST(CkptCorruption, DevmonSectionTruncationAtEveryLengthRejected) {
+  const std::vector<std::uint8_t> image = devmon_image();
+  const std::vector<std::string> names = Reader(image).section_names();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(
+        image.begin(), image.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_TRUE(rejected_or_degraded(prefix, names))
+        << "truncation to " << len << " bytes was accepted";
+  }
+}
+
+TEST(CkptCorruption, DevmonSectionEverySingleBitFlipRejected) {
+  const std::vector<std::uint8_t> image = devmon_image();
+  const std::vector<std::string> names = Reader(image).section_names();
+  for (std::size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> flipped = image;
+      flipped[byte] = static_cast<std::uint8_t>(flipped[byte] ^ (1U << bit));
+      EXPECT_TRUE(rejected_or_degraded(flipped, names))
+          << "bit flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(CkptCorruption, DevmonGeometryMismatchRejected) {
+  // A devmon image only grafts onto a monitor with identical geometry:
+  // different slot counts, chain lengths, or lane counts all throw.
+  const std::vector<std::uint8_t> image = devmon_image();
+  Reader good(image);
+  const mem::PhysMemory three({mem::TierSpec{"dram", 16, 80, 80, 0},
+                               mem::TierSpec{"cxl", 32, 150, 200, 0},
+                               mem::TierSpec{"nvm", 64, 300, 600, 0}});
+  const mem::PhysMemory two({mem::TierSpec{"dram", 16, 80, 80, 0},
+                             mem::TierSpec{"nvm", 64, 300, 600, 0}});
+  monitors::DevMonConfig cfg;
+  cfg.enabled = true;
+  cfg.slots = 8;
+  cfg.top_k = 4;
+
+  monitors::DevMonitor same(cfg, three, 2);
+  good.enter_section("devmon");
+  same.load_state(good);  // round-trips cleanly
+  good.end_section();
+
+  monitors::DevMonitor short_chain(cfg, two, 2);
+  Reader r1(image);
+  r1.enter_section("devmon");
+  EXPECT_THROW(short_chain.load_state(r1), CkptError);
+
+  monitors::DevMonConfig wide = cfg;
+  wide.slots = 16;
+  monitors::DevMonitor more_slots(wide, three, 2);
+  Reader r2(image);
+  r2.enter_section("devmon");
+  EXPECT_THROW(more_slots.load_state(r2), CkptError);
+
+  monitors::DevMonitor more_lanes(cfg, three, 4);
+  Reader r3(image);
+  r3.enter_section("devmon");
+  EXPECT_THROW(more_lanes.load_state(r3), CkptError);
 }
 
 /// A checkpoint image holding a populated TenantArbiter (decayed benefit,
@@ -1121,6 +1221,96 @@ TEST(CkptResume, MismatchedConfigRejected) {
   wrong_policy.checkpoint.resume_from = latest;
   expect_bitwise_equal(EndToEndRunner::run(spec, tiny_config(), wrong_policy),
                        fd_reference);
+}
+
+/// Explicit three-tier chain sized like tiny_config, so DevMon has two
+/// device counter arrays riding in the "devmon" checkpoint section.
+sim::SimConfig devmon_chain_config() {
+  sim::SimConfig cfg;
+  cfg.cores = 2;
+  cfg.llc_bytes = 1 << 18;
+  cfg.tiers = {mem::TierSpec{"dram", 1 << 9, 80, 80, 0},
+               mem::TierSpec{"cxl", 1 << 10, 150, 200, 0},
+               mem::TierSpec{"nvm", 1 << 14, 300, 600, 0}};
+  return cfg;
+}
+
+RunnerOptions devmon_runner(const std::string& policy) {
+  RunnerOptions opt = tiny_runner(policy);
+  opt.fusion = core::FusionMode::SumDev;
+  opt.daemon.devmon_weight = 0.01;
+  opt.daemon.driver.devmon.enabled = true;
+  return opt;
+}
+
+TEST(CkptResume, DevmonRunnerResumesBitwiseIdentical) {
+  // The device-counter arrays, statistics, and unmerged lane tallies ride
+  // in the "devmon" section; a kill-and-resume run with DevMon fused into
+  // the ranking must be bitwise identical to the uninterrupted one.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const sim::SimConfig cfg = devmon_chain_config();
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-devmon-resume";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const RunnerResult reference =
+      EndToEndRunner::run(spec, cfg, devmon_runner("history"));
+
+  RunnerOptions opt = devmon_runner("history");
+  opt.checkpoint.every = 1;
+  opt.checkpoint.dir = dir.string();
+  opt.checkpoint.keep_last = 16;
+  (void)EndToEndRunner::run(spec, cfg, opt);
+
+  RunnerOptions resume = devmon_runner("history");
+  resume.checkpoint.resume_from =
+      util::ckpt::checkpoint_path(dir.string(), "ckpt", 3);
+  ASSERT_TRUE(fs::exists(resume.checkpoint.resume_from));
+  expect_bitwise_equal(EndToEndRunner::run(spec, cfg, resume), reference);
+}
+
+TEST(CkptResume, DevmonPresenceMismatchFallsBackToColdStart) {
+  // A checkpoint written with the device monitor on must not graft onto a
+  // devmon-off run (and vice versa): the section's presence byte rejects
+  // it and the run cold-starts, bitwise equal to never resuming.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const sim::SimConfig cfg = devmon_chain_config();
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-devmon-mismatch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  RunnerOptions opt = devmon_runner("history");
+  opt.checkpoint.every = 2;
+  opt.checkpoint.dir = dir.string();
+  (void)EndToEndRunner::run(spec, cfg, opt);
+  const std::string latest = util::ckpt::latest_in(dir.string(), "ckpt");
+  ASSERT_NE(latest, "");
+
+  // Devmon checkpoint into a devmon-off run.
+  const RunnerResult off_reference =
+      EndToEndRunner::run(spec, cfg, tiny_runner("history"));
+  RunnerOptions off_resume = tiny_runner("history");
+  off_resume.checkpoint.resume_from = latest;
+  expect_bitwise_equal(EndToEndRunner::run(spec, cfg, off_resume),
+                       off_reference);
+
+  // Devmon-off checkpoint into a devmon run.
+  const fs::path off_dir =
+      fs::path(::testing::TempDir()) / "tmprof-devmon-mismatch-off";
+  fs::remove_all(off_dir);
+  fs::create_directories(off_dir);
+  RunnerOptions off_ckpt = tiny_runner("history");
+  off_ckpt.checkpoint.every = 2;
+  off_ckpt.checkpoint.dir = off_dir.string();
+  (void)EndToEndRunner::run(spec, cfg, off_ckpt);
+  const std::string off_latest =
+      util::ckpt::latest_in(off_dir.string(), "ckpt");
+  ASSERT_NE(off_latest, "");
+  const RunnerResult on_reference =
+      EndToEndRunner::run(spec, cfg, devmon_runner("history"));
+  RunnerOptions on_resume = devmon_runner("history");
+  on_resume.checkpoint.resume_from = off_latest;
+  expect_bitwise_equal(EndToEndRunner::run(spec, cfg, on_resume),
+                       on_reference);
 }
 
 }  // namespace

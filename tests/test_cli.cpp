@@ -346,5 +346,115 @@ TEST(GoldenSchema, CheckpointFlagsParseIntoOptions) {
   EXPECT_FALSE(bench::checkpoint_from_args(parse({})).enabled());
 }
 
+TEST(TopologyCli, ChainParsesIntoTierSpecs) {
+  const auto p = parse(
+      {"--tiers=dram:8192:80:80,cxl:16384:150:200:32,nvm:262144:300:600:8"});
+  const std::vector<mem::TierSpec> tiers = bench::tiers_from_args(p);
+  ASSERT_EQ(tiers.size(), 3U);
+  EXPECT_EQ(tiers[0].name, "dram");
+  EXPECT_EQ(tiers[0].frames, 8192U);
+  EXPECT_EQ(tiers[0].read_latency_ns, 80U);
+  EXPECT_EQ(tiers[0].write_latency_ns, 80U);
+  EXPECT_EQ(tiers[0].line_transfer_ns, 0U);  // no bandwidth term given
+  EXPECT_EQ(tiers[1].name, "cxl");
+  EXPECT_EQ(tiers[1].line_transfer_ns, 2U);  // 64 B / 32 GB/s = 2 ns
+  EXPECT_EQ(tiers[2].name, "nvm");
+  EXPECT_EQ(tiers[2].line_transfer_ns, 8U);  // 64 B / 8 GB/s = 8 ns
+}
+
+TEST(TopologyCli, AbsentFlagMeansLegacyShim) {
+  EXPECT_TRUE(bench::tiers_from_args(parse({})).empty());
+}
+
+TEST(TopologyCli, MalformedSpecsRejectedWithFlagName) {
+  for (const char* flag :
+       {"--tiers=dram:100:80",                    // too few fields
+        "--tiers=dram:100:80:80:8:9",             // too many fields
+        "--tiers=dram:x:80:80,nvm:100:300:600",   // non-integer frames
+        "--tiers=:100:80:80,nvm:100:300:600",     // empty name
+        "--tiers=dram:100:80:80,nvm:100:300:600:0",   // zero bandwidth
+        "--tiers=dram:100:80:80,nvm:100:300:600:-4"}) {  // negative bw
+    try {
+      (void)bench::tiers_from_args(parse({flag}));
+      FAIL() << "expected std::invalid_argument for " << flag;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--tiers"), std::string::npos)
+          << flag;
+    }
+  }
+}
+
+TEST(TopologyCli, ZeroFrameTierRejectedByName) {
+  try {
+    (void)bench::tiers_from_args(
+        parse({"--tiers=dram:8192:80:80,cxl:0:150:200"}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cxl"), std::string::npos);
+    EXPECT_NE(msg.find("zero frames"), std::string::npos);
+  }
+}
+
+TEST(TopologyCli, DescendingLatencyChainRejected) {
+  // The chain must be ordered fastest first; a later tier with a *lower*
+  // read latency means the order is wrong, and the message names both
+  // offending tiers.
+  try {
+    (void)bench::tiers_from_args(
+        parse({"--tiers=nvm:8192:300:600,dram:8192:80:80"}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fastest first"), std::string::npos);
+    EXPECT_NE(msg.find("nvm"), std::string::npos);
+    EXPECT_NE(msg.find("dram"), std::string::npos);
+  }
+}
+
+TEST(TopologyCli, ChainLengthBoundsEnforced) {
+  EXPECT_THROW((void)bench::tiers_from_args(parse({"--tiers=solo:100:80:80"})),
+               std::invalid_argument);
+  std::string nine = "--tiers=t0:100:80:80";
+  for (int t = 1; t < 9; ++t) {
+    nine += ",t" + std::to_string(t) + ":100:80:80";
+  }
+  EXPECT_THROW((void)bench::tiers_from_args(parse({nine.c_str()})),
+               std::invalid_argument);
+}
+
+TEST(DevMonCli, FlagsParseIntoConfig) {
+  const auto p =
+      parse({"--devmon=1", "--devmon-slots=512", "--devmon-topk=32"});
+  const monitors::DevMonConfig dm = bench::devmon_from_args(p);
+  EXPECT_TRUE(dm.enabled);
+  EXPECT_EQ(dm.slots, 512U);
+  EXPECT_EQ(dm.top_k, 32U);
+  EXPECT_FALSE(bench::devmon_from_args(parse({})).enabled);
+}
+
+TEST(DevMonCli, ZeroSlotsRejected) {
+  EXPECT_THROW((void)bench::devmon_from_args(parse({"--devmon-slots=0"})),
+               std::invalid_argument);
+}
+
+TEST(DevMonCli, TopKMustFitTheSlotArray) {
+  EXPECT_THROW((void)bench::devmon_from_args(parse({"--devmon-topk=0"})),
+               std::invalid_argument);
+  EXPECT_THROW((void)bench::devmon_from_args(
+                   parse({"--devmon-slots=64", "--devmon-topk=65"})),
+               std::invalid_argument);
+}
+
+TEST(GoldenSchema, TopologyCsvHeader) {
+  // Golden schema for topology.csv (bench/topology). The CI topology smoke
+  // job uploads this file; plotting scripts key on these names in order.
+  const std::vector<std::string> want{
+      "workload", "chain",      "tiers",    "devmon",
+      "runtime_ms", "dram_hitrate", "migrations", "promoted",
+      "demoted",  "devmon_reported"};
+  EXPECT_EQ(bench::topology_csv_header(), want);
+}
+
 }  // namespace
 }  // namespace tmprof::util

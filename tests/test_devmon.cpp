@@ -1,0 +1,272 @@
+/// Device-side hotness monitor tests (docs/TOPOLOGY.md): counter-array
+/// semantics (slow-tier-only counting, saturation, top-K tie order,
+/// space-saving replacement, decay), SumDev/DevOnly ranking fusion, and
+/// end-to-end thread-count invariance with DevMon feeding the daemon over
+/// an explicit three-tier chain.
+
+#include "monitors/devmon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "tiering/runner.hpp"
+#include "workloads/registry.hpp"
+
+namespace tmprof::monitors {
+namespace {
+
+/// 4-frame DRAM, 8-frame CXL, 8-frame NVM: pfn 0..3 are on the fast tier
+/// (no device counter), 4..11 on tier 1's device, 12..19 on tier 2's.
+mem::PhysMemory three_tier_phys() {
+  return mem::PhysMemory({mem::TierSpec{"dram", 4, 80, 80, 0},
+                          mem::TierSpec{"cxl", 8, 150, 200, 0},
+                          mem::TierSpec{"nvm", 8, 300, 600, 0}});
+}
+
+MemOpEvent fill(mem::Pfn pfn, std::uint32_t core = 0,
+                mem::DataSource source = mem::DataSource::MemTier2) {
+  MemOpEvent ev;
+  ev.core = core;
+  ev.paddr = static_cast<mem::PhysAddr>(pfn) << mem::kPageShift;
+  ev.source = source;
+  return ev;
+}
+
+/// Drain the monitor once, collecting every report entry it emits.
+std::vector<DevMonReportEntry> drain_once(DevMonitor& mon) {
+  std::vector<DevMonReportEntry> out;
+  mon.set_drain([&out](std::span<const DevMonReportEntry> report) {
+    out.insert(out.end(), report.begin(), report.end());
+  });
+  mon.drain();
+  return out;
+}
+
+TEST(DevMon, CountsOnlySlowTierMemoryFills) {
+  const mem::PhysMemory phys = three_tier_phys();
+  ASSERT_EQ(phys.tier_of(1), 0);
+  ASSERT_EQ(phys.tier_of(5), 1);
+  ASSERT_EQ(phys.tier_of(13), 2);
+  DevMonConfig cfg;
+  cfg.enabled = true;
+  cfg.decay = false;
+  DevMonitor mon(cfg, phys, 1);
+  mon.on_mem_op(fill(1));                            // fast tier: no device
+  mon.on_mem_op(fill(5, 0, mem::DataSource::LLC));   // cache hit: not a fill
+  mon.on_mem_op(fill(5));
+  mon.on_mem_op(fill(5));
+  mon.on_mem_op(fill(13));
+  const auto report = drain_once(mon);
+  EXPECT_EQ(mon.observed(), 3U);
+  EXPECT_EQ(mon.occupied(0), 0U);
+  EXPECT_EQ(mon.occupied(1), 1U);
+  EXPECT_EQ(mon.occupied(2), 1U);
+  ASSERT_EQ(report.size(), 2U);
+  EXPECT_EQ(report[0].pfn, 5U);
+  EXPECT_EQ(report[0].count, 2U);
+  EXPECT_EQ(report[0].tier, 1);
+  EXPECT_EQ(report[1].pfn, 13U);
+  EXPECT_EQ(report[1].count, 1U);
+  EXPECT_EQ(report[1].tier, 2);
+}
+
+TEST(DevMon, CounterSaturatesAtConfiguredMax) {
+  const mem::PhysMemory phys = three_tier_phys();
+  DevMonConfig cfg;
+  cfg.enabled = true;
+  cfg.counter_max = 10;
+  cfg.decay = false;
+  DevMonitor mon(cfg, phys, 1);
+  for (int i = 0; i < 25; ++i) mon.on_mem_op(fill(5));
+  const auto report = drain_once(mon);
+  ASSERT_EQ(report.size(), 1U);
+  EXPECT_EQ(report[0].count, 10U);
+  EXPECT_EQ(mon.observed(), 25U);  // the stat counts raw fills
+}
+
+TEST(DevMon, TopKTruncatesWithAscendingPfnTieBreak) {
+  const mem::PhysMemory phys = three_tier_phys();
+  DevMonConfig cfg;
+  cfg.enabled = true;
+  cfg.top_k = 2;
+  cfg.decay = false;
+  DevMonitor mon(cfg, phys, 1);
+  for (const mem::Pfn pfn : {7U, 5U, 6U}) {  // arrival order must not matter
+    for (int i = 0; i < 3; ++i) mon.on_mem_op(fill(pfn));
+  }
+  const auto report = drain_once(mon);
+  ASSERT_EQ(report.size(), 2U);  // three tied slots, top-2 reported
+  EXPECT_EQ(report[0].pfn, 5U);
+  EXPECT_EQ(report[1].pfn, 6U);
+  EXPECT_EQ(mon.reported(), 2U);
+}
+
+TEST(DevMon, SpaceSavingEvictionInheritsVictimCount) {
+  const mem::PhysMemory phys = three_tier_phys();
+  DevMonConfig cfg;
+  cfg.enabled = true;
+  cfg.slots = 2;
+  cfg.decay = false;
+  DevMonitor mon(cfg, phys, 1);
+  // Folded in ascending-pfn order: 5 (count 5) and 6 (count 2) claim the
+  // two slots; 7 (count 1) evicts the coldest (6) and inherits its count.
+  for (int i = 0; i < 5; ++i) mon.on_mem_op(fill(5));
+  for (int i = 0; i < 2; ++i) mon.on_mem_op(fill(6));
+  mon.on_mem_op(fill(7));
+  const auto report = drain_once(mon);
+  EXPECT_EQ(mon.evictions(), 1U);
+  ASSERT_EQ(report.size(), 2U);
+  EXPECT_EQ(report[0].pfn, 5U);
+  EXPECT_EQ(report[0].count, 5U);
+  EXPECT_EQ(report[1].pfn, 7U);
+  EXPECT_EQ(report[1].count, 3U);  // 2 inherited + 1 of its own
+}
+
+TEST(DevMon, DecayHalvesCountersAndFreesDeadSlots) {
+  const mem::PhysMemory phys = three_tier_phys();
+  DevMonConfig cfg;
+  cfg.enabled = true;
+  cfg.decay = true;
+  DevMonitor mon(cfg, phys, 1);
+  for (int i = 0; i < 3; ++i) mon.on_mem_op(fill(5));
+  auto report = drain_once(mon);
+  ASSERT_EQ(report.size(), 1U);
+  EXPECT_EQ(report[0].count, 3U);   // reported before decay
+  report = drain_once(mon);         // no new fills: 3 >> 1 = 1 survives
+  ASSERT_EQ(report.size(), 1U);
+  EXPECT_EQ(report[0].count, 1U);
+  report = drain_once(mon);         // 1 >> 1 = 0: slot freed, nothing left
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(mon.occupied(1), 0U);
+  EXPECT_EQ(mon.drains(), 3U);
+}
+
+TEST(DevMon, LaneMergeIsCoreAssignmentInvariant) {
+  const mem::PhysMemory phys = three_tier_phys();
+  DevMonConfig cfg;
+  cfg.enabled = true;
+  cfg.decay = false;
+  DevMonitor spread(cfg, phys, 4);
+  DevMonitor packed(cfg, phys, 4);
+  // The same multiset of fills, tallied on 4 cores vs all on core 0, must
+  // fold to the same device arrays (merge is ascending core, ascending pfn).
+  std::uint32_t core = 0;
+  for (const mem::Pfn pfn : {9U, 4U, 13U, 9U, 17U, 4U, 9U, 13U}) {
+    spread.on_mem_op(fill(pfn, core));
+    packed.on_mem_op(fill(pfn, 0));
+    core = (core + 1) % 4;
+  }
+  const auto a = drain_once(spread);
+  const auto b = drain_once(packed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pfn, b[i].pfn) << i;
+    EXPECT_EQ(a[i].count, b[i].count) << i;
+    EXPECT_EQ(a[i].tier, b[i].tier) << i;
+  }
+  EXPECT_EQ(spread.observed(), packed.observed());
+}
+
+// ---------------------------------------------------------------------------
+// Ranking fusion: the devmon signal enters the epoch ranking through
+// FusionMode::SumDev (weighted additive) and DevOnly (ablation baseline).
+
+core::PageKey page(std::uint64_t n) {
+  return core::PageKey{1, n * mem::kPageSize};
+}
+
+TEST(DevMon, SumDevFusionAddsWeightedDeviceCounts) {
+  core::EpochObservation obs;
+  obs.abit[page(1)] = 2;
+  obs.trace[page(1)] = 3;
+  obs.devmon[page(1)] = 1000;
+  obs.devmon[page(2)] = 500;  // devmon-only page still enters the ranking
+  core::FusionParams params;
+  params.mode = core::FusionMode::SumDev;
+  params.devmon_weight = 0.01;
+  core::RankingScratch scratch;
+  std::vector<core::PageRank> ranking;
+  core::build_ranking_into(obs, params, scratch, ranking);
+  ASSERT_EQ(ranking.size(), 2U);
+  EXPECT_EQ(ranking[0].key, page(1));
+  EXPECT_EQ(ranking[0].rank, 2U + 3U + 10U);  // abit + trace + 0.01 * 1000
+  EXPECT_EQ(ranking[0].devmon, 1000U);
+  EXPECT_EQ(ranking[1].key, page(2));
+  EXPECT_EQ(ranking[1].rank, 5U);
+}
+
+TEST(DevMon, DevOnlyFusionIgnoresSampledSources) {
+  core::EpochObservation obs;
+  obs.abit[page(1)] = 50;
+  obs.trace[page(1)] = 50;
+  obs.devmon[page(2)] = 7;
+  core::FusionParams params;
+  params.mode = core::FusionMode::DevOnly;
+  core::RankingScratch scratch;
+  std::vector<core::PageRank> ranking;
+  core::build_ranking_into(obs, params, scratch, ranking);
+  ASSERT_EQ(ranking.size(), 1U);
+  EXPECT_EQ(ranking[0].key, page(2));
+  EXPECT_EQ(ranking[0].rank, 7U);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: with DevMon enabled over an explicit three-tier chain, the
+// full run must stay bitwise identical across engine thread counts.
+
+sim::SimConfig chain_config() {
+  sim::SimConfig cfg;
+  cfg.cores = 4;
+  cfg.llc_bytes = 1 << 18;
+  cfg.tiers = {mem::TierSpec{"dram", 1 << 10, 80, 80, 0},
+               mem::TierSpec{"cxl", 1 << 12, 150, 200, 0},
+               mem::TierSpec{"nvm", 1 << 16, 300, 600, 0}};
+  return cfg;
+}
+
+tiering::RunnerOptions chain_options(core::FusionMode fusion,
+                                     std::uint32_t n_threads) {
+  tiering::RunnerOptions opt;
+  opt.policy = "history";
+  opt.fusion = fusion;
+  opt.n_epochs = 3;
+  opt.ops_per_epoch = 30000;
+  opt.daemon.driver.ibs = monitors::IbsConfig::with_period(128);
+  opt.daemon.driver.devmon.enabled = true;
+  opt.daemon.devmon_weight = 0.01;
+  opt.n_threads = n_threads;
+  return opt;
+}
+
+void expect_identical(const tiering::RunnerResult& a,
+                      const tiering::RunnerResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.runtime_ns, b.runtime_ns) << label;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.tier1_hitrate),
+            std::bit_cast<std::uint64_t>(b.tier1_hitrate))
+      << label << " hitrate " << a.tier1_hitrate << " vs " << b.tier1_hitrate;
+  EXPECT_EQ(a.migrations, b.migrations) << label;
+  EXPECT_EQ(a.protection_faults, b.protection_faults) << label;
+}
+
+TEST(DevMon, EndToEndThreadCountInvariantOnThreeTierChain) {
+  const auto spec = workloads::find_spec("data_caching", 0.1);
+  const sim::SimConfig cfg = chain_config();
+  for (const core::FusionMode fusion :
+       {core::FusionMode::SumDev, core::FusionMode::DevOnly}) {
+    const std::string label(core::to_string(fusion));
+    const tiering::RunnerResult t1 =
+        tiering::EndToEndRunner::run(spec, cfg, chain_options(fusion, 1));
+    const tiering::RunnerResult t8 =
+        tiering::EndToEndRunner::run(spec, cfg, chain_options(fusion, 8));
+    expect_identical(t1, t8, label + " [1 vs 8 threads]");
+  }
+}
+
+}  // namespace
+}  // namespace tmprof::monitors
