@@ -69,6 +69,19 @@ mkdir -p "$TELEMETRY_DIR"
   echo
 } 2>&1 | tee bench_output.txt
 
+# micro_hotpath's default run includes the ring_transport sweep (streaming
+# vs swap-and-clear barrier merge, docs/STREAMING.md) and refreshes the
+# tracked BENCH_hotpath.json; a JSON without that section means the sweep
+# was skipped or the bench predates it — fail loudly either way.
+if [ ! -s BENCH_hotpath.json ]; then
+  echo "ERROR: micro_hotpath did not write BENCH_hotpath.json" >&2
+  exit 1
+fi
+if ! grep -q '"ring_transport"' BENCH_hotpath.json; then
+  echo "ERROR: BENCH_hotpath.json has no ring_transport section" >&2
+  exit 1
+fi
+
 echo "Done. See test_output.txt, bench_output.txt, fig*_*.csv, fleet.csv," \
      "topology.csv, BENCH_hotpath.json and $TELEMETRY_DIR/*.prom /" \
      "*.trace.json."

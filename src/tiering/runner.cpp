@@ -235,6 +235,9 @@ RunnerResult run_impl(const WorkloadFactory& factory,
     r.enter_section("devmon");
     daemon.driver().load_devmon_state(r);
     r.end_section();
+    r.enter_section("stream");
+    daemon.driver().load_stream_state(r);
+    r.end_section();
     r.enter_section("mover");
     mover.load_state(r);
     r.end_section();
@@ -438,6 +441,9 @@ RunnerResult run_impl(const WorkloadFactory& factory,
       w.end_section();
       w.begin_section("devmon");
       daemon.driver().save_devmon_state(w);
+      w.end_section();
+      w.begin_section("stream");
+      daemon.driver().save_stream_state(w);
       w.end_section();
       w.begin_section("mover");
       mover.save_state(w);

@@ -1,0 +1,178 @@
+/// Property tests for util::SpscRing, the per-lane transport of the
+/// streaming sample path (docs/STREAMING.md): wraparound at every
+/// power-of-two capacity, full/empty boundary behavior, overflow-drop
+/// counting, drain FIFO order and idempotence, high-water / stats reset
+/// semantics, and a producer/consumer stress test exercised under TSan
+/// (the `tsan` preset's ctest filter includes `Ring`).
+
+#include "util/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace tmprof::util {
+namespace {
+
+TEST(Ring, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(SpscRing<int>(3), AssertionError);
+  EXPECT_THROW(SpscRing<int>(0), AssertionError);
+  EXPECT_THROW(SpscRing<int>(1), AssertionError);
+  EXPECT_NO_THROW(SpscRing<int>(2));
+}
+
+TEST(Ring, FifoOrderSurvivesWraparoundAtEveryCapacity) {
+  // Push/pop far more records than the capacity so the cursors wrap the
+  // mask many times; the pop sequence must stay exactly FIFO throughout.
+  for (std::uint32_t cap = 2; cap <= 256; cap *= 2) {
+    SpscRing<std::uint64_t> ring(cap);
+    std::uint64_t next_push = 0, next_pop = 0;
+    const std::uint64_t total = 16ULL * cap + 7;
+    while (next_pop < total) {
+      // Fill to a varying depth (1..cap), then drain half, so every
+      // head/tail phase relative to the mask is visited. Never push into a
+      // full ring here — overflow accounting has its own test below.
+      const std::uint64_t burst = 1 + (next_push % cap);
+      for (std::uint64_t i = 0; i < burst && ring.size() < cap; ++i) {
+        ASSERT_TRUE(ring.try_push(next_push)) << "cap=" << cap;
+        ++next_push;
+      }
+      std::uint64_t out = 0;
+      const std::uint64_t want = (ring.size() + 1) / 2;
+      for (std::uint64_t i = 0; i < want; ++i) {
+        ASSERT_TRUE(ring.pop(out)) << "cap=" << cap;
+        ASSERT_EQ(out, next_pop) << "cap=" << cap;
+        ++next_pop;
+      }
+    }
+    EXPECT_EQ(ring.drops(), 0U) << "cap=" << cap;
+  }
+}
+
+TEST(Ring, FullAndEmptyBoundaries) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0U);
+  int out = 0;
+  EXPECT_FALSE(ring.pop(out));  // popping empty fails, no state change
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.size(), 8U);
+  EXPECT_FALSE(ring.try_push(99));  // exactly full: push must fail
+  EXPECT_EQ(ring.size(), 8U);       // ... and not consume a slot
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);  // the rejected 99 never entered
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.pop(out));
+  // The boundary cycle repeats cleanly after a full wrap.
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(100 + i));
+  EXPECT_FALSE(ring.try_push(0));
+}
+
+TEST(Ring, OverflowDropsAreCountedNotStored) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(ring.try_push(1000 + i));
+  EXPECT_EQ(ring.drops(), 10U);
+  EXPECT_EQ(ring.pushed(), 4U);  // producer cursor counts successes only
+  int out = 0;
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(42));  // one free slot reopens the ring
+  EXPECT_EQ(ring.drops(), 10U);    // ... without disturbing the tally
+  EXPECT_EQ(ring.pushed(), 5U);
+}
+
+TEST(Ring, DrainIsFifoAndIdempotent) {
+  SpscRing<std::uint32_t> ring(16);
+  for (std::uint32_t i = 0; i < 11; ++i) ASSERT_TRUE(ring.try_push(i));
+  std::vector<std::uint32_t> seen;
+  EXPECT_EQ(ring.drain([&](const std::uint32_t& v) { seen.push_back(v); }),
+            11U);
+  ASSERT_EQ(seen.size(), 11U);
+  for (std::uint32_t i = 0; i < 11; ++i) EXPECT_EQ(seen[i], i);
+  // Sealing paths drain repeatedly; an empty drain must be a free no-op.
+  EXPECT_EQ(ring.drain([&](const std::uint32_t&) { FAIL(); }), 0U);
+  EXPECT_EQ(ring.drain([&](const std::uint32_t&) { FAIL(); }), 0U);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, HighWaterTracksDepthAndResetsIndependently) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.high_water(), 3U);
+  int out = 0;
+  ASSERT_TRUE(ring.pop(out));
+  ASSERT_TRUE(ring.try_push(3));  // depth back to 3: mark must not move
+  EXPECT_EQ(ring.high_water(), 3U);
+  for (int i = 4; i < 9; ++i) ASSERT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.high_water(), 8U);
+  (void)ring.try_push(99);  // overflow: a drop is not a depth
+  EXPECT_EQ(ring.high_water(), 8U);
+  EXPECT_EQ(ring.drops(), 1U);
+  // Per-epoch gauge reset clears depth but keeps the cumulative drops.
+  ring.reset_high_water();
+  EXPECT_EQ(ring.high_water(), 0U);
+  EXPECT_EQ(ring.drops(), 1U);
+  while (ring.pop(out)) {
+  }
+  ASSERT_TRUE(ring.try_push(0));
+  EXPECT_EQ(ring.high_water(), 1U);  // mark re-arms from the next push
+  ring.reset_stats();
+  EXPECT_EQ(ring.drops(), 0U);
+  EXPECT_EQ(ring.high_water(), 0U);
+}
+
+TEST(Ring, ProducerConsumerStress) {
+  // One producer thread, one consumer thread (this one), small ring so the
+  // cursors wrap thousands of times and both full and empty races occur.
+  // Run under the `tsan` preset to validate the acquire/release protocol;
+  // the assertions below validate lossless FIFO transport regardless.
+  constexpr std::uint64_t kRecords = 200000;
+  SpscRing<std::uint64_t> ring(64);
+  std::thread producer([&ring] {
+    std::uint64_t next = 0;
+    while (next < kRecords) {
+      if (ring.try_push(next)) ++next;  // full ring: spin until space
+    }
+  });
+  std::uint64_t expect = 0;
+  std::uint64_t out = 0;
+  while (expect < kRecords) {
+    if (ring.pop(out)) {
+      ASSERT_EQ(out, expect);  // in order, nothing lost or duplicated
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.pushed(), kRecords);
+}
+
+TEST(Ring, StressWithDrainConsumer) {
+  // Same shape but consuming via drain(), the transport's pump primitive.
+  constexpr std::uint64_t kRecords = 100000;
+  SpscRing<std::uint64_t> ring(32);
+  std::thread producer([&ring] {
+    std::uint64_t next = 0;
+    while (next < kRecords) {
+      if (ring.try_push(next)) ++next;
+    }
+  });
+  std::uint64_t expect = 0;
+  while (expect < kRecords) {
+    ring.drain([&](const std::uint64_t& v) {
+      ASSERT_EQ(v, expect);
+      ++expect;
+    });
+  }
+  producer.join();
+  EXPECT_EQ(expect, kRecords);
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace tmprof::util

@@ -1,0 +1,480 @@
+/// Streaming sample-transport tests (docs/STREAMING.md): StreamRanker's
+/// incremental top-K against a brute-force reference, seal decay,
+/// checkpoint round-trips and geometry rejection, end-to-end bitwise
+/// equivalence of streaming vs. barrier mode, thread-count invariance
+/// ({1,8} threads, with and without fault injection), kill/resume
+/// consistency through the "stream" checkpoint section, and conditional
+/// telemetry registration. Suite names carry the `Stream` prefix so the CI
+/// fault matrix and the TSan preset pick them up.
+
+#include "core/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+#include "tiering/runner.hpp"
+#include "util/assert.hpp"
+#include "util/ckpt.hpp"
+#include "workloads/registry.hpp"
+
+namespace tmprof {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// StreamRanker unit tests.
+
+core::PageKey page(std::uint32_t pid, std::uint64_t va) {
+  core::PageKey key;
+  key.pid = static_cast<mem::Pid>(pid);
+  key.page_va = va << 12;
+  return key;
+}
+
+/// Brute-force RankOrder top-K of a reference heat map: heat descending,
+/// ties by ascending key — what the incremental heap must match exactly.
+std::vector<core::PageRank> reference_topk(
+    const std::map<core::PageKey, std::uint64_t>& heat, std::uint32_t k) {
+  std::vector<core::PageRank> out;
+  out.reserve(heat.size());
+  for (const auto& [key, h] : heat) {
+    core::PageRank r;
+    r.key = key;
+    r.rank = h;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const core::PageRank& a, const core::PageRank& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              return a.key < b.key;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void expect_same_ranking(const std::vector<core::PageRank>& got,
+                         const std::vector<core::PageRank>& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, want[i].key) << label << " index " << i;
+    EXPECT_EQ(got[i].rank, want[i].rank) << label << " index " << i;
+  }
+}
+
+TEST(StreamRanker, MatchesBruteForceReferenceAfterEveryAdd) {
+  // Random weighted adds over a small page population; because heat only
+  // grows between seals, the heap must be the *exact* RankOrder top-K of
+  // the map after every single add — not just at the seal.
+  core::StreamRanker ranker(8, 1);
+  std::map<core::PageKey, std::uint64_t> reference;
+  std::uint64_t x = 0x5eed5eed5eedULL;
+  const auto next = [&x] {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return x >> 16;
+  };
+  std::vector<core::PageRank> got;
+  for (int i = 0; i < 4000; ++i) {
+    const core::PageKey key =
+        page(1000 + static_cast<std::uint32_t>(next() % 3), next() % 48);
+    const std::uint64_t weight = 1 + next() % 7;
+    ranker.add(key, weight);
+    reference[key] += weight;
+    if (i % 97 == 0) {
+      ranker.ranking_into(got);
+      expect_same_ranking(got, reference_topk(reference, 8),
+                          "add " + std::to_string(i));
+    }
+  }
+  ranker.ranking_into(got);
+  expect_same_ranking(got, reference_topk(reference, 8), "final");
+  EXPECT_EQ(ranker.tracked(), reference.size());
+  for (const auto& [key, h] : reference) EXPECT_EQ(ranker.heat_of(key), h);
+}
+
+TEST(StreamRanker, TopKIsAddOrderInvariant) {
+  // Same multiset of (key, weight) folds in two different orders: counts
+  // commute, so the advisory ranking must agree record-for-record.
+  std::vector<std::pair<core::PageKey, std::uint64_t>> adds;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    adds.emplace_back(page(1000 + static_cast<std::uint32_t>(i % 2), i % 31),
+                      1 + (i * 7) % 5);
+  }
+  core::StreamRanker forward(6, 1), backward(6, 1);
+  for (const auto& [key, w] : adds) forward.add(key, w);
+  for (auto it = adds.rbegin(); it != adds.rend(); ++it) {
+    backward.add(it->first, it->second);
+  }
+  std::vector<core::PageRank> a, b;
+  forward.ranking_into(a);
+  backward.ranking_into(b);
+  expect_same_ranking(a, b, "forward vs backward");
+}
+
+TEST(StreamRanker, TiesBreakByAscendingKey) {
+  core::StreamRanker ranker(3, 1);
+  // Four pages, all at heat 5: only the three lowest keys may survive.
+  for (std::uint64_t va : {9U, 3U, 7U, 5U}) ranker.add(page(1000, va), 5);
+  std::vector<core::PageRank> got;
+  ranker.ranking_into(got);
+  ASSERT_EQ(got.size(), 3U);
+  EXPECT_EQ(got[0].key, page(1000, 3));
+  EXPECT_EQ(got[1].key, page(1000, 5));
+  EXPECT_EQ(got[2].key, page(1000, 7));
+}
+
+TEST(StreamRanker, EvictedPageCanReenterTheHeap) {
+  core::StreamRanker ranker(2, 1);
+  ranker.add(page(1000, 1), 10);
+  ranker.add(page(1000, 2), 20);
+  ranker.add(page(1000, 3), 30);  // evicts page 1 from the heap
+  std::vector<core::PageRank> got;
+  ranker.ranking_into(got);
+  ASSERT_EQ(got.size(), 2U);
+  EXPECT_EQ(got[0].key, page(1000, 3));
+  EXPECT_EQ(got[1].key, page(1000, 2));
+  // Its heat keeps accumulating off-heap; pushing past the current root
+  // must bring it back (the evict-then-reenter path through the position
+  // sentinel).
+  ranker.add(page(1000, 1), 15);  // heat 25 > root heat 20
+  ranker.ranking_into(got);
+  ASSERT_EQ(got.size(), 2U);
+  EXPECT_EQ(got[0].key, page(1000, 3));
+  EXPECT_EQ(got[1].key, page(1000, 1));
+  EXPECT_EQ(got[1].rank, 25U);
+}
+
+TEST(StreamRanker, SealDecaysHeatAndDropsCooledPages) {
+  core::StreamRanker ranker(8, 1);  // halve at each seal
+  ranker.add(page(1000, 1), 4);
+  ranker.add(page(1000, 2), 1);  // 1 >> ... decays to zero below
+  ranker.seal();
+  EXPECT_EQ(ranker.heat_of(page(1000, 1)), 2U);
+  EXPECT_EQ(ranker.heat_of(page(1000, 2)), 0U);
+  EXPECT_EQ(ranker.tracked(), 1U);
+  std::vector<core::PageRank> got;
+  ranker.ranking_into(got);
+  ASSERT_EQ(got.size(), 1U);
+  EXPECT_EQ(got[0].key, page(1000, 1));
+  EXPECT_EQ(got[0].rank, 2U);
+  ranker.seal();  // 2 -> 1
+  ranker.seal();  // 1 -> 0: everything cooled away
+  EXPECT_EQ(ranker.tracked(), 0U);
+  ranker.ranking_into(got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(StreamRanker, DecayShift64KeepsPerEpochTopKOnly) {
+  core::StreamRanker ranker(8, 64);
+  ranker.add(page(1000, 1), 1000);
+  ranker.seal();  // shift >= 64 clears all history
+  EXPECT_EQ(ranker.tracked(), 0U);
+  ranker.add(page(1000, 2), 1);
+  std::vector<core::PageRank> got;
+  ranker.ranking_into(got);
+  ASSERT_EQ(got.size(), 1U);  // last epoch's giant is gone
+  EXPECT_EQ(got[0].key, page(1000, 2));
+}
+
+TEST(StreamRanker, CheckpointRoundTripsExactly) {
+  core::StreamRanker ranker(4, 2);
+  std::uint64_t x = 0xc0ffee;
+  const auto next = [&x] {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return x >> 16;
+  };
+  for (int i = 0; i < 500; ++i) ranker.add(page(1000, next() % 64), 1);
+  ranker.seal();  // decayed state is what checkpoints
+  for (int i = 0; i < 100; ++i) ranker.add(page(1001, next() % 16), 3);
+
+  util::ckpt::Writer w;
+  w.begin_section("s");
+  ranker.save_state(w);
+  w.end_section();
+  util::ckpt::Reader r(w.finish());
+  r.enter_section("s");
+  core::StreamRanker restored(4, 2);
+  restored.load_state(r);
+  r.end_section();
+
+  EXPECT_EQ(restored.tracked(), ranker.tracked());
+  std::vector<core::PageRank> a, b;
+  ranker.ranking_into(a);
+  restored.ranking_into(b);
+  expect_same_ranking(b, a, "restored");
+  // The restored ranker keeps ranking incrementally, exactly in step.
+  ranker.add(page(1000, 5), 9);
+  restored.add(page(1000, 5), 9);
+  ranker.ranking_into(a);
+  restored.ranking_into(b);
+  expect_same_ranking(b, a, "restored+add");
+}
+
+TEST(StreamRanker, CheckpointGeometryMismatchThrows) {
+  core::StreamRanker ranker(4, 2);
+  ranker.add(page(1000, 1), 1);
+  util::ckpt::Writer w;
+  w.begin_section("s");
+  ranker.save_state(w);
+  w.end_section();
+  const auto image = w.finish();
+  {
+    util::ckpt::Reader r(image);
+    r.enter_section("s");
+    core::StreamRanker wrong_k(8, 2);
+    EXPECT_THROW(wrong_k.load_state(r), util::ckpt::CkptError);
+  }
+  {
+    util::ckpt::Reader r(image);
+    r.enter_section("s");
+    core::StreamRanker wrong_decay(4, 3);
+    EXPECT_THROW(wrong_decay.load_state(r), util::ckpt::CkptError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StreamTransport lane plumbing.
+
+TEST(StreamTransport, LaneLayoutAndDropAccounting) {
+  core::StreamConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 4;
+  core::StreamTransport transport(cfg, 3);
+  EXPECT_EQ(transport.lanes(), 5U);  // 3 trace + A-bit + DevMon
+  EXPECT_EQ(transport.trace_lanes(), 3U);
+  EXPECT_EQ(transport.abit_lane(), 3U);
+  EXPECT_EQ(transport.dev_lane(), 4U);
+  monitors::StreamRecord rec{};
+  for (int i = 0; i < 6; ++i) (void)transport.ring(0).try_push(rec);
+  for (int i = 0; i < 5; ++i) (void)transport.ring(4).try_push(rec);
+  EXPECT_EQ(transport.drops_total(), 3U);  // 2 on lane 0 + 1 on lane 4
+  EXPECT_EQ(transport.high_water(), 4U);
+  transport.set_carried_drops(10);  // checkpoint-restored base is additive
+  EXPECT_EQ(transport.drops_total(), 13U);
+  transport.reset_high_water();
+  EXPECT_EQ(transport.high_water(), 0U);
+  EXPECT_EQ(transport.drops_total(), 13U);  // drops stay cumulative
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: streaming vs. barrier, thread-count invariance, resume.
+
+sim::SimConfig stream_config() {
+  sim::SimConfig cfg;
+  cfg.cores = 4;
+  cfg.llc_bytes = 1 << 18;
+  cfg.tier1_frames = 1 << 10;
+  cfg.tier2_frames = 1 << 16;
+  return cfg;
+}
+
+tiering::RunnerOptions stream_options(const std::string& policy,
+                                      std::uint32_t n_threads,
+                                      bool streaming) {
+  tiering::RunnerOptions opt;
+  opt.policy = policy;
+  opt.n_epochs = 3;
+  opt.ops_per_epoch = 30000;
+  opt.daemon.driver.ibs = monitors::IbsConfig::with_period(128);
+  opt.n_threads = n_threads;
+  opt.daemon.driver.stream.enabled = streaming;
+  // Tiny rings force the overflow-spill path; spilled records must be
+  // folded identically to ring-delivered ones, so results cannot change.
+  opt.daemon.driver.stream.ring_capacity = 64;
+  return opt;
+}
+
+void expect_identical(const tiering::RunnerResult& a,
+                      const tiering::RunnerResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.runtime_ns, b.runtime_ns) << label;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.tier1_hitrate),
+            std::bit_cast<std::uint64_t>(b.tier1_hitrate))
+      << label << " hitrate " << a.tier1_hitrate << " vs " << b.tier1_hitrate;
+  EXPECT_EQ(a.migrations, b.migrations) << label;
+  EXPECT_EQ(a.protection_faults, b.protection_faults) << label;
+  EXPECT_EQ(a.profiling_overhead_ns, b.profiling_overhead_ns) << label;
+  EXPECT_EQ(a.moves.promoted, b.moves.promoted) << label;
+  EXPECT_EQ(a.moves.demoted, b.moves.demoted) << label;
+  EXPECT_EQ(a.degrade.trace_dropped, b.degrade.trace_dropped) << label;
+}
+
+TEST(StreamDeterminism, StreamingMatchesBarrierModeBitwise) {
+  // The sealed observation maps are a pure function of the simulation, so
+  // flipping the transport must not change a single bit of the result.
+  const auto spec = workloads::find_spec("data_caching", 0.1);
+  const sim::SimConfig cfg = stream_config();
+  for (const char* policy : {"history", "freq-decay", "oracle"}) {
+    const tiering::RunnerResult barrier = tiering::EndToEndRunner::run(
+        spec, cfg, stream_options(policy, 1, false));
+    const tiering::RunnerResult streamed = tiering::EndToEndRunner::run(
+        spec, cfg, stream_options(policy, 1, true));
+    expect_identical(streamed, barrier, std::string(policy) + " [stream]");
+  }
+}
+
+TEST(StreamDeterminism, ThreadCountInvariant) {
+  // {1, 8} threads: with 8 workers the pump really runs concurrently with
+  // shard execution (mid-epoch consumption order varies wildly), yet every
+  // output bit must match the inline run.
+  const auto spec = workloads::find_spec("data_caching", 0.1);
+  const sim::SimConfig cfg = stream_config();
+  const tiering::RunnerResult t1 =
+      tiering::EndToEndRunner::run(spec, cfg, stream_options("history", 1, true));
+  const tiering::RunnerResult t2 =
+      tiering::EndToEndRunner::run(spec, cfg, stream_options("history", 2, true));
+  const tiering::RunnerResult t8 =
+      tiering::EndToEndRunner::run(spec, cfg, stream_options("history", 8, true));
+  expect_identical(t1, t2, "streaming [1 vs 2 threads]");
+  expect_identical(t1, t8, "streaming [1 vs 8 threads]");
+}
+
+TEST(StreamDeterminism, FaultInjectionStaysThreadCountInvariant) {
+  // Streaming fault keys are (epoch, lane, seq) — independent of when the
+  // pump consumed the record — so the injected drop set, and therefore the
+  // whole run, is invariant to consumer scheduling.
+  const auto spec = workloads::find_spec("data_caching", 0.1);
+  const sim::SimConfig cfg = stream_config();
+  tiering::RunnerOptions t1 = stream_options("history", 1, true);
+  t1.fault.rate = 0.01;
+  t1.fault.seed = 0xf00d;
+  tiering::RunnerOptions t8 = t1;
+  t8.n_threads = 8;
+  const tiering::RunnerResult r1 = tiering::EndToEndRunner::run(spec, cfg, t1);
+  const tiering::RunnerResult r8 = tiering::EndToEndRunner::run(spec, cfg, t8);
+  expect_identical(r1, r8, "streaming+faults [1 vs 8 threads]");
+}
+
+TEST(StreamDeterminism, RequiresShardedEngineAndExactHotness) {
+  const auto spec = workloads::find_spec("gups", 0.05);
+  // Serial engine (n_threads = 0) has no per-core lanes to stream from.
+  EXPECT_THROW(tiering::EndToEndRunner::run(spec, stream_config(),
+                                            stream_options("history", 0, true)),
+               util::AssertionError);
+  // Conservative-update sketches are add-order sensitive; the pump's
+  // scheduling-dependent interleaving would break bitwise invariance.
+  tiering::RunnerOptions sketch = stream_options("history", 1, true);
+  sketch.daemon.driver.hotness.mode = core::HotnessMode::Sketch;
+  EXPECT_THROW(tiering::EndToEndRunner::run(spec, stream_config(), sketch),
+               util::AssertionError);
+}
+
+TEST(StreamResume, KillResumeIsBitwiseConsistent) {
+  // Ring + ranker state rides in the "stream" checkpoint section: a run
+  // killed after epoch 3 and resumed must finish bitwise identical to the
+  // uninterrupted streaming run.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const sim::SimConfig cfg = stream_config();
+  tiering::RunnerOptions base = stream_options("history", 1, true);
+  base.n_epochs = 5;
+  const tiering::RunnerResult reference =
+      tiering::EndToEndRunner::run(spec, cfg, base);
+
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-stream-resume";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  tiering::RunnerOptions ck = base;
+  ck.checkpoint.every = 1;
+  ck.checkpoint.dir = dir.string();
+  ck.checkpoint.keep_last = 16;
+  (void)tiering::EndToEndRunner::run(spec, cfg, ck);
+
+  tiering::RunnerOptions resume = base;
+  resume.checkpoint.resume_from =
+      util::ckpt::checkpoint_path(dir.string(), "ckpt", 3);
+  ASSERT_TRUE(fs::exists(resume.checkpoint.resume_from));
+  const tiering::RunnerResult resumed =
+      tiering::EndToEndRunner::run(spec, cfg, resume);
+  expect_identical(resumed, reference, "stream resume");
+}
+
+TEST(StreamResume, PresenceMismatchFallsBackToColdStart) {
+  // A checkpoint written without streaming cannot silently resume into a
+  // streaming run: the "stream" section rejects, and the cold start must
+  // still produce the bitwise-correct streaming result.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const sim::SimConfig cfg = stream_config();
+  const tiering::RunnerResult reference = tiering::EndToEndRunner::run(
+      spec, cfg, stream_options("history", 1, true));
+
+  const fs::path dir = fs::path(::testing::TempDir()) / "tmprof-stream-mis";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  tiering::RunnerOptions off = stream_options("history", 1, false);
+  off.checkpoint.every = 1;
+  off.checkpoint.dir = dir.string();
+  off.checkpoint.keep_last = 16;
+  (void)tiering::EndToEndRunner::run(spec, cfg, off);
+
+  tiering::RunnerOptions resume = stream_options("history", 1, true);
+  resume.checkpoint.resume_from =
+      util::ckpt::checkpoint_path(dir.string(), "ckpt", 2);
+  ASSERT_TRUE(fs::exists(resume.checkpoint.resume_from));
+  const tiering::RunnerResult resumed =
+      tiering::EndToEndRunner::run(spec, cfg, resume);
+  expect_identical(resumed, reference, "presence mismatch cold start");
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry registration gate.
+
+std::string prometheus_of(const telemetry::Telemetry& t) {
+  std::ostringstream os;
+  t.write_prometheus(os);
+  return os.str();
+}
+
+TEST(StreamTelemetry, MetricsRegisterOnlyWhenStreaming) {
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const sim::SimConfig cfg = stream_config();
+
+  telemetry::Telemetry off{telemetry::TelemetryConfig{}};
+  tiering::RunnerOptions off_opt = stream_options("history", 1, false);
+  off_opt.telemetry = &off;
+  (void)tiering::EndToEndRunner::run(spec, cfg, off_opt);
+  // Off-mode exports carry no trace of the streaming subsystem: the cells
+  // are never resolved, so the byte stream matches the pre-streaming one.
+  EXPECT_EQ(prometheus_of(off).find("stream_"), std::string::npos);
+
+  telemetry::Telemetry on{telemetry::TelemetryConfig{}};
+  tiering::RunnerOptions on_opt = stream_options("history", 1, true);
+  on_opt.telemetry = &on;
+  (void)tiering::EndToEndRunner::run(spec, cfg, on_opt);
+  EXPECT_GT(on.metrics().counter_value("stream_records_total"), 0U);
+  EXPECT_NE(prometheus_of(on).find("stream_ring_depth"), std::string::npos);
+  EXPECT_NE(prometheus_of(on).find("stream_ring_drops_total"),
+            std::string::npos);
+  EXPECT_NE(prometheus_of(on).find("stream_seal_ns"), std::string::npos);
+}
+
+TEST(StreamTelemetry, RecordCountIsThreadCountInvariant) {
+  // Ring depth and drop tallies are scheduling-dependent by design, but the
+  // number of records *consumed* equals the number produced — a pure
+  // function of the simulation, identical at every thread count.
+  const auto spec = workloads::find_spec("gups", 0.05);
+  const sim::SimConfig cfg = stream_config();
+  telemetry::Telemetry t1{telemetry::TelemetryConfig{}};
+  telemetry::Telemetry t8{telemetry::TelemetryConfig{}};
+  tiering::RunnerOptions o1 = stream_options("history", 1, true);
+  o1.telemetry = &t1;
+  tiering::RunnerOptions o8 = stream_options("history", 8, true);
+  o8.telemetry = &t8;
+  (void)tiering::EndToEndRunner::run(spec, cfg, o1);
+  (void)tiering::EndToEndRunner::run(spec, cfg, o8);
+  const std::uint64_t n1 = t1.metrics().counter_value("stream_records_total");
+  EXPECT_GT(n1, 0U);
+  EXPECT_EQ(n1, t8.metrics().counter_value("stream_records_total"));
+}
+
+}  // namespace
+}  // namespace tmprof
